@@ -1,0 +1,57 @@
+//===- bench/BenchUtil.h - Table printing helpers ---------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the per-figure benchmark binaries: aligned
+/// table printing and the message-size grid of the paper's Fig. 8 sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_BENCH_BENCHUTIL_H
+#define PARCS_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parcs::bench {
+
+/// Prints a banner naming the experiment and the paper artefact.
+inline void banner(const char *Id, const char *Title) {
+  std::printf("\n==== %s: %s ====\n", Id, Title);
+}
+
+/// Prints one row of right-aligned cells.
+inline void row(const std::vector<std::string> &Cells, int Width = 14) {
+  for (const std::string &Cell : Cells)
+    std::printf("%*s", Width, Cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double Value, int Precision = 2) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+/// The paper's Fig. 8 x-axis: message sizes from tens of bytes to 1 MB
+/// (log-spaced).
+inline std::vector<size_t> fig8MessageSizes() {
+  return {64,        256,        1024,       4096,      16384,
+          65536,     262144,     1048576};
+}
+
+inline std::string sizeLabel(size_t Bytes) {
+  if (Bytes >= 1024 * 1024)
+    return std::to_string(Bytes / (1024 * 1024)) + "MB";
+  if (Bytes >= 1024)
+    return std::to_string(Bytes / 1024) + "KB";
+  return std::to_string(Bytes) + "B";
+}
+
+} // namespace parcs::bench
+
+#endif // PARCS_BENCH_BENCHUTIL_H

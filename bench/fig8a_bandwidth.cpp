@@ -1,0 +1,40 @@
+//===- bench/fig8a_bandwidth.cpp - E1: Fig. 8a reproduction ---------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 8a: inter-node bandwidth versus message size for MPI,
+/// Java RMI and Mono Remoting (1.1.7, TcpChannel) over the simulated
+/// 100 Mbit cluster.  Expected shape (paper): "the MPI bandwidth
+/// performance is superior to Java and Mono ... for large messages, the
+/// Mono performance lags behind the Java implementation."
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/pingpong/PingPong.h"
+
+using namespace parcs;
+using namespace parcs::apps::pingpong;
+using namespace parcs::bench;
+
+int main() {
+  banner("E1 (Fig. 8a)", "inter-node bandwidth, MPI vs Java RMI vs Mono");
+  row({"msg size", "MPI MB/s", "JavaRMI MB/s", "Mono MB/s"});
+  int Rounds = 10;
+  for (size_t Size : fig8MessageSizes()) {
+    PingPongResult Mpi = runMpiPingPong(Size, Rounds);
+    PingPongResult Rmi =
+        runRemotingPingPong(remoting::StackKind::JavaRmi, Size, Rounds);
+    PingPongResult Mono = runRemotingPingPong(
+        remoting::StackKind::MonoRemotingTcp117, Size, Rounds);
+    row({sizeLabel(Size), fmt(Mpi.BandwidthMBps), fmt(Rmi.BandwidthMBps),
+         fmt(Mono.BandwidthMBps)});
+  }
+  std::printf("\nexpected shape: MPI > Java RMI > Mono at large sizes; all "
+              "below the\n11.9 MB/s goodput ceiling of 100 Mbit Ethernet\n");
+  return 0;
+}

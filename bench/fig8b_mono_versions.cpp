@@ -1,0 +1,40 @@
+//===- bench/fig8b_mono_versions.cpp - E2: Fig. 8b reproduction -----------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 8b: bandwidth of the Mono implementations -- 1.1.7
+/// over TcpChannel, 1.0.5 over TcpChannel, 1.1.7 over HttpChannel.
+/// Expected shape (paper): "Mono performance has radically increased from
+/// release 1.0.5 and the low performance of an Http channel."
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/pingpong/PingPong.h"
+
+using namespace parcs;
+using namespace parcs::apps::pingpong;
+using namespace parcs::bench;
+
+int main() {
+  banner("E2 (Fig. 8b)", "bandwidth of Mono implementations");
+  row({"msg size", "1.1.7 Tcp", "1.0.5 Tcp", "1.1.7 Http"});
+  int Rounds = 10;
+  for (size_t Size : fig8MessageSizes()) {
+    PingPongResult V117 = runRemotingPingPong(
+        remoting::StackKind::MonoRemotingTcp117, Size, Rounds);
+    PingPongResult V105 = runRemotingPingPong(
+        remoting::StackKind::MonoRemotingTcp105, Size, Rounds);
+    PingPongResult Http = runRemotingPingPong(
+        remoting::StackKind::MonoRemotingHttp117, Size, Rounds);
+    row({sizeLabel(Size), fmt(V117.BandwidthMBps), fmt(V105.BandwidthMBps),
+         fmt(Http.BandwidthMBps)});
+  }
+  std::printf("\nexpected shape: 1.1.7 Tcp far above 1.0.5 Tcp; Http channel "
+              "lowest\n(SOAP/base64 inflation + HTTP framing)\n");
+  return 0;
+}

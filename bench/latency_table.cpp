@@ -1,0 +1,44 @@
+//===- bench/latency_table.cpp - E3: in-text latency numbers --------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the in-text latency comparison (Section 4): one-way
+/// small-message latency of MPI (100 us), Mono Remoting (273 us) and Java
+/// RMI (520 us), with Java nio "very close to" Mono.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/pingpong/PingPong.h"
+
+using namespace parcs;
+using namespace parcs::apps::pingpong;
+using namespace parcs::bench;
+
+int main() {
+  banner("E3 (in-text)", "one-way small-message latency");
+  int Rounds = 100;
+  size_t Size = 4; // One int, as in the paper's ping-pong.
+  double Mpi = runMpiPingPong(Size, Rounds).OneWayLatencyUs;
+  double Mono = runRemotingPingPong(remoting::StackKind::MonoRemotingTcp117,
+                                    Size, Rounds)
+                    .OneWayLatencyUs;
+  double Rmi =
+      runRemotingPingPong(remoting::StackKind::JavaRmi, Size, Rounds)
+          .OneWayLatencyUs;
+  double Nio =
+      runRemotingPingPong(remoting::StackKind::JavaNio, Size, Rounds)
+          .OneWayLatencyUs;
+
+  row({"stack", "measured us", "paper us"});
+  row({"MPI", fmt(Mpi, 1), "100"});
+  row({"Mono Remoting", fmt(Mono, 1), "273"});
+  row({"Java RMI", fmt(Rmi, 1), "520"});
+  row({"Java nio", fmt(Nio, 1), "~Mono"});
+  std::printf("\nexpected shape: MPI < Mono ~ Java nio < Java RMI\n");
+  return 0;
+}

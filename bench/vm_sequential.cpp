@@ -1,0 +1,56 @@
+//===- bench/vm_sequential.cpp - E6: sequential VM comparison -------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the in-text sequential VM comparison (Section 4): the ray
+/// tracer's sequential time is 40% higher on Mono than on the Sun JVM
+/// (only 10% higher on the MS CLR), while the prime sieve costs "about
+/// the same" on Mono and the JVM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/ray/Farm.h"
+#include "apps/sieve/Sieve.h"
+
+using namespace parcs;
+using namespace parcs::bench;
+
+int main() {
+  banner("E6 (in-text)", "sequential execution time per VM");
+
+  apps::ray::RayJob Job;
+  Job.SceneData = apps::ray::Scene::javaGrande(4);
+  Job.Width = 500;
+  Job.Height = 500;
+  Job.NsPerOp = apps::ray::calibrateNsPerOp(Job.SceneData, Job.Width,
+                                            Job.Height, 100.0);
+
+  apps::sieve::SieveJob Sieve;
+  Sieve.MaxN = 2000000;
+
+  const vm::VmKind Vms[] = {vm::VmKind::SunJvm142, vm::VmKind::MsClr,
+                            vm::VmKind::MonoVm117, vm::VmKind::MonoVm105,
+                            vm::VmKind::NativeCpp};
+
+  double JvmRay =
+      apps::ray::sequentialRender(Job, vm::VmKind::SunJvm142).Seconds;
+  double JvmSieve =
+      apps::sieve::sequentialSieve(Sieve, vm::VmKind::SunJvm142).Seconds;
+
+  row({"vm", "raytracer s", "vs JVM", "sieve s", "vs JVM"}, 14);
+  for (vm::VmKind Vm : Vms) {
+    double Ray = apps::ray::sequentialRender(Job, Vm).Seconds;
+    double SieveS = apps::sieve::sequentialSieve(Sieve, Vm).Seconds;
+    row({vm::vmKindName(Vm), fmt(Ray, 1), fmt(Ray / JvmRay), fmt(SieveS, 2),
+         fmt(SieveS / JvmSieve)},
+        14);
+  }
+  std::printf("\npaper anchors: Mono 1.1.7 raytracer 1.40x JVM, MS CLR "
+              "1.10x, sieve ~1.00x\n");
+  return 0;
+}

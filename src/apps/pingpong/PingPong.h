@@ -1,0 +1,50 @@
+//===- apps/pingpong/PingPong.h - Low-level kernels -------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's low-level evaluation kernel: "a ping-pong test, where
+/// messages with several sizes are exchanged between two nodes", with "an
+/// array of integers ... sent and received as the method parameter and
+/// return type" for the remoting stacks and MPI_Send/MPI_Recv for MPI.
+/// One self-contained runner per stack; all report one-way latency and
+/// the derived bandwidth, in virtual time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_APPS_PINGPONG_PINGPONG_H
+#define PARCS_APPS_PINGPONG_PINGPONG_H
+
+#include "remoting/Profiles.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parcs::apps::pingpong {
+
+/// One ping-pong measurement.
+struct PingPongResult {
+  double OneWayLatencyUs = 0; ///< Round trip / 2, averaged over rounds.
+  double BandwidthMBps = 0;   ///< Payload bytes / one-way time (MB = 1e6).
+  uint64_t WireBytes = 0;     ///< Total bytes carried on the wire.
+};
+
+/// Ping-pong through a remoting-style stack (Mono Tcp/Http, Java RMI,
+/// Java nio): a remote "echo" method taking and returning an int array of
+/// \p PayloadBytes (rounded down to whole ints).
+PingPongResult runRemotingPingPong(remoting::StackKind Stack,
+                                   size_t PayloadBytes, int Rounds);
+
+/// Ping-pong with MPI_Send/MPI_Recv and explicitly packed buffers.
+PingPongResult runMpiPingPong(size_t PayloadBytes, int Rounds);
+
+/// Ping-pong through a ParC# proxy object (synchronous parallel-object
+/// method) -- the platform-penalty check: "the performance penalty
+/// introduced by the ParC# platform is not noticeable".
+PingPongResult runScooppPingPong(size_t PayloadBytes, int Rounds);
+
+} // namespace parcs::apps::pingpong
+
+#endif // PARCS_APPS_PINGPONG_PINGPONG_H

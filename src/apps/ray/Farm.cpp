@@ -1,0 +1,351 @@
+//===- apps/ray/Farm.cpp --------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ray/Farm.h"
+
+#include "mpi/Mpi.h"
+#include "net/Network.h"
+#include "sim/Sync.h"
+#include "vm/Cluster.h"
+
+using namespace parcs;
+using namespace parcs::apps::ray;
+
+//===----------------------------------------------------------------------===//
+// Worker
+//===----------------------------------------------------------------------===//
+
+sim::Task<ErrorOr<remoting::Bytes>>
+RayWorkerHandler::handleCall(std::string_view Method,
+                             const remoting::Bytes &Args) {
+  if (Method == "render") {
+    int32_t Y0 = 0, Y1 = 0;
+    if (!serial::decodeValues(Args, Y0, Y1))
+      co_return Error(ErrorCode::MalformedMessage, "render args");
+    if (Y0 < 0 || Y1 < Y0 || Y1 > Job->Height)
+      co_return Error(ErrorCode::InvalidArgument, "render line range");
+    for (int32_t Y = Y0; Y < Y1; ++Y) {
+      // Real rendering; virtual time charged per counted op, scaled by
+      // this node's VM (reference = Sun JVM).
+      LineResult Line = Job->SceneData.renderLine(Y, Job->Width, Job->Height);
+      co_await Host.computeWork(
+          vm::WorkKind::FloatingPoint,
+          sim::SimTime::fromSecondsF(Job->NsPerOp * 1e-9 *
+                                     static_cast<double>(Line.Ops)));
+      ChecksumSum += Scene::lineChecksum(Line.Rgb);
+      Rows[Y] = std::move(Line.Rgb);
+    }
+    co_return remoting::Bytes{};
+  }
+  if (Method == "collect") {
+    serial::OutputArchive Out;
+    Out.write(ChecksumSum);
+    Out.write(static_cast<uint32_t>(Rows.size()));
+    for (const auto &[Y, Rgb] : Rows) {
+      Out.write(Y);
+      Out.write(static_cast<uint32_t>(Rgb.size()));
+      Out.writeRaw(Rgb);
+    }
+    co_return Out.take();
+  }
+  co_return Error(ErrorCode::UnknownMethod, std::string(Method));
+}
+
+void parcs::apps::ray::registerRayWorker(
+    scoopp::ParallelClassRegistry &Registry,
+    std::shared_ptr<const RayJob> Job) {
+  Registry.registerClass(
+      {RayWorkerHandler::ClassName,
+       [Job](scoopp::ScooppRuntime &, vm::Node &Host)
+           -> std::shared_ptr<remoting::CallHandler> {
+         return std::make_shared<RayWorkerHandler>(Host, Job);
+       }});
+}
+
+namespace {
+
+/// Decodes a worker's collect() payload into (checksum, pixel bytes).
+ErrorOr<std::pair<uint64_t, uint64_t>>
+parseCollect(const remoting::Bytes &Raw) {
+  serial::InputArchive In(Raw);
+  uint64_t Checksum = 0;
+  uint32_t RowCount = 0;
+  uint64_t PixelBytes = 0;
+  if (!In.read(Checksum) || !In.read(RowCount))
+    return Error(ErrorCode::MalformedMessage, "collect header");
+  for (uint32_t I = 0; I < RowCount; ++I) {
+    int32_t Y = 0;
+    uint32_t Size = 0;
+    remoting::Bytes Rgb;
+    if (!In.read(Y) || !In.read(Size) || !In.readRaw(Rgb, Size))
+      return Error(ErrorCode::MalformedMessage, "collect row");
+    PixelBytes += Size;
+  }
+  return std::make_pair(Checksum, PixelBytes);
+}
+
+/// Assigns line blocks of Job.LinesPerTask to Workers round-robin;
+/// returns per-worker block lists.
+std::vector<std::vector<std::pair<int32_t, int32_t>>>
+assignBlocks(const RayJob &Job, int Workers) {
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> Blocks(
+      static_cast<size_t>(Workers));
+  int Next = 0;
+  for (int32_t Y0 = 0; Y0 < Job.Height; Y0 += Job.LinesPerTask) {
+    int32_t Y1 = std::min<int32_t>(Y0 + Job.LinesPerTask, Job.Height);
+    Blocks[static_cast<size_t>(Next)].push_back({Y0, Y1});
+    Next = (Next + 1) % Workers;
+  }
+  return Blocks;
+}
+
+int nodesFor(const FarmConfig &Config) {
+  return (Config.Processors + Config.CoresPerNode - 1) / Config.CoresPerNode;
+}
+
+//===----------------------------------------------------------------------===//
+// ParC# farm
+//===----------------------------------------------------------------------===//
+
+sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
+                             std::shared_ptr<const RayJob> Job, int Workers,
+                             FarmResult &Out) {
+  sim::Simulator &Sim = Runtime.sim();
+  sim::SimTime Start = Sim.now();
+
+  std::vector<std::unique_ptr<RayWorkerProxy>> Proxies;
+  Proxies.reserve(static_cast<size_t>(Workers));
+  for (int I = 0; I < Workers; ++I) {
+    auto Proxy = std::make_unique<RayWorkerProxy>(Runtime, 0);
+    Error E = co_await Proxy->create();
+    if (E)
+      co_return;
+    Proxies.push_back(std::move(Proxy));
+  }
+
+  // Fan the line blocks out as asynchronous method calls (the ParC#
+  // delegate-style invocations of Fig. 4).  Blocks are issued round-robin
+  // across workers -- worker-major order would queue several calls for
+  // one parallel object back to back, and pool threads blocked on that
+  // object's turn would starve the other workers (the paper's thread-pool
+  // starvation effect, measured separately in the ablation bench).
+  auto Blocks = assignBlocks(*Job, Workers);
+  size_t MaxBlocks = 0;
+  for (const auto &List : Blocks)
+    MaxBlocks = std::max(MaxBlocks, List.size());
+  for (size_t Round = 0; Round < MaxBlocks; ++Round)
+    for (size_t W = 0; W < Proxies.size(); ++W)
+      if (Round < Blocks[W].size())
+        co_await Proxies[W]->render(Blocks[W][Round].first,
+                                    Blocks[W][Round].second);
+  for (auto &Proxy : Proxies)
+    co_await Proxy->flush();
+
+  // Synchronous collection (waits for each worker's renders to finish:
+  // parallel objects run one method at a time).
+  for (auto &Proxy : Proxies) {
+    ErrorOr<remoting::Bytes> Raw = co_await Proxy->collect();
+    if (!Raw)
+      co_return;
+    auto Parsed = parseCollect(*Raw);
+    if (!Parsed)
+      co_return;
+    Out.Checksum += Parsed->first;
+    Out.PixelBytes += Parsed->second;
+  }
+  Out.Elapsed = Sim.now() - Start;
+}
+
+//===----------------------------------------------------------------------===//
+// RMI farm
+//===----------------------------------------------------------------------===//
+
+sim::Task<void> rmiWorkerDriver(remoting::RemoteHandle Worker,
+                                std::vector<std::pair<int32_t, int32_t>> Work,
+                                FarmResult &Out, sim::WaitGroup &Done) {
+  for (auto [Y0, Y1] : Work) {
+    ErrorOr<Unit> R = co_await Worker.invokeTyped<Unit>("render", Y0, Y1);
+    if (!R)
+      break;
+  }
+  ErrorOr<remoting::Bytes> Raw = co_await Worker.invoke("collect", {});
+  if (Raw) {
+    auto Parsed = parseCollect(*Raw);
+    if (Parsed) {
+      Out.Checksum += Parsed->first;
+      Out.PixelBytes += Parsed->second;
+    }
+  }
+  Done.done();
+}
+
+sim::Task<void> rmiMaster(std::vector<remoting::RemoteHandle> Workers,
+                          std::shared_ptr<const RayJob> Job,
+                          sim::Simulator &Sim, FarmResult &Out) {
+  sim::SimTime Start = Sim.now();
+  auto Blocks = assignBlocks(*Job, static_cast<int>(Workers.size()));
+  sim::WaitGroup Done(Sim);
+  Done.add(static_cast<int64_t>(Workers.size()));
+  // "In Java, a similar functionality must be explicitly programmed using
+  // threads": one driver per worker.
+  for (size_t W = 0; W < Workers.size(); ++W)
+    Sim.spawn(rmiWorkerDriver(Workers[W], Blocks[W], Out, Done));
+  co_await Done.wait();
+  Out.Elapsed = Sim.now() - Start;
+}
+
+} // namespace
+
+FarmResult parcs::apps::ray::runScooppRayFarm(std::shared_ptr<const RayJob> Job,
+                                              FarmConfig Config,
+                                              scoopp::GrainPolicy Grain) {
+  assert(Config.Processors >= 1 && "need at least one processor");
+  vm::Cluster Machines(nodesFor(Config), Config.Vm, Config.CoresPerNode);
+  net::Network Net(Machines.sim(), Machines.nodeCount());
+  scoopp::ParallelClassRegistry Registry;
+  registerRayWorker(Registry, Job);
+  scoopp::ScooppConfig ScooppCfg;
+  ScooppCfg.Stack = Config.Stack;
+  ScooppCfg.Grain = Grain;
+  ScooppCfg.DispatchWorkers = Config.DispatchWorkers;
+  scoopp::ScooppRuntime Runtime(Machines, Net, std::move(Registry),
+                                ScooppCfg);
+  FarmResult Out;
+  Machines.sim().spawn(scooppMaster(Runtime, Job, Config.Processors, Out));
+  Machines.sim().run();
+  return Out;
+}
+
+FarmResult parcs::apps::ray::runRmiRayFarm(std::shared_ptr<const RayJob> Job,
+                                           FarmConfig Config) {
+  assert(Config.Processors >= 1 && "need at least one processor");
+  vm::Cluster Machines(nodesFor(Config), vm::VmKind::SunJvm142,
+                       Config.CoresPerNode);
+  net::Network Net(Machines.sim(), Machines.nodeCount());
+  std::vector<std::unique_ptr<remoting::RpcEndpoint>> Endpoints;
+  for (int I = 0; I < Machines.nodeCount(); ++I)
+    Endpoints.push_back(std::make_unique<remoting::RpcEndpoint>(
+        Machines.node(I), Net,
+        remoting::stackProfile(remoting::StackKind::JavaRmi),
+        rmi::RegistryPort));
+  // One worker per processor, two per dual-CPU node.
+  std::vector<remoting::RemoteHandle> Workers;
+  for (int W = 0; W < Config.Processors; ++W) {
+    int NodeId = W / Config.CoresPerNode;
+    std::string Name = "worker" + std::to_string(W);
+    Endpoints[static_cast<size_t>(NodeId)]->publish(
+        Name, std::make_shared<RayWorkerHandler>(Machines.node(NodeId), Job));
+    Workers.emplace_back(*Endpoints[0], NodeId, rmi::RegistryPort, Name);
+  }
+  FarmResult Out;
+  Machines.sim().spawn(
+      rmiMaster(std::move(Workers), Job, Machines.sim(), Out));
+  Machines.sim().run();
+  return Out;
+}
+
+namespace {
+
+/// Tags of the MPI farm protocol.
+enum MpiFarmTag : int {
+  TagWork = 1,   ///< (y0, y1) line block.
+  TagDone = 2,   ///< No more work; report results.
+  TagResult = 3, ///< (checksum, rowCount, rows...).
+};
+
+sim::Task<void> mpiFarmRank(mpi::MpiComm Comm,
+                            std::shared_ptr<const RayJob> Job,
+                            FarmResult *Out) {
+  if (Comm.rank() == 0) {
+    // Master: deal blocks round-robin, then collect.
+    sim::SimTime Start = Comm.node().sim().now();
+    int Workers = Comm.size() - 1;
+    auto Blocks = assignBlocks(*Job, Workers);
+    size_t MaxBlocks = 0;
+    for (const auto &List : Blocks)
+      MaxBlocks = std::max(MaxBlocks, List.size());
+    for (size_t Round = 0; Round < MaxBlocks; ++Round)
+      for (int W = 0; W < Workers; ++W)
+        if (Round < Blocks[static_cast<size_t>(W)].size()) {
+          auto [Y0, Y1] = Blocks[static_cast<size_t>(W)][Round];
+          co_await Comm.send(W + 1, TagWork, serial::encodeValues(Y0, Y1));
+        }
+    for (int W = 1; W <= Workers; ++W)
+      co_await Comm.send(W, TagDone, {});
+    for (int W = 0; W < Workers; ++W) {
+      mpi::RecvResult In = co_await Comm.recv(mpi::AnySource, TagResult);
+      serial::InputArchive Ar(In.Data);
+      uint64_t Checksum = 0;
+      uint32_t RowBytes = 0;
+      remoting::Bytes Rows;
+      if (Ar.read(Checksum) && Ar.read(RowBytes) &&
+          Ar.readRaw(Rows, RowBytes)) {
+        Out->Checksum += Checksum;
+        Out->PixelBytes += Rows.size();
+      }
+    }
+    Out->Elapsed = Comm.node().sim().now() - Start;
+    co_return;
+  }
+
+  // Worker: render blocks until the done marker, then ship the rows
+  // (explicitly packed, as the paper contrasts with serialisation).
+  uint64_t Checksum = 0;
+  std::map<int32_t, std::vector<uint8_t>> Rows;
+  for (;;) {
+    mpi::RecvResult In = co_await Comm.recv(0, mpi::AnyTag);
+    if (In.Tag == TagDone)
+      break;
+    int32_t Y0 = 0, Y1 = 0;
+    if (!serial::decodeValues(In.Data, Y0, Y1))
+      continue;
+    for (int32_t Y = Y0; Y < Y1 && Y < Job->Height; ++Y) {
+      LineResult Line = Job->SceneData.renderLine(Y, Job->Width, Job->Height);
+      co_await Comm.node().computeWork(
+          vm::WorkKind::FloatingPoint,
+          sim::SimTime::fromSecondsF(Job->NsPerOp * 1e-9 *
+                                     static_cast<double>(Line.Ops)));
+      Checksum += Scene::lineChecksum(Line.Rgb);
+      Rows[Y] = std::move(Line.Rgb);
+    }
+  }
+  serial::OutputArchive Packed;
+  Packed.write(Checksum);
+  serial::OutputArchive RowBuffer;
+  for (const auto &[Y, Rgb] : Rows)
+    RowBuffer.writeRaw(Rgb);
+  Packed.write(static_cast<uint32_t>(RowBuffer.size()));
+  Packed.writeRaw(RowBuffer.bytes());
+  co_await Comm.send(0, TagResult, Packed.take());
+}
+
+} // namespace
+
+FarmResult parcs::apps::ray::runMpiRayFarm(std::shared_ptr<const RayJob> Job,
+                                           FarmConfig Config) {
+  assert(Config.Processors >= 1 && "need at least one processor");
+  int Ranks = Config.Processors + 1; // Master + workers.
+  int Nodes = (Ranks + Config.CoresPerNode - 1) / Config.CoresPerNode;
+  vm::Cluster Machines(Nodes, vm::VmKind::NativeCpp, Config.CoresPerNode);
+  net::Network Net(Machines.sim(), Nodes);
+  mpi::MpiWorld World(Machines, Net, Ranks, Config.CoresPerNode);
+  FarmResult Out;
+  World.launch([Job, &Out](mpi::MpiComm Comm) -> sim::Task<void> {
+    return mpiFarmRank(Comm, Job, &Out);
+  });
+  Machines.sim().run();
+  return Out;
+}
+
+SequentialResult parcs::apps::ray::sequentialRender(const RayJob &Job,
+                                                    vm::VmKind Vm) {
+  RenderStats Stats = Job.SceneData.renderWhole(Job.Width, Job.Height);
+  SequentialResult Out;
+  Out.Checksum = Stats.Checksum;
+  Out.Seconds = static_cast<double>(Stats.TotalOps) * Job.NsPerOp * 1e-9 *
+                vm::vmCostModel(Vm).FpMultiplier;
+  return Out;
+}

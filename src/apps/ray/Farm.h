@@ -1,0 +1,141 @@
+//===- apps/ray/Farm.h - Parallel ray tracer farms --------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's high-level experiment (Fig. 9): the Java Grande ray tracer
+/// "parallelised using a farming approach, where each worker renders
+/// several lines from the generated image", in two builds:
+///
+///  - ParC# farm: workers are SCOOPP parallel objects on a Mono 1.1.7
+///    cluster; the master issues asynchronous render calls through proxy
+///    objects and collects results synchronously;
+///  - Java RMI farm: workers are unicast remote objects on a Sun JVM
+///    cluster; asynchronous behaviour "must be explicitly programmed
+///    using threads", so the master spawns one driver thread per worker
+///    issuing synchronous RMI calls.
+///
+/// Both farms really render (checksums are compared against a sequential
+/// render) and charge virtual CPU per counted operation, scaled by the
+/// executing VM's floating-point multiplier -- which is how the paper's
+/// "C# sequential time is 40% superior" shows up in the curves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_APPS_RAY_FARM_H
+#define PARCS_APPS_RAY_FARM_H
+
+#include "apps/ray/Scene.h"
+#include "core/Proxy.h"
+#include "core/Scoopp.h"
+#include "rmi/Rmi.h"
+
+#include <memory>
+
+namespace parcs::apps::ray {
+
+/// Immutable job description shared by every worker.
+struct RayJob {
+  Scene SceneData;
+  int Width = 500;
+  int Height = 500;
+  /// Reference-VM (Sun JVM) cost of one counted ray operation.
+  double NsPerOp = 1.0;
+  /// Lines per render task (the "several lines" each worker gets).
+  int LinesPerTask = 25;
+};
+
+/// Result of one farm run.
+struct FarmResult {
+  sim::SimTime Elapsed;
+  uint64_t Checksum = 0;
+  uint64_t PixelBytes = 0;
+};
+
+/// The worker implementation object: renders line blocks ("render") and
+/// hands back its accumulated rows ("collect").  Used both as a SCOOPP
+/// parallel class and as an RMI unicast object.
+class RayWorkerHandler : public remoting::CallHandler {
+public:
+  RayWorkerHandler(vm::Node &Host, std::shared_ptr<const RayJob> Job)
+      : Host(Host), Job(std::move(Job)) {}
+
+  sim::Task<ErrorOr<remoting::Bytes>>
+  handleCall(std::string_view Method, const remoting::Bytes &Args) override;
+
+  static constexpr const char *ClassName = "RayWorker";
+
+private:
+  vm::Node &Host;
+  std::shared_ptr<const RayJob> Job;
+  /// Rendered rows keyed by Y (map keeps collect output in image order).
+  std::map<int32_t, std::vector<uint8_t>> Rows;
+  uint64_t ChecksumSum = 0;
+};
+
+/// The generated-proxy shape for RayWorkerHandler (ParC# side).
+class RayWorkerProxy : public scoopp::ProxyBase {
+public:
+  using ProxyBase::ProxyBase;
+  sim::Task<Error> create() {
+    return ProxyBase::create(RayWorkerHandler::ClassName);
+  }
+  /// Asynchronous: render lines [Y0, Y1).
+  sim::Task<void> render(int32_t Y0, int32_t Y1) {
+    return invokeAsync("render", serial::encodeValues(Y0, Y1));
+  }
+  /// Synchronous: returns (checksum, pixel rows).
+  sim::Task<ErrorOr<remoting::Bytes>> collect() {
+    return invokeSync("collect", remoting::Bytes{});
+  }
+};
+
+/// Registers the RayWorker parallel class backed by \p Job.
+void registerRayWorker(scoopp::ParallelClassRegistry &Registry,
+                       std::shared_ptr<const RayJob> Job);
+
+/// Farm run shared by both stacks; deterministic.
+struct FarmConfig {
+  /// "Processors" on the paper's x-axis; workers = processors, two per
+  /// dual-CPU node.
+  int Processors = 1;
+  int CoresPerNode = 2;
+  /// Dispatch-pool worker cap per endpoint (0 = the VM's default; the
+  /// Mono pool cap is what Section 4 blames for lost overlap).
+  int DispatchWorkers = 0;
+  /// VM and remoting stack of the ParC# side (defaults are the paper's
+  /// platform; MonoTuned projects the paper's future work).
+  vm::VmKind Vm = vm::VmKind::MonoVm117;
+  remoting::StackKind Stack = remoting::StackKind::MonoRemotingTcp117;
+};
+
+/// Runs the ParC# farm on a fresh Mono 1.1.7 cluster and returns the
+/// elapsed virtual time.  \p Grain controls aggregation/agglomeration
+/// (Fig. 9 uses the defaults).
+FarmResult runScooppRayFarm(std::shared_ptr<const RayJob> Job,
+                            FarmConfig Config,
+                            scoopp::GrainPolicy Grain = scoopp::GrainPolicy());
+
+/// Runs the Java RMI farm on a fresh Sun JVM cluster.
+FarmResult runRmiRayFarm(std::shared_ptr<const RayJob> Job, FarmConfig Config);
+
+/// Extension baseline: the traditional C/MPI farm the paper's
+/// introduction contrasts with object-oriented parallelism -- explicit
+/// message passing, packed buffers, native-code execution.  Rank 0 is the
+/// master; ranks 1..Processors render (so the world holds one extra
+/// rank).
+FarmResult runMpiRayFarm(std::shared_ptr<const RayJob> Job, FarmConfig Config);
+
+/// Sequential execution time of the whole frame under \p Vm (the paper's
+/// VM comparison), plus the reference checksum.
+struct SequentialResult {
+  double Seconds = 0;
+  uint64_t Checksum = 0;
+};
+SequentialResult sequentialRender(const RayJob &Job, vm::VmKind Vm);
+
+} // namespace parcs::apps::ray
+
+#endif // PARCS_APPS_RAY_FARM_H

@@ -1,0 +1,85 @@
+//===- core/ImplAdapter.cpp -----------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ImplAdapter.h"
+
+#include "support/StringUtils.h"
+
+using namespace parcs;
+using namespace parcs::scoopp;
+
+Bytes parcs::scoopp::encodePackedCalls(const std::vector<Bytes> &Calls) {
+  serial::OutputArchive Out;
+  Out.write(static_cast<uint32_t>(Calls.size()));
+  for (const Bytes &Call : Calls) {
+    Out.write(static_cast<uint32_t>(Call.size()));
+    Out.writeRaw(Call);
+  }
+  return Out.take();
+}
+
+ErrorOr<std::vector<Bytes>>
+parcs::scoopp::decodePackedCalls(const Bytes &Payload) {
+  serial::InputArchive In(Payload);
+  uint32_t Count = 0;
+  if (!In.read(Count))
+    return Error(ErrorCode::MalformedMessage, "packed call count");
+  std::vector<Bytes> Calls;
+  Calls.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Size = 0;
+    Bytes Call;
+    if (!In.read(Size) || !In.readRaw(Call, Size))
+      return Error(ErrorCode::MalformedMessage, "packed call body");
+    Calls.push_back(std::move(Call));
+  }
+  if (!In.atEnd())
+    return Error(ErrorCode::MalformedMessage, "packed call trailing bytes");
+  return Calls;
+}
+
+namespace {
+
+/// Releases a mutex on scope exit (coroutine-safe: runs on frame unwind).
+struct MutexGuard {
+  explicit MutexGuard(sim::Mutex &Lock) : Lock(Lock) {}
+  ~MutexGuard() { Lock.unlock(); }
+  sim::Mutex &Lock;
+};
+
+} // namespace
+
+sim::Task<ErrorOr<Bytes>> ImplAdapter::handleCall(std::string_view Method,
+                                                  const Bytes &Args) {
+  co_await CallLock.lock();
+  MutexGuard Guard(CallLock);
+  if (startsWith(Method, PackedMethodPrefix)) {
+    std::string Real(Method.substr(std::string_view(PackedMethodPrefix).size()));
+    ErrorOr<std::vector<Bytes>> Calls = decodePackedCalls(Args);
+    if (!Calls)
+      co_return Calls.error();
+    // Fig. 7's processN: fetch each invocation from the array structure
+    // and run the original method.
+    for (Bytes &Call : *Calls) {
+      ErrorOr<Bytes> Result = co_await timedCall(Real, std::move(Call));
+      if (!Result)
+        co_return Result.error();
+    }
+    co_return Bytes{};
+  }
+  ErrorOr<Bytes> Result =
+      co_await timedCall(std::string(Method), Bytes(Args));
+  co_return Result;
+}
+
+sim::Task<ErrorOr<Bytes>> ImplAdapter::timedCall(std::string Method,
+                                                 Bytes Args) {
+  sim::Simulator &Sim = Om.runtime().sim();
+  sim::SimTime Start = Sim.now();
+  ErrorOr<Bytes> Result = co_await Inner->handleCall(Method, Args);
+  Om.noteExecution(ClassName, Sim.now() - Start);
+  co_return Result;
+}

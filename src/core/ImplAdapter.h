@@ -1,0 +1,70 @@
+//===- core/ImplAdapter.h - IO wrapper ---------------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wraps a user implementation object (IO) with the runtime behaviours the
+/// paper's generated code adds:
+///
+///  - packed-call handling ("processN" in Fig. 7): a single message
+///    carrying N aggregated invocations is unpacked and the method run N
+///    times ("the parameters of the several invocations are placed in an
+///    array structure that is constructed on the PO side and fetched from
+///    the array on the IO side");
+///  - grain-size feedback: the simulated execution time of each call is
+///    reported to the node's ObjectManager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_CORE_IMPLADAPTER_H
+#define PARCS_CORE_IMPLADAPTER_H
+
+#include "core/ObjectManager.h"
+#include "core/Scoopp.h"
+#include "sim/Sync.h"
+
+namespace parcs::scoopp {
+
+/// Method-name prefix marking an aggregated message; the suffix is the
+/// real method name.
+inline constexpr const char *PackedMethodPrefix = "#packed:";
+
+/// Encodes N argument buffers into one packed-call payload.
+Bytes encodePackedCalls(const std::vector<Bytes> &Calls);
+
+/// Decodes a packed-call payload.
+ErrorOr<std::vector<Bytes>> decodePackedCalls(const Bytes &Payload);
+
+/// The dispatch wrapper installed around every IO.
+class ImplAdapter : public CallHandler {
+public:
+  ImplAdapter(ObjectManager &Om, std::string ClassName,
+              std::shared_ptr<CallHandler> Inner)
+      : Om(Om), ClassName(std::move(ClassName)), Inner(std::move(Inner)),
+        CallLock(Om.runtime().sim()) {
+    Om.noteObjectHosted();
+  }
+  ~ImplAdapter() override { Om.noteObjectReleased(); }
+
+  CallHandler &inner() { return *Inner; }
+
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
+                                       const Bytes &Args) override;
+
+private:
+  /// Runs one real call on the inner IO, timing it for the OM.
+  sim::Task<ErrorOr<Bytes>> timedCall(std::string Method, Bytes Args);
+
+  ObjectManager &Om;
+  std::string ClassName;
+  std::shared_ptr<CallHandler> Inner;
+  /// Parallel objects are *active objects*: one method runs at a time,
+  /// even when the endpoint's dispatch pool would allow overlap.
+  sim::Mutex CallLock;
+};
+
+} // namespace parcs::scoopp
+
+#endif // PARCS_CORE_IMPLADAPTER_H

@@ -1,0 +1,104 @@
+//===- core/ObjectManager.cpp ---------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ObjectManager.h"
+
+#include "support/Compiler.h"
+#include "vm/Calibration.h"
+
+#include <cmath>
+
+using namespace parcs;
+using namespace parcs::scoopp;
+
+bool ObjectManager::shouldAgglomerate(const std::string &ClassName) const {
+  const GrainPolicy &Grain = Runtime.config().Grain;
+  if (Grain.AgglomerateObjects)
+    return true;
+  if (!Grain.Adaptive)
+    return false;
+  // Adaptive rule (after [9]): once the class is known to be fine-grained
+  // (average method execution below the threshold), stop exporting new
+  // instances -- excess parallelism is being removed.
+  auto It = Grains.find(ClassName);
+  if (It == Grains.end() || !It->second.hasData())
+    return false;
+  return It->second.average() < Grain.SmallGrainThreshold;
+}
+
+int ObjectManager::aggregationFactor(const std::string &ClassName) const {
+  const GrainPolicy &Grain = Runtime.config().Grain;
+  if (!Grain.Adaptive)
+    return Grain.MaxCallsPerMessage;
+  auto It = Grains.find(ClassName);
+  if (It == Grains.end() || !It->second.hasData())
+    return 1;
+  sim::SimTime Avg = It->second.average();
+  if (Avg >= Grain.SmallGrainThreshold)
+    return 1;
+  // Pack enough calls that one packed message amortises to the threshold,
+  // bounded by the configured maximum.
+  double Ratio = Grain.SmallGrainThreshold.toSecondsF() /
+                 std::max(Avg.toSecondsF(), 1e-9);
+  int Factor = static_cast<int>(std::ceil(Ratio));
+  if (Factor < 1)
+    Factor = 1;
+  if (Factor > Grain.MaxCallsPerMessage)
+    Factor = Grain.MaxCallsPerMessage;
+  return Factor;
+}
+
+int ObjectManager::loadMetric() const {
+  return Hosted +
+         static_cast<int>(Runtime.endpoint(NodeId).dispatchPool().queueDepth());
+}
+
+sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
+  (void)ClassName; // Placement is currently class-independent.
+  int Nodes = Runtime.nodeCount();
+  switch (Runtime.config().Placement) {
+  case PlacementPolicy::RoundRobin:
+    co_return (NodeId + 1 + NextPlacement++ % Nodes) % Nodes;
+  case PlacementPolicy::Random:
+    co_return static_cast<int>(
+        Runtime.rng().nextBelow(static_cast<uint64_t>(Nodes)));
+  case PlacementPolicy::LocalOnly:
+    co_return NodeId;
+  case PlacementPolicy::LeastLoaded: {
+    // Cooperate with peer OMs: small getLoad RPCs, self answered locally.
+    int Best = NodeId;
+    int BestLoad = loadMetric();
+    for (int Peer = 0; Peer < Nodes; ++Peer) {
+      if (Peer == NodeId)
+        continue;
+      remoting::RemoteHandle Handle(Runtime.endpoint(NodeId), Peer,
+                                    Runtime.config().Port,
+                                    ScooppRuntime::OmName);
+      ErrorOr<int32_t> Load =
+          co_await Handle.invokeTyped<int32_t>("getLoad");
+      if (!Load)
+        continue; // Unreachable peers are simply skipped.
+      if (*Load < BestLoad || (*Load == BestLoad && Peer < Best)) {
+        Best = Peer;
+        BestLoad = *Load;
+      }
+    }
+    co_return Best;
+  }
+  }
+  PARCS_UNREACHABLE("unhandled PlacementPolicy");
+}
+
+sim::Task<ErrorOr<Bytes>> ObjectManager::handleCall(std::string_view Method,
+                                                    const Bytes &Args) {
+  (void)Args;
+  if (Method == "getLoad") {
+    co_await Runtime.cluster().node(NodeId).compute(
+        sim::SimTime::microseconds(2));
+    co_return serial::encodeValues(static_cast<int32_t>(loadMetric()));
+  }
+  co_return Error(ErrorCode::UnknownMethod, std::string(Method));
+}

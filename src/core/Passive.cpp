@@ -1,0 +1,30 @@
+//===- core/Passive.cpp ---------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Passive.h"
+
+using namespace parcs;
+using namespace parcs::scoopp;
+
+serial::Bytes
+parcs::scoopp::encodePassiveGraph(const serial::SerializableObject *Root) {
+  return serial::encodeObjectGraph(Root);
+}
+
+ErrorOr<serial::SerializableObject *>
+parcs::scoopp::decodePassiveGraph(const serial::Bytes &Data,
+                                  serial::ObjectPool &Pool,
+                                  const serial::TypeRegistry &Registry) {
+  return serial::decodeObjectGraph(Data, Registry, Pool);
+}
+
+ErrorOr<serial::SerializableObject *>
+parcs::scoopp::clonePassiveGraph(const serial::SerializableObject *Root,
+                                 serial::ObjectPool &Pool,
+                                 const serial::TypeRegistry &Registry) {
+  return serial::decodeObjectGraph(serial::encodeObjectGraph(Root), Registry,
+                                   Pool);
+}

@@ -1,0 +1,55 @@
+//===- core/Passive.h - Passive-object transfer -----------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SCOOPP passive objects (Section 3.1): "Passive objects are supported
+/// to make easier the reuse of existing code.  These objects are placed
+/// in the context of the parallel object that created them, and only
+/// copies of them are allowed to move between parallel objects."
+///
+/// A passive object is any serial::SerializableObject; these helpers move
+/// *copies* of whole graphs (including shared structure and cycles, as
+/// .Net/Java serialisation does) through parallel-object method calls:
+///
+/// \code
+///   // caller (PO side): pass a copy of a passive graph
+///   co_await Proxy.invokeAsync("consume",
+///                              scoopp::encodePassiveGraph(Root));
+///   // implementation (IO side): rebuild the copy in a local pool
+///   serial::ObjectPool Pool;
+///   auto Copy = scoopp::decodePassiveGraph(Args, Pool);
+/// \endcode
+///
+/// Passive classes register once in serial::TypeRegistry::global() (or a
+/// custom registry passed explicitly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_CORE_PASSIVE_H
+#define PARCS_CORE_PASSIVE_H
+
+#include "serial/ObjectGraph.h"
+
+namespace parcs::scoopp {
+
+/// Serialises a passive-object graph rooted at \p Root (null allowed).
+serial::Bytes encodePassiveGraph(const serial::SerializableObject *Root);
+
+/// Rebuilds a copy of a transferred graph in \p Pool, resolving types
+/// against \p Registry (default: the process-wide registry).
+ErrorOr<serial::SerializableObject *> decodePassiveGraph(
+    const serial::Bytes &Data, serial::ObjectPool &Pool,
+    const serial::TypeRegistry &Registry = serial::TypeRegistry::global());
+
+/// Deep-copies a passive graph locally (what handing a passive object to
+/// a co-located parallel object means: the callee gets its own copy).
+ErrorOr<serial::SerializableObject *> clonePassiveGraph(
+    const serial::SerializableObject *Root, serial::ObjectPool &Pool,
+    const serial::TypeRegistry &Registry = serial::TypeRegistry::global());
+
+} // namespace parcs::scoopp
+
+#endif // PARCS_CORE_PASSIVE_H

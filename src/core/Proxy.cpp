@@ -1,0 +1,215 @@
+//===- core/Proxy.cpp -----------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Proxy.h"
+
+#include "core/ImplAdapter.h"
+#include "core/ObjectManager.h"
+#include "support/Logging.h"
+#include "vm/Calibration.h"
+
+#include <algorithm>
+
+using namespace parcs;
+using namespace parcs::scoopp;
+
+ProxyBase::ProxyBase(ScooppRuntime &Runtime, int HomeNode)
+    : Runtime(Runtime), Home(HomeNode) {
+  assert(HomeNode >= 0 && HomeNode < Runtime.nodeCount() &&
+         "proxy home node out of range");
+}
+
+ProxyBase::~ProxyBase() {
+  if (pendingCalls() > 0)
+    PARCS_LOG(Warn, "proxy for '" << Class << "' destroyed with "
+                                  << pendingCalls()
+                                  << " unflushed aggregated calls");
+}
+
+vm::Node &ProxyBase::node() { return Runtime.cluster().node(Home); }
+
+remoting::RemoteHandle ProxyBase::remoteHandle() {
+  return remoting::RemoteHandle(Runtime.endpoint(Home), Ref.Node,
+                                Runtime.config().Port, Ref.Name);
+}
+
+sim::Task<Error> ProxyBase::create(std::string ClassName) {
+  assert(!Ref.valid() && "proxy already created/bound");
+  Class = std::move(ClassName);
+  ObjectManager &Om = Runtime.om(Home);
+
+  // "The first task of the newly created PO is to request the creation of
+  // the IO" -- after the OM's grain decision (Fig. 5).
+  co_await node().compute(calib::OmPlacementCost);
+
+  if (Om.shouldAgglomerate(Class)) {
+    // Intra-grain object creation (call d in Fig. 3): create the IO
+    // locally and notify the local OM (done by ImplAdapter).
+    auto Made = Runtime.instantiateImpl(Home, Class);
+    if (!Made)
+      co_return Made.error();
+    Ref = ParallelRef{Home, Made->first};
+    Local = Made->second;
+    ++Runtime.stats().LocalCreations;
+    co_return Error();
+  }
+
+  // Parallel creation: the OM selects a processing node "according to the
+  // current load distribution policy" (calls c in Fig. 3).
+  int Target = co_await Om.placeObject(Class);
+  ++Runtime.stats().RemoteCreations;
+  if (Target == Home) {
+    // Placement landed on our own node.  The object is created through
+    // the local factory path, but it remains its *own grain*: calls keep
+    // asynchronous dispatch semantics (through the loopback endpoint), so
+    // co-located parallel objects still exploit both CPUs of a node.
+    // Only agglomeration (above) produces the direct intra-grain path.
+    auto Made = Runtime.instantiateImpl(Home, Class);
+    if (!Made)
+      co_return Made.error();
+    Ref = ParallelRef{Home, Made->first};
+    Local = nullptr;
+    co_return Error();
+  }
+  // Request remote creation through the target node's factory, like
+  // Fig. 5's rf.PrimeServer().
+  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).call(
+      Target, Runtime.config().Port, ScooppRuntime::FactoryName, "create",
+      serial::encodeValues(Class));
+  if (!Raw)
+    co_return Raw.error();
+  std::string Name;
+  if (!serial::decodeValues(*Raw, Name))
+    co_return Error(ErrorCode::MalformedMessage, "factory reply");
+  Ref = ParallelRef{Target, std::move(Name)};
+  Local = nullptr;
+  co_return Error();
+}
+
+void ProxyBase::bind(std::string ClassName, ParallelRef ExistingRef) {
+  assert(!Ref.valid() && "proxy already created/bound");
+  assert(ExistingRef.valid() && "binding to an invalid ref");
+  Class = std::move(ClassName);
+  Ref = std::move(ExistingRef);
+  // A received reference addresses a foreign grain even when it happens
+  // to live on this node, so dispatch stays asynchronous (loopback).
+  Local = nullptr;
+}
+
+sim::Task<void> ProxyBase::invokeAsync(std::string Method, Bytes Args) {
+  assert(Ref.valid() && "invoking through an uncreated proxy");
+  if (Local) {
+    // Intra-grain: "its subsequent (asynchronous parallel) method
+    // invocations are actually executed synchronously and serially"
+    // (call b in Fig. 3).
+    co_await node().compute(calib::ProxyLocalCallCost);
+    ++Runtime.stats().LocalCalls;
+    ErrorOr<Bytes> Result = co_await Local->handleCall(Method, Args);
+    if (!Result)
+      PARCS_LOG(Warn, "local async call '" << Class << "." << Method
+                                           << "' failed: "
+                                           << Result.error().str());
+    co_return;
+  }
+
+  co_await node().compute(calib::ProxyRemoteCallCost);
+  ++Runtime.stats().RemoteAsyncCalls;
+  int Factor = Runtime.om(Home).aggregationFactor(Class);
+  if (Factor <= 1) {
+    co_await remoteHandle().invokeOneWay(std::move(Method), std::move(Args));
+    co_return;
+  }
+  // Method call aggregation: "(delay and) combine a series of
+  // asynchronous method calls into a single aggregate call message".
+  std::vector<Bytes> &Buffer = PendingByMethod[Method];
+  if (Buffer.empty())
+    PendingOrder.push_back(Method);
+  Buffer.push_back(std::move(Args));
+  if (static_cast<int>(Buffer.size()) >= Factor) {
+    std::vector<Bytes> Calls = std::move(Buffer);
+    PendingByMethod.erase(Method);
+    PendingOrder.erase(
+        std::find(PendingOrder.begin(), PendingOrder.end(), Method));
+    co_await shipPacked(std::move(Method), std::move(Calls));
+  }
+}
+
+sim::Task<ErrorOr<Bytes>> ProxyBase::invokeSync(std::string Method,
+                                                Bytes Args) {
+  assert(Ref.valid() && "invoking through an uncreated proxy");
+  // Program order: everything buffered must leave before a synchronous
+  // call observes state.
+  co_await flush();
+  if (Local) {
+    co_await node().compute(calib::ProxyLocalCallCost);
+    ++Runtime.stats().LocalCalls;
+    ErrorOr<Bytes> Result = co_await Local->handleCall(Method, Args);
+    co_return Result;
+  }
+  co_await node().compute(calib::ProxyRemoteCallCost);
+  ++Runtime.stats().RemoteSyncCalls;
+  ErrorOr<Bytes> Result =
+      co_await remoteHandle().invoke(std::move(Method), std::move(Args));
+  co_return Result;
+}
+
+sim::Task<void> ProxyBase::flush() {
+  while (!PendingOrder.empty()) {
+    std::string Method = PendingOrder.front();
+    PendingOrder.erase(PendingOrder.begin());
+    auto It = PendingByMethod.find(Method);
+    assert(It != PendingByMethod.end() && "order/buffer mismatch");
+    std::vector<Bytes> Calls = std::move(It->second);
+    PendingByMethod.erase(It);
+    co_await shipPacked(std::move(Method), std::move(Calls));
+  }
+}
+
+sim::Task<Error> ProxyBase::destroy() {
+  assert(Ref.valid() && "destroying an uncreated proxy");
+  co_await flush();
+  ParallelRef Victim = Ref;
+  Ref = ParallelRef();
+  bool WasLocal = Local != nullptr;
+  Local = nullptr;
+  if (WasLocal || Victim.Node == Home) {
+    // Local IO: the PO destroys it directly.
+    if (!Runtime.endpoint(Home).unpublish(Victim.Name))
+      co_return Error(ErrorCode::UnknownObject,
+                      "object already destroyed: " + Victim.Name);
+    co_return Error();
+  }
+  // Remote IO: request destruction from the hosting node's RTS factory.
+  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).call(
+      Victim.Node, Runtime.config().Port, ScooppRuntime::FactoryName,
+      "destroy", serial::encodeValues(Victim.Name));
+  if (!Raw)
+    co_return Raw.error();
+  co_return Error();
+}
+
+size_t ProxyBase::pendingCalls() const {
+  size_t Total = 0;
+  for (const auto &[Method, Calls] : PendingByMethod)
+    Total += Calls.size();
+  return Total;
+}
+
+sim::Task<void> ProxyBase::shipPacked(std::string Method,
+                                      std::vector<Bytes> Calls) {
+  assert(!Calls.empty() && "shipping an empty aggregate");
+  ++Runtime.stats().PackedMessages;
+  Runtime.stats().PackedCalls += Calls.size();
+  if (Calls.size() == 1) {
+    // No point wrapping a single call.
+    co_await remoteHandle().invokeOneWay(std::move(Method),
+                                         std::move(Calls.front()));
+    co_return;
+  }
+  Bytes Payload = encodePackedCalls(Calls);
+  co_await remoteHandle().invokeOneWay(PackedMethodPrefix + Method,
+                                       std::move(Payload));
+}

@@ -1,0 +1,110 @@
+//===- core/Runtime.cpp - ScooppRuntime boot ------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ImplAdapter.h"
+#include "core/ObjectManager.h"
+#include "core/Scoopp.h"
+
+#include "support/Logging.h"
+
+using namespace parcs;
+using namespace parcs::scoopp;
+
+namespace {
+
+/// The per-node object factory of Fig. 6: instantiates IOs at request and
+/// returns their published names.  Registered in the "boot code of each
+/// node" (the runtime constructor).
+class FactoryHandler : public CallHandler {
+public:
+  FactoryHandler(ScooppRuntime &Runtime, int NodeId)
+      : Runtime(Runtime), NodeId(NodeId) {}
+
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
+                                       const Bytes &Args) override {
+    if (Method == "create") {
+      std::string ClassName;
+      if (!serial::decodeValues(Args, ClassName))
+        co_return Error(ErrorCode::MalformedMessage, "create args");
+      // Object construction cost on the hosting node.
+      co_await Runtime.cluster().node(NodeId).computeWork(
+          vm::WorkKind::Allocation, sim::SimTime::microseconds(10));
+      auto Made = Runtime.instantiateImpl(NodeId, ClassName);
+      if (!Made)
+        co_return Made.error();
+      co_return serial::encodeValues(Made->first);
+    }
+    if (Method == "destroy") {
+      std::string ObjectName;
+      if (!serial::decodeValues(Args, ObjectName))
+        co_return Error(ErrorCode::MalformedMessage, "destroy args");
+      if (!Runtime.endpoint(NodeId).unpublish(ObjectName))
+        co_return Error(ErrorCode::UnknownObject,
+                        "no such object: " + ObjectName);
+      co_return serial::encodeValues(Unit());
+    }
+    co_return Error(ErrorCode::UnknownMethod, std::string(Method));
+  }
+
+private:
+  ScooppRuntime &Runtime;
+  int NodeId;
+};
+
+} // namespace
+
+ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
+                             ParallelClassRegistry Registry,
+                             ScooppConfig Config)
+    : Cluster(Cluster), Net(Net), Registry(std::move(Registry)),
+      Config(Config), Random(Config.Seed) {
+  int Nodes = Cluster.nodeCount();
+  NextImplId.assign(static_cast<size_t>(Nodes), 0);
+  Endpoints.reserve(static_cast<size_t>(Nodes));
+  Oms.reserve(static_cast<size_t>(Nodes));
+  // Boot order matches the paper: "The application entry code creates one
+  // instance of the OM on each processing node" and factories are
+  // "automatically registered in the boot code of each node".
+  for (int I = 0; I < Nodes; ++I) {
+    Endpoints.push_back(std::make_unique<RpcEndpoint>(
+        Cluster.node(I), Net, remoting::stackProfile(Config.Stack),
+        Config.Port, Config.DispatchWorkers));
+    auto Om = std::make_shared<ObjectManager>(*this, I);
+    Oms.push_back(Om);
+    Endpoints.back()->publish(OmName, Om);
+    Endpoints.back()->publish(FactoryName,
+                              std::make_shared<FactoryHandler>(*this, I));
+  }
+}
+
+ScooppRuntime::~ScooppRuntime() = default;
+
+RpcEndpoint &ScooppRuntime::endpoint(int Node) {
+  assert(Node >= 0 && Node < nodeCount() && "endpoint: bad node id");
+  return *Endpoints[static_cast<size_t>(Node)];
+}
+
+ObjectManager &ScooppRuntime::om(int Node) {
+  assert(Node >= 0 && Node < nodeCount() && "om: bad node id");
+  return *Oms[static_cast<size_t>(Node)];
+}
+
+ErrorOr<std::pair<std::string, std::shared_ptr<CallHandler>>>
+ScooppRuntime::instantiateImpl(int Node, const std::string &ClassName) {
+  const ParallelClassInfo *Info = Registry.lookup(ClassName);
+  if (!Info)
+    return Error(ErrorCode::UnknownType,
+                 "no parallel class registered as '" + ClassName + "'");
+  std::shared_ptr<CallHandler> Inner = Info->MakeImpl(*this, Cluster.node(Node));
+  auto Adapter =
+      std::make_shared<ImplAdapter>(om(Node), ClassName, std::move(Inner));
+  uint64_t Id = NextImplId[static_cast<size_t>(Node)]++;
+  std::string Name = "io:" + ClassName + ":" + std::to_string(Id);
+  endpoint(Node).publish(Name, Adapter);
+  PARCS_LOG(Debug, "scoopp: created " << Name << " on node " << Node);
+  return std::make_pair(std::move(Name),
+                        std::static_pointer_cast<CallHandler>(Adapter));
+}

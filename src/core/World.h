@@ -1,0 +1,59 @@
+//===- core/World.h - Cluster + network + runtime bundle --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience bundle owning everything one ParC# program needs, with the
+/// correct construction and destruction order (simulator-owned coroutine
+/// frames die before the objects they reference).  Benches and examples
+/// build one of these and call runMain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_CORE_WORLD_H
+#define PARCS_CORE_WORLD_H
+
+#include "core/Scoopp.h"
+#include "net/Network.h"
+#include "vm/Cluster.h"
+
+#include <functional>
+
+namespace parcs::scoopp {
+
+/// A ready-to-run ParC# world: cluster, fabric and runtime.
+class ScooppWorld {
+public:
+  ScooppWorld(int Nodes, ParallelClassRegistry Registry,
+              ScooppConfig Config = ScooppConfig(),
+              vm::VmKind Vm = vm::VmKind::MonoVm117, int CoresPerNode = 2,
+              net::NetConfig NetCfg = net::NetConfig())
+      : Machines(Nodes, Vm, CoresPerNode), Fabric(Machines.sim(), Nodes,
+                                                  NetCfg),
+        Rts(Machines, Fabric, std::move(Registry), Config) {}
+
+  sim::Simulator &sim() { return Machines.sim(); }
+  vm::Cluster &cluster() { return Machines; }
+  net::Network &net() { return Fabric; }
+  ScooppRuntime &runtime() { return Rts; }
+
+  /// Spawns \p Main and drives the simulation until it (and everything it
+  /// triggered) completes.  Returns the virtual time consumed.
+  sim::SimTime runMain(std::function<sim::Task<void>(ScooppRuntime &)> Main) {
+    sim::SimTime Start = Machines.sim().now();
+    Machines.sim().spawn(Main(Rts));
+    Machines.sim().run();
+    return Machines.sim().now() - Start;
+  }
+
+private:
+  vm::Cluster Machines;
+  net::Network Fabric;
+  ScooppRuntime Rts;
+};
+
+} // namespace parcs::scoopp
+
+#endif // PARCS_CORE_WORLD_H

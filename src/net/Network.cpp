@@ -1,0 +1,131 @@
+//===- net/Network.cpp ----------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Network.h"
+
+#include "support/Logging.h"
+
+using namespace parcs;
+using namespace parcs::net;
+
+Network::Network(sim::Simulator &Sim, int NodeCount, NetConfig Config)
+    : Sim(Sim), Config(Config) {
+  assert(NodeCount > 0 && "network needs at least one node");
+  assert(Config.LinkBitsPerSecond > 0 && "link rate must be positive");
+  assert(Config.MaxSegmentBytes > 0 && "MSS must be positive");
+  Nics.reserve(static_cast<size_t>(NodeCount));
+  for (int I = 0; I < NodeCount; ++I)
+    Nics.push_back(std::make_unique<Nic>(Sim));
+}
+
+sim::Channel<Message> &Network::bind(int NodeId, int Port) {
+  assert(NodeId >= 0 && NodeId < nodeCount() && "bind: bad node id");
+  auto &Slot = Ports[{NodeId, Port}];
+  if (!Slot)
+    Slot = std::make_unique<sim::Channel<Message>>(Sim);
+  return *Slot;
+}
+
+bool Network::isBound(int NodeId, int Port) const {
+  return Ports.count({NodeId, Port}) != 0;
+}
+
+sim::SimTime Network::packetTime(size_t Bytes) const {
+  double Seconds = static_cast<double>(Bytes) * 8.0 / Config.LinkBitsPerSecond;
+  return sim::SimTime::fromSecondsF(Seconds);
+}
+
+sim::SimTime Network::wireTime(size_t PayloadBytes) const {
+  size_t Mss = static_cast<size_t>(Config.MaxSegmentBytes);
+  size_t Packets = PayloadBytes == 0 ? 1 : (PayloadBytes + Mss - 1) / Mss;
+  size_t TotalBytes =
+      PayloadBytes + Packets * static_cast<size_t>(Config.FrameOverheadBytes);
+  return packetTime(TotalBytes);
+}
+
+sim::SimTime Network::firstPacketTime(size_t PayloadBytes) const {
+  size_t Mss = static_cast<size_t>(Config.MaxSegmentBytes);
+  size_t FirstPayload = PayloadBytes < Mss ? PayloadBytes : Mss;
+  return packetTime(FirstPayload +
+                    static_cast<size_t>(Config.FrameOverheadBytes));
+}
+
+void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) {
+  assert(Src >= 0 && Src < nodeCount() && "send: bad source node");
+  assert(Dst >= 0 && Dst < nodeCount() && "send: bad destination node");
+  assert(isBound(Dst, Port) && "send: destination port not bound");
+  Message Msg;
+  Msg.Src = Src;
+  Msg.Dst = Dst;
+  Msg.Port = Port;
+  Msg.Id = NextMessageId++;
+  Msg.Payload = std::move(Payload);
+  Sim.spawn(transfer(std::move(Msg)));
+}
+
+sim::Task<void> Network::transfer(Message Msg) {
+  // Loopback: no wire, but keep it asynchronous (one event-queue hop) so
+  // local and remote sends have the same re-entrancy behaviour.
+  if (Msg.Src == Msg.Dst) {
+    ++Delivered;
+    PayloadBytes += Msg.Payload.size();
+    sim::Channel<Message> &Port = bind(Msg.Dst, Msg.Port);
+    Port.trySend(std::move(Msg));
+    co_return;
+  }
+
+  Nic &Tx = *Nics[static_cast<size_t>(Msg.Src)];
+  Nic &Rx = *Nics[static_cast<size_t>(Msg.Dst)];
+
+  co_await Tx.TxSlot.acquire();
+
+  sim::SimTime Wire = wireTime(Msg.Payload.size());
+  sim::SimTime TxStart = Sim.now();
+
+  // Reserve the receiver's downlink now (cut-through: the first packet
+  // reaches the receiver one packet time + switch latency after transmit
+  // starts; later packets pipeline behind it).
+  sim::SimTime RxStart = TxStart + firstPacketTime(Msg.Payload.size()) +
+                         Config.SwitchLatency;
+  if (Rx.RxFreeAt > RxStart)
+    RxStart = Rx.RxFreeAt;
+  sim::SimTime RxDone = RxStart + Wire;
+  Rx.RxFreeAt = RxDone;
+
+  // Occupy our uplink for the transmit time, then free it for the next
+  // message queued on this node.
+  co_await Sim.delay(Wire);
+  Tx.TxSlot.release();
+
+  // Wait until the last packet has drained through the receiver's port.
+  if (RxDone > Sim.now())
+    co_await Sim.delay(RxDone - Sim.now());
+
+  size_t Mss = static_cast<size_t>(Config.MaxSegmentBytes);
+  size_t Packets =
+      Msg.Payload.empty() ? 1 : (Msg.Payload.size() + Mss - 1) / Mss;
+  WireBytes += Msg.Payload.size() +
+               Packets * static_cast<size_t>(Config.FrameOverheadBytes);
+
+  // Fault injection: the message occupied the wire but is lost before
+  // delivery.
+  ++TransferCount;
+  if (Config.DropEveryNth > 0 &&
+      TransferCount % static_cast<uint64_t>(Config.DropEveryNth) == 0) {
+    ++Dropped;
+    PARCS_LOG(Debug, "net: dropped msg " << Msg.Id << " (fault injection)");
+    co_return;
+  }
+
+  ++Delivered;
+  PayloadBytes += Msg.Payload.size();
+
+  PARCS_LOG(Debug, "net: delivered msg " << Msg.Id << " " << Msg.Src << "->"
+                                         << Msg.Dst << ":" << Msg.Port << " ("
+                                         << Msg.Payload.size() << "B)");
+  sim::Channel<Message> &Port = bind(Msg.Dst, Msg.Port);
+  Port.trySend(std::move(Msg));
+}

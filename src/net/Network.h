@@ -1,0 +1,127 @@
+//===- net/Network.h - Switched Ethernet model ------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cluster interconnect: a switched, full-duplex 100 Mbit Ethernet (the
+/// paper's testbed fabric).  The model captures the mechanisms that shape
+/// Fig. 8's curves:
+///
+///  - packetisation: payloads are segmented at the TCP MSS and each packet
+///    pays Ethernet+IP+TCP framing overhead, so small messages see poor
+///    goodput and large messages approach ~11.9 MB/s;
+///  - NIC transmit serialisation: one frame at a time leaves a node, in
+///    send order (FIFO);
+///  - receive-port contention with cut-through pipelining: a message's
+///    receive occupancy overlaps its transmit occupancy (offset by one
+///    packet time plus switch latency); concurrent senders to one receiver
+///    serialise on the receiver's downlink;
+///  - switch latency: a fixed per-message forwarding delay.
+///
+/// Messages carry real bytes; the protocol stacks above put their actual
+/// envelopes in the payload, so wire sizes are honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_NET_NETWORK_H
+#define PARCS_NET_NETWORK_H
+
+#include "sim/Channel.h"
+#include "sim/Simulator.h"
+#include "sim/Sync.h"
+#include "vm/Calibration.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace parcs::net {
+
+/// A datagram delivered between nodes.  Payload bytes are the real encoded
+/// bytes produced by the layer above.
+struct Message {
+  int Src = -1;
+  int Dst = -1;
+  int Port = -1;
+  uint64_t Id = 0;
+  std::vector<uint8_t> Payload;
+};
+
+/// Fabric parameters; defaults reproduce the paper's testbed.
+struct NetConfig {
+  double LinkBitsPerSecond = calib::LinkBitsPerSecond;
+  int FrameOverheadBytes = calib::FrameOverheadBytes;
+  int MaxSegmentBytes = calib::MaxSegmentBytes;
+  sim::SimTime SwitchLatency = calib::SwitchLatency;
+  /// Fault injection: when positive, every Nth non-loopback message is
+  /// lost after occupying the wire (deterministic drop pattern).  Layers
+  /// above must cope (e.g. RPC call timeouts).
+  int DropEveryNth = 0;
+};
+
+/// The switched-Ethernet fabric connecting \c NodeCount nodes.
+class Network {
+public:
+  Network(sim::Simulator &Sim, int NodeCount, NetConfig Config = NetConfig());
+  Network(const Network &) = delete;
+  Network &operator=(const Network &) = delete;
+
+  sim::Simulator &sim() { return Sim; }
+  int nodeCount() const { return static_cast<int>(Nics.size()); }
+  const NetConfig &config() const { return Config; }
+
+  /// Binds (node, port) and returns the delivery channel.  Binding twice
+  /// returns the same channel.
+  sim::Channel<Message> &bind(int NodeId, int Port);
+  bool isBound(int NodeId, int Port) const;
+
+  /// Queues \p Payload for transmission from \p Src to (\p Dst, \p Port).
+  /// Non-suspending; the transfer proceeds in virtual time and the message
+  /// appears on the destination channel when the last packet arrives.
+  /// The destination port must already be bound.
+  void send(int Src, int Dst, int Port, std::vector<uint8_t> Payload);
+
+  /// Time the wire is occupied by \p PayloadBytes (packetised, with
+  /// framing).
+  sim::SimTime wireTime(size_t PayloadBytes) const;
+
+  /// Serialisation time of the first packet of a message (cut-through
+  /// pipelining offset).
+  sim::SimTime firstPacketTime(size_t PayloadBytes) const;
+
+  uint64_t messagesDelivered() const { return Delivered; }
+  uint64_t payloadBytesDelivered() const { return PayloadBytes; }
+  uint64_t wireBytesCarried() const { return WireBytes; }
+  uint64_t messagesDropped() const { return Dropped; }
+
+private:
+  struct Nic {
+    explicit Nic(sim::Simulator &Sim) : TxSlot(Sim, 1) {}
+    /// Serialises transmissions out of this node, FIFO.
+    sim::Semaphore TxSlot;
+    /// When this node's receive downlink becomes free (virtual-time
+    /// bookkeeping; reservations are made at transmit start).
+    sim::SimTime RxFreeAt;
+  };
+
+  sim::Task<void> transfer(Message Msg);
+  sim::SimTime packetTime(size_t Bytes) const;
+
+  sim::Simulator &Sim;
+  NetConfig Config;
+  std::vector<std::unique_ptr<Nic>> Nics;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> Ports;
+  uint64_t NextMessageId = 1;
+  uint64_t Delivered = 0;
+  uint64_t PayloadBytes = 0;
+  uint64_t WireBytes = 0;
+  uint64_t Dropped = 0;
+  uint64_t TransferCount = 0;
+};
+
+} // namespace parcs::net
+
+#endif // PARCS_NET_NETWORK_H

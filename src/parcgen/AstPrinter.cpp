@@ -1,0 +1,63 @@
+//===- parcgen/AstPrinter.cpp ---------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parcgen/AstPrinter.h"
+
+#include <sstream>
+
+using namespace parcs;
+using namespace parcs::pcc;
+
+namespace {
+
+std::string methodSignature(const MethodDecl &Method) {
+  std::string Sig = Method.ReturnType.str() + " (";
+  for (size_t I = 0; I < Method.Params.size(); ++I) {
+    if (I)
+      Sig += ", ";
+    Sig += Method.Params[I].Type.str();
+  }
+  Sig += ")";
+  return Sig;
+}
+
+} // namespace
+
+std::string parcs::pcc::dumpAst(const ModuleDecl &Module) {
+  std::ostringstream Os;
+  Os << "ModuleDecl '" << (Module.Name.empty() ? "<default>" : Module.Name)
+     << "'\n";
+  for (const ClassDecl &Class : Module.Classes) {
+    if (Class.IsExtern) {
+      Os << "  ExternClassDecl '" << Class.Name << "' <" << Class.Loc.str()
+         << ">\n";
+      continue;
+    }
+    if (Class.IsPassive) {
+      Os << "  PassiveClassDecl '" << Class.Name << "' <" << Class.Loc.str()
+         << ">\n";
+      for (const FieldDecl &Field : Class.Fields)
+        Os << "    FieldDecl '" << Field.Name << "' '" << Field.Type.str()
+           << "' <" << Field.Loc.str() << ">\n";
+      continue;
+    }
+    Os << "  ClassDecl '" << Class.Name << "'";
+    if (!Class.Base.empty())
+      Os << " : '" << Class.Base << "'";
+    Os << " <" << Class.Loc.str() << ">\n";
+    for (const MethodDecl &Method : Class.Methods) {
+      Os << "    MethodDecl "
+         << (Method.Kind == MethodKind::Async ? "async" : "sync")
+         << (Method.ExplicitKind ? "" : " (implicit)") << " '" << Method.Name
+         << "' '" << methodSignature(Method) << "' <" << Method.Loc.str()
+         << ">\n";
+      for (const ParamDecl &Param : Method.Params)
+        Os << "      ParamDecl '" << Param.Name << "' '" << Param.Type.str()
+           << "'\n";
+    }
+  }
+  return Os.str();
+}

@@ -1,0 +1,35 @@
+//===- parcgen/AstPrinter.h - AST dumping -----------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable AST dump for parcgen (-dump-ast), in the indented
+/// node-per-line style of clang -ast-dump.  Used for compiler debugging
+/// and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_ASTPRINTER_H
+#define PARCS_PARCGEN_ASTPRINTER_H
+
+#include "parcgen/Ast.h"
+
+#include <string>
+
+namespace parcs::pcc {
+
+/// Renders the module as an indented tree, e.g.:
+/// \code
+/// ModuleDecl 'examples.prime'
+///   ExternClassDecl 'PrimeFilter' <2:1>
+///   ClassDecl 'PrimeServer' : 'PrimeFilter' <3:1>
+///     MethodDecl async 'process' 'void (int[])' <4:3>
+///       ParamDecl 'num' 'int[]'
+/// \endcode
+std::string dumpAst(const ModuleDecl &Module);
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_ASTPRINTER_H

@@ -1,0 +1,39 @@
+//===- parcgen/CodeGen.h - C++ proxy/skeleton emission ----------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C++ code generation from a checked .pci module: exactly what the
+/// paper's preprocessor produces, in this library's shapes --
+///
+///  - a *skeleton* per parallel class (the IO side): an abstract
+///    CallHandler with one pure-virtual typed method per declared method
+///    and a generated handleCall dispatcher that unmarshals arguments and
+///    marshals results (Fig. 6's generated IO code);
+///  - a *proxy* per parallel class (the PO side, Fig. 4/5): a ProxyBase
+///    subclass with one typed wrapper per method -- asynchronous methods
+///    forward through invokeAsync (delegate-style, aggregation-aware),
+///    synchronous ones through invokeSyncTyped;
+///  - a registration template binding the user's implementation subclass
+///    into a ParallelClassRegistry (Fig. 6's factory registration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_CODEGEN_H
+#define PARCS_PARCGEN_CODEGEN_H
+
+#include "parcgen/Ast.h"
+
+#include <string>
+
+namespace parcs::pcc {
+
+/// Emits the generated header for \p Module.  The module must have passed
+/// analyzeModule.
+std::string generateCpp(const ModuleDecl &Module);
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_CODEGEN_H

@@ -1,0 +1,67 @@
+//===- parcgen/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostics collected across the parcgen pipeline.  Messages follow the
+/// LLVM style: lower-case first word, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_DIAGNOSTICS_H
+#define PARCS_PARCGEN_DIAGNOSTICS_H
+
+#include "parcgen/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace parcs::pcc {
+
+enum class DiagSeverity { Error, Warning };
+
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// "file.pci:3:7: error: ..." rendering (file name supplied by caller).
+  std::string str(const std::string &FileName) const;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == DiagSeverity::Error)
+        return true;
+    return false;
+  }
+  size_t errorCount() const {
+    size_t N = 0;
+    for (const Diagnostic &D : Diags)
+      N += D.Severity == DiagSeverity::Error;
+    return N;
+  }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string render(const std::string &FileName) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_DIAGNOSTICS_H

@@ -1,0 +1,45 @@
+//===- parcgen/Driver.h - parcgen pipeline driver ---------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_DRIVER_H
+#define PARCS_PARCGEN_DRIVER_H
+
+#include "parcgen/Ast.h"
+#include "parcgen/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace parcs::pcc {
+
+/// Result of one compilation: generated code (empty on failure) plus the
+/// full diagnostic list.
+struct CompileResult {
+  bool Success = false;
+  std::string Code;
+  ModuleDecl Module;
+  DiagnosticEngine Diags;
+};
+
+/// Runs lex -> parse -> sema -> codegen over \p Source.
+CompileResult compilePci(std::string_view Source);
+
+/// Tool operating modes.
+enum class ToolMode {
+  Generate, ///< Compile and write the generated header (default).
+  Check,    ///< Parse + sema only; no output file.
+  DumpAst,  ///< Parse and print the AST to stdout.
+};
+
+/// Command-line entry used by the `parcgen` tool: reads \p InputPath and,
+/// in Generate mode, writes the generated header to \p OutputPath.
+/// Returns a process exit code and prints diagnostics to stderr.
+int runParcgenTool(const std::string &InputPath, const std::string &OutputPath,
+                   ToolMode Mode = ToolMode::Generate);
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_DRIVER_H

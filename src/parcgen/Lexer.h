@@ -1,0 +1,50 @@
+//===- parcgen/Lexer.h - .pci lexer -----------------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_LEXER_H
+#define PARCS_PARCGEN_LEXER_H
+
+#include "parcgen/Diagnostics.h"
+#include "parcgen/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace parcs::pcc {
+
+/// Tokenises .pci source.  Supports // and /* */ comments; unterminated
+/// block comments and stray characters produce diagnostics and an
+/// Invalid token.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the next token (EndOfFile at the end, repeatedly).
+  Token next();
+
+  /// Convenience: lex everything (ending with EndOfFile).
+  std::vector<Token> lexAll();
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAhead() const {
+    return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLocation Loc, size_t Begin) const;
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  SourceLocation Loc;
+};
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_LEXER_H

@@ -1,0 +1,56 @@
+//===- parcgen/Parser.h - .pci recursive-descent parser ---------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_PARSER_H
+#define PARCS_PARCGEN_PARSER_H
+
+#include "parcgen/Ast.h"
+#include "parcgen/Lexer.h"
+
+#include <optional>
+
+namespace parcs::pcc {
+
+/// Recursive-descent parser for the grammar in Ast.h.  On syntax errors
+/// it reports a diagnostic and recovers at the next ';' or '}' so that
+/// several errors can be reported per run.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags)
+      : Lex(Source, Diags), Diags(Diags) {
+    Current = Lex.next();
+  }
+
+  /// Parses a whole module; partial results are returned even when
+  /// diagnostics were emitted (check Diags.hasErrors()).
+  ModuleDecl parseModule();
+
+private:
+  const Token &peek() const { return Current; }
+  Token consume();
+  bool check(TokenKind Kind) const { return Current.is(Kind); }
+  bool accept(TokenKind Kind);
+  /// Consumes a token of \p Kind or reports "expected X, found Y".
+  std::optional<Token> expect(TokenKind Kind, const char *Context);
+  /// Skips to the next ';' (consumed) or '}' / EOF (not consumed).
+  void recover();
+
+  std::optional<std::string> parseQualifiedName();
+  std::optional<ClassDecl> parseExternClass();
+  std::optional<ClassDecl> parsePassiveClass();
+  std::optional<FieldDecl> parseField();
+  std::optional<ClassDecl> parseParallelClass();
+  std::optional<MethodDecl> parseMethod();
+  std::optional<TypeNode> parseType();
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Current;
+};
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_PARSER_H

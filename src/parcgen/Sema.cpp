@@ -1,0 +1,172 @@
+//===- parcgen/Sema.cpp ---------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parcgen/Sema.h"
+
+#include <set>
+
+using namespace parcs;
+using namespace parcs::pcc;
+
+namespace {
+
+/// Names visible so far: parallel, passive and extern classes.
+struct Scope {
+  std::set<std::string> Parallel;
+  std::set<std::string> Extern;
+  std::set<std::string> Passive;
+
+  bool knows(const std::string &Name) const {
+    return Parallel.count(Name) || Extern.count(Name) ||
+           Passive.count(Name);
+  }
+};
+
+void checkType(const TypeNode &Type, const Scope &Names, bool IsReturn,
+               DiagnosticEngine &Diags) {
+  if (Type.Kind == TypeKind::Void) {
+    if (Type.IsArray)
+      Diags.error(Type.Loc, "void cannot be an array element type");
+    if (!IsReturn)
+      Diags.error(Type.Loc, "parameters cannot have type void");
+    return;
+  }
+  if (Type.Kind == TypeKind::Ref) {
+    if (!Names.Parallel.count(Type.RefClass)) {
+      if (Names.Extern.count(Type.RefClass) ||
+          Names.Passive.count(Type.RefClass))
+        Diags.error(Type.Loc, "ref<" + Type.RefClass +
+                                  "> must target a parallel class");
+      else
+        Diags.error(Type.Loc, "ref<" + Type.RefClass +
+                                  "> targets an undeclared class");
+    }
+  }
+  if (Type.Kind == TypeKind::Passive) {
+    if (!Names.Passive.count(Type.RefClass)) {
+      if (Names.knows(Type.RefClass))
+        Diags.error(Type.Loc, "'" + Type.RefClass +
+                                  "' is not a passive class; only copies "
+                                  "of passive objects move between "
+                                  "parallel objects (use ref<> for "
+                                  "parallel classes)");
+      else
+        Diags.error(Type.Loc,
+                    "unknown type '" + Type.RefClass + "'");
+    }
+  }
+}
+
+void checkPassiveClass(const ClassDecl &Class, const Scope &Names,
+                       DiagnosticEngine &Diags) {
+  if (Class.Fields.empty())
+    Diags.warning(Class.Loc,
+                  "passive class '" + Class.Name + "' declares no fields");
+  std::set<std::string> FieldNames;
+  for (const FieldDecl &Field : Class.Fields) {
+    if (!FieldNames.insert(Field.Name).second)
+      Diags.error(Field.Loc, "duplicate field '" + Field.Name +
+                                 "' in passive class '" + Class.Name + "'");
+    if (Field.Type.isVoid()) {
+      Diags.error(Field.Loc, "fields cannot have type void");
+      continue;
+    }
+    checkType(Field.Type, Names, /*IsReturn=*/false, Diags);
+  }
+}
+
+void checkMethod(const MethodDecl &Method, const Scope &Names,
+                 DiagnosticEngine &Diags) {
+  if (Method.ReturnType.isPassive())
+    Diags.error(Method.Loc,
+                "method '" + Method.Name +
+                    "' cannot return a passive object (the callee owns "
+                    "its copies; return scalar data instead)");
+  for (const ParamDecl &Param : Method.Params)
+    if (Param.Type.isPassive() && Param.Type.IsArray)
+      Diags.error(Param.Loc,
+                  "arrays of passive objects are not supported as "
+                  "parameters; wrap the array in a passive class");
+  if (Method.Kind == MethodKind::Async && !Method.ReturnType.isVoid())
+    Diags.error(Method.Loc,
+                "asynchronous method '" + Method.Name +
+                    "' must return void (a value makes the call "
+                    "synchronous)");
+  if (Method.ExplicitKind && Method.Kind == MethodKind::Sync &&
+      Method.ReturnType.isVoid())
+    Diags.warning(Method.Loc, "synchronous void method '" + Method.Name +
+                                  "' forces an empty round trip");
+  checkType(Method.ReturnType, Names, /*IsReturn=*/true, Diags);
+  std::set<std::string> ParamNames;
+  for (const ParamDecl &Param : Method.Params) {
+    checkType(Param.Type, Names, /*IsReturn=*/false, Diags);
+    if (!ParamNames.insert(Param.Name).second)
+      Diags.error(Param.Loc, "duplicate parameter name '" + Param.Name +
+                                 "' in method '" + Method.Name + "'");
+  }
+}
+
+} // namespace
+
+bool parcs::pcc::analyzeModule(const ModuleDecl &Module,
+                               DiagnosticEngine &Diags) {
+  size_t ErrorsBefore = Diags.errorCount();
+
+  // Pass 1: collect names so ref<> and bases can point at classes
+  // declared anywhere in the module (two-pass name resolution).
+  Scope Names;
+  {
+    std::set<std::string> Seen;
+    for (const ClassDecl &Class : Module.Classes) {
+      if (!Seen.insert(Class.Name).second) {
+        Diags.error(Class.Loc,
+                    "redefinition of class '" + Class.Name + "'");
+        continue;
+      }
+      if (Class.IsExtern)
+        Names.Extern.insert(Class.Name);
+      else if (Class.IsPassive)
+        Names.Passive.insert(Class.Name);
+      else
+        Names.Parallel.insert(Class.Name);
+    }
+  }
+
+  // Pass 2: per-class checks.
+  for (const ClassDecl &Class : Module.Classes) {
+    if (Class.IsExtern)
+      continue;
+    if (Class.IsPassive) {
+      checkPassiveClass(Class, Names, Diags);
+      continue;
+    }
+    if (!Class.Base.empty() && Names.Passive.count(Class.Base))
+      Diags.error(Class.Loc, "parallel class '" + Class.Name +
+                                 "' cannot derive from passive class '" +
+                                 Class.Base + "'");
+    if (!Class.Base.empty() && !Names.knows(Class.Base))
+      Diags.error(Class.Loc, "base class '" + Class.Base +
+                                 "' of '" + Class.Name +
+                                 "' is not declared (declare it as "
+                                 "'extern class " +
+                                 Class.Base + ";' if it is external)");
+    if (Class.Base == Class.Name)
+      Diags.error(Class.Loc,
+                  "class '" + Class.Name + "' cannot be its own base");
+    std::set<std::string> MethodNames;
+    if (Class.Methods.empty())
+      Diags.warning(Class.Loc, "parallel class '" + Class.Name +
+                                   "' declares no methods");
+    for (const MethodDecl &Method : Class.Methods) {
+      if (!MethodNames.insert(Method.Name).second)
+        Diags.error(Method.Loc, "duplicate method '" + Method.Name +
+                                    "' in class '" + Class.Name +
+                                    "' (overloading is not supported)");
+      checkMethod(Method, Names, Diags);
+    }
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}

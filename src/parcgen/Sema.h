@@ -1,0 +1,37 @@
+//===- parcgen/Sema.h - .pci semantic checks --------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis of a parsed .pci module.  Enforces the SCOOPP model
+/// rules the paper states:
+///
+///  - asynchronous methods return no value ("asynchronous (when no value
+///    is returned) or synchronous method calls (when a value is
+///    returned)"), so `async` with a non-void return is an error and
+///    `sync void` is allowed but flagged with a warning (it forces a
+///    round trip with no payload);
+///  - parameter and return types must be copyable passive data or
+///    parallel-object references (ref<T> of a *declared* parallel class);
+///  - class names are unique; base classes must be declared (parallel or
+///    extern) before use; methods are unique per class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_PARCGEN_SEMA_H
+#define PARCS_PARCGEN_SEMA_H
+
+#include "parcgen/Ast.h"
+#include "parcgen/Diagnostics.h"
+
+namespace parcs::pcc {
+
+/// Runs all semantic checks; diagnostics go to \p Diags.  Returns true
+/// when the module is clean enough for code generation.
+bool analyzeModule(const ModuleDecl &Module, DiagnosticEngine &Diags);
+
+} // namespace parcs::pcc
+
+#endif // PARCS_PARCGEN_SEMA_H

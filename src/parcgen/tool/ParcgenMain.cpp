@@ -1,0 +1,57 @@
+//===- parcgen/tool/ParcgenMain.cpp - parcgen CLI -------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `parcgen` command-line tool: the paper's preprocessor as a build
+/// step.
+/// Usage: parcgen <input.pci> -o <output.h>
+///        parcgen --check <input.pci>
+///        parcgen --dump-ast <input.pci>
+///
+//===----------------------------------------------------------------------===//
+
+#include "parcgen/Driver.h"
+
+#include <cstdio>
+#include <cstring>
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  const char *Output = nullptr;
+  parcs::pcc::ToolMode Mode = parcs::pcc::ToolMode::Generate;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc) {
+      Output = Argv[++I];
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--check") == 0) {
+      Mode = parcs::pcc::ToolMode::Check;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--dump-ast") == 0) {
+      Mode = parcs::pcc::ToolMode::DumpAst;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--help") == 0 || std::strcmp(Argv[I], "-h") == 0) {
+      std::printf("usage: parcgen <input.pci> -o <output.h>\n"
+                  "       parcgen --check <input.pci>\n"
+                  "       parcgen --dump-ast <input.pci>\n");
+      return 0;
+    }
+    if (!Input) {
+      Input = Argv[I];
+      continue;
+    }
+    std::fprintf(stderr, "parcgen: unexpected argument '%s'\n", Argv[I]);
+    return 1;
+  }
+  bool NeedsOutput = Mode == parcs::pcc::ToolMode::Generate;
+  if (!Input || (NeedsOutput && !Output)) {
+    std::fprintf(stderr, "usage: parcgen <input.pci> -o <output.h>\n");
+    return 1;
+  }
+  return parcs::pcc::runParcgenTool(Input, Output ? Output : "", Mode);
+}

@@ -1,0 +1,58 @@
+//===- remoting/CallHandler.h - Server-side call dispatch -------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side dispatch interface of the RPC engine.  A CallHandler is
+/// the C++ stand-in for a published MarshalByRefObject (C# remoting) or an
+/// exported UnicastRemoteObject (Java RMI): it receives a method name and
+/// the encoded argument buffer and produces the encoded result.  The
+/// paper's preprocessor generates this dispatch code for every parallel
+/// class; in this library parcgen emits it (or it is written by hand for
+/// the examples).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_REMOTING_CALLHANDLER_H
+#define PARCS_REMOTING_CALLHANDLER_H
+
+#include "serial/Archive.h"
+#include "sim/Task.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace parcs::remoting {
+
+using serial::Bytes;
+
+/// A remotely callable object.
+class CallHandler {
+public:
+  virtual ~CallHandler();
+
+  /// Executes \p Method with \p Args (an encodeValues buffer).  Returns the
+  /// encoded result (empty for void methods) or an error for unknown
+  /// methods / malformed arguments.  Long-running methods charge node CPU
+  /// via co_await inside.
+  virtual sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
+                                               const Bytes &Args) = 0;
+};
+
+/// How a well-known (factory-published) object is instantiated, mirroring
+/// .Net's WellKnownObjectMode.
+enum class WellKnownObjectMode {
+  Singleton,  ///< All calls go to one instance.
+  SingleCall, ///< Every call gets a fresh instance (no state kept).
+};
+
+/// Factory producing instances for well-known registrations.
+using HandlerFactory = std::function<std::shared_ptr<CallHandler>()>;
+
+} // namespace parcs::remoting
+
+#endif // PARCS_REMOTING_CALLHANDLER_H

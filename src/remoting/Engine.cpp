@@ -1,0 +1,354 @@
+//===- remoting/Engine.cpp ------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remoting/Engine.h"
+
+#include "support/Logging.h"
+
+#include <cstdlib>
+
+using namespace parcs;
+using namespace parcs::remoting;
+
+namespace {
+
+/// Realistic HTTP/1.0 request header for the HttpChannel (the bytes are
+/// really on the wire; Content-Length is filled in per message).
+std::string httpRequestHeader(size_t ContentLength, std::string_view Action) {
+  std::string Header;
+  Header += "POST /factory.soap HTTP/1.0\r\n";
+  Header += "User-Agent: Mozilla/4.0+(compatible; Mono Remoting; MonoCLR)\r\n";
+  Header += "Content-Type: text/xml; charset=\"utf-8\"\r\n";
+  Header += "SOAPAction: \"http://schemas.microsoft.com/clr/";
+  Header += Action;
+  Header += "\"\r\n";
+  Header += "Expect: 100-continue\r\n";
+  Header += "Connection: Keep-Alive\r\n";
+  Header += "Content-Length: " + std::to_string(ContentLength) + "\r\n";
+  Header += "\r\n";
+  return Header;
+}
+
+std::string httpResponseHeader(size_t ContentLength) {
+  std::string Header;
+  Header += "HTTP/1.0 200 OK\r\n";
+  Header += "Server: Mono Remoting Server/1.1\r\n";
+  Header += "Content-Type: text/xml; charset=\"utf-8\"\r\n";
+  Header += "Content-Length: " + std::to_string(ContentLength) + "\r\n";
+  Header += "\r\n";
+  return Header;
+}
+
+} // namespace
+
+CallHandler::~CallHandler() = default;
+
+RpcEndpoint::RpcEndpoint(vm::Node &Host, net::Network &Net,
+                         const StackProfile &Profile, int Port,
+                         int DispatchWorkers)
+    : Host(Host), Net(Net), Profile(Profile), Port(Port),
+      Pool(Host, DispatchWorkers) {
+  assert(!Net.isBound(Host.id(), Port) &&
+         "another endpoint is already bound to this node:port");
+  Net.bind(Host.id(), Port);
+  Host.sim().spawn(dispatchLoop());
+}
+
+void RpcEndpoint::publish(const std::string &Name,
+                          std::shared_ptr<CallHandler> Object) {
+  assert(Object && "publishing a null object");
+  Registration Reg;
+  Reg.Mode = WellKnownObjectMode::Singleton;
+  Reg.Instance = std::move(Object);
+  Published[Name] = std::move(Reg);
+}
+
+void RpcEndpoint::publishWellKnown(const std::string &Name,
+                                   HandlerFactory Factory,
+                                   WellKnownObjectMode Mode) {
+  assert(Factory && "publishing a null factory");
+  Registration Reg;
+  Reg.Mode = Mode;
+  Reg.Factory = std::move(Factory);
+  Published[Name] = std::move(Reg);
+}
+
+bool RpcEndpoint::unpublish(const std::string &Name) {
+  return Published.erase(Name) != 0;
+}
+
+sim::SimTime RpcEndpoint::sideCost(size_t WireBytes) const {
+  return Profile.FixedPerSide +
+         sim::SimTime::fromSecondsF(Profile.PerByteNs * 1e-9 *
+                                    static_cast<double>(WireBytes));
+}
+
+Bytes RpcEndpoint::frame(MsgKind Kind, std::string_view EnvelopeName,
+                         const Bytes &Body, bool Response) const {
+  Bytes Envelope = serial::encodeEnvelope(Profile.Format, EnvelopeName, Body);
+  Bytes Content;
+  Content.reserve(Envelope.size() + 1);
+  Content.push_back(static_cast<uint8_t>(Kind));
+  Content.insert(Content.end(), Envelope.begin(), Envelope.end());
+  if (!Profile.HttpFraming)
+    return Content;
+  std::string Header = Response
+                           ? httpResponseHeader(Content.size())
+                           : httpRequestHeader(Content.size(), EnvelopeName);
+  Bytes Wire(Header.begin(), Header.end());
+  Wire.insert(Wire.end(), Content.begin(), Content.end());
+  return Wire;
+}
+
+ErrorOr<Bytes> RpcEndpoint::unframe(const Bytes &Wire) const {
+  if (!Profile.HttpFraming)
+    return Wire;
+  // Find the header/body separator and honour Content-Length.
+  static const char Sep[] = "\r\n\r\n";
+  std::string Text(Wire.begin(), Wire.end());
+  size_t Split = Text.find(Sep);
+  if (Split == std::string::npos)
+    return Error(ErrorCode::MalformedMessage, "http framing: no header end");
+  size_t BodyStart = Split + 4;
+  size_t LenPos = Text.find("Content-Length: ");
+  if (LenPos == std::string::npos || LenPos > Split)
+    return Error(ErrorCode::MalformedMessage, "http framing: no length");
+  size_t Length = std::strtoul(Text.c_str() + LenPos + 16, nullptr, 10);
+  if (BodyStart + Length > Wire.size())
+    return Error(ErrorCode::MalformedMessage, "http framing: short body");
+  return Bytes(Wire.begin() + static_cast<ptrdiff_t>(BodyStart),
+               Wire.begin() + static_cast<ptrdiff_t>(BodyStart + Length));
+}
+
+ErrorOr<std::shared_ptr<CallHandler>>
+RpcEndpoint::resolveTarget(const std::string &Name) {
+  auto It = Published.find(Name);
+  if (It == Published.end())
+    return Error(ErrorCode::UnknownObject,
+                 "no object published as '" + Name + "'");
+  Registration &Reg = It->second;
+  if (Reg.Mode == WellKnownObjectMode::SingleCall) {
+    // A fresh instance per call; no state is retained.
+    return Reg.Factory();
+  }
+  if (!Reg.Instance) {
+    assert(Reg.Factory && "singleton registration without factory");
+    Reg.Instance = Reg.Factory();
+  }
+  return Reg.Instance;
+}
+
+sim::Task<void> RpcEndpoint::ensureConnected(int DstNode, int DstPort) {
+  if (Profile.ConnectSetup.isZero() || DstNode == Host.id())
+    co_return;
+  // Mark connected before waiting so concurrent first calls don't each
+  // pay the handshake.
+  if (!Connected.insert({DstNode, DstPort}).second)
+    co_return;
+  co_await Host.sim().delay(Profile.ConnectSetup);
+}
+
+sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
+                                            std::string ObjectName,
+                                            std::string Method, Bytes Args,
+                                            sim::SimTime Timeout) {
+  co_await ensureConnected(DstNode, DstPort);
+  uint64_t CallId = NextCallId++;
+  serial::OutputArchive Body;
+  Body.write(CallId);
+  Body.write(static_cast<uint8_t>(0));
+  Body.write(static_cast<int32_t>(Host.id()));
+  Body.write(static_cast<int32_t>(Port));
+  Body.write(ObjectName);
+  Body.write(Method);
+  Body.write(static_cast<uint32_t>(Args.size()));
+  Body.writeRaw(Args);
+
+  Bytes Wire = frame(KindCall, Method, Body.bytes(), /*Response=*/false);
+  ++Stats.CallsIssued;
+  Stats.WireBytesSent += Wire.size();
+
+  sim::Promise<ErrorOr<Bytes>> Reply(Host.sim());
+  PendingCalls.emplace(CallId, Reply);
+
+  // Client-side marshalling + channel sink cost, then hand to the NIC.
+  co_await Host.compute(sideCost(Wire.size()));
+  Net.send(Host.id(), DstNode, DstPort, std::move(Wire));
+
+  if (Timeout > sim::SimTime()) {
+    // Arm the deadline: if the reply has not resolved the promise by
+    // then, fail the call and forget it (a late reply is dropped as an
+    // unknown call id).
+    Host.sim().schedule(Timeout, [this, CallId] {
+      auto It = PendingCalls.find(CallId);
+      if (It == PendingCalls.end())
+        return;
+      sim::Promise<ErrorOr<Bytes>> Timed = It->second;
+      PendingCalls.erase(It);
+      Timed.set(Error(ErrorCode::TimedOut,
+                      "no reply within the call deadline"));
+    });
+  }
+
+  ErrorOr<Bytes> Result = co_await Reply.future();
+  co_return Result;
+}
+
+sim::Task<void> RpcEndpoint::callOneWay(int DstNode, int DstPort,
+                                        std::string ObjectName,
+                                        std::string Method, Bytes Args) {
+  co_await ensureConnected(DstNode, DstPort);
+  uint64_t CallId = NextCallId++;
+  serial::OutputArchive Body;
+  Body.write(CallId);
+  Body.write(static_cast<uint8_t>(FlagOneWay));
+  Body.write(static_cast<int32_t>(Host.id()));
+  Body.write(static_cast<int32_t>(Port));
+  Body.write(ObjectName);
+  Body.write(Method);
+  Body.write(static_cast<uint32_t>(Args.size()));
+  Body.writeRaw(Args);
+
+  Bytes Wire = frame(KindCall, Method, Body.bytes(), /*Response=*/false);
+  ++Stats.OneWaySent;
+  Stats.WireBytesSent += Wire.size();
+  co_await Host.compute(sideCost(Wire.size()));
+  Net.send(Host.id(), DstNode, DstPort, std::move(Wire));
+}
+
+sim::Task<void> RpcEndpoint::dispatchLoop() {
+  sim::Channel<net::Message> &Inbox = Net.bind(Host.id(), Port);
+  for (;;) {
+    net::Message Msg = co_await Inbox.recv();
+    ErrorOr<Bytes> Content = unframe(Msg.Payload);
+    if (!Content || Content->empty()) {
+      ++Stats.MalformedDropped;
+      PARCS_LOG(Warn, "endpoint " << Host.id() << ":" << Port
+                                  << " dropped malformed message");
+      continue;
+    }
+    uint8_t Kind = Content->front();
+    if (Kind == KindReturn) {
+      // Replies are decoded on the I/O thread: charge the receive cost,
+      // then resolve the pending call.
+      co_await Host.compute(sideCost(Msg.Payload.size()));
+      handleReturn(*Content);
+      continue;
+    }
+    if (Kind == KindCall) {
+      // Calls are dispatched through the node's (bounded) thread pool;
+      // this is where Mono's small pool throttles overlap.
+      ++Stats.CallsHandled;
+      net::Message Owned = std::move(Msg);
+      auto Self = this;
+      Pool.post([Self, Owned]() -> sim::Task<void> {
+        return Self->handleCall(Owned);
+      });
+      continue;
+    }
+    ++Stats.MalformedDropped;
+  }
+}
+
+void RpcEndpoint::handleReturn(const Bytes &Content) {
+  Bytes Envelope(Content.begin() + 1, Content.end());
+  ErrorOr<serial::Envelope> Env =
+      serial::decodeEnvelope(Profile.Format, Envelope);
+  if (!Env) {
+    ++Stats.MalformedDropped;
+    return;
+  }
+  serial::InputArchive Body(Env->Payload);
+  uint64_t CallId = 0;
+  uint8_t Status = 0;
+  if (!Body.read(CallId) || !Body.read(Status)) {
+    ++Stats.MalformedDropped;
+    return;
+  }
+  auto It = PendingCalls.find(CallId);
+  if (It == PendingCalls.end()) {
+    ++Stats.MalformedDropped;
+    return;
+  }
+  sim::Promise<ErrorOr<Bytes>> Reply = It->second;
+  PendingCalls.erase(It);
+  ++Stats.RepliesReceived;
+  if (Status == StatusOk) {
+    Bytes Result;
+    if (!Body.readRemaining(Result)) {
+      Reply.set(Error(ErrorCode::MalformedMessage, "truncated result"));
+      return;
+    }
+    Reply.set(std::move(Result));
+    return;
+  }
+  uint8_t Code = 0;
+  std::string Message;
+  if (!Body.read(Code) || !Body.read(Message)) {
+    Reply.set(Error(ErrorCode::MalformedMessage, "truncated fault"));
+    return;
+  }
+  Reply.set(Error(static_cast<ErrorCode>(Code), Message));
+}
+
+sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
+  // Server-side unmarshalling cost for the incoming wire bytes.
+  co_await Host.compute(sideCost(Msg.Payload.size()));
+
+  ErrorOr<Bytes> Content = unframe(Msg.Payload);
+  assert(Content && !Content->empty() && "checked in dispatchLoop");
+  Bytes Envelope(Content->begin() + 1, Content->end());
+  ErrorOr<serial::Envelope> Env =
+      serial::decodeEnvelope(Profile.Format, Envelope);
+  if (!Env) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+
+  serial::InputArchive Body(Env->Payload);
+  uint64_t CallId = 0;
+  uint8_t Flags = 0;
+  int32_t ReplyNode = 0, ReplyPort = 0;
+  std::string ObjectName, Method;
+  uint32_t ArgsSize = 0;
+  Bytes Args;
+  if (!Body.read(CallId) || !Body.read(Flags) || !Body.read(ReplyNode) ||
+      !Body.read(ReplyPort) || !Body.read(ObjectName) || !Body.read(Method) ||
+      !Body.read(ArgsSize) || !Body.readRaw(Args, ArgsSize)) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+
+  ErrorOr<Bytes> Result(Bytes{});
+  ErrorOr<std::shared_ptr<CallHandler>> Target = resolveTarget(ObjectName);
+  if (!Target)
+    Result = Target.error();
+  else
+    Result = co_await (*Target)->handleCall(Method, Args);
+
+  if (Flags & FlagOneWay) {
+    if (!Result)
+      PARCS_LOG(Warn, "one-way call '" << ObjectName << "." << Method
+                                       << "' faulted: "
+                                       << Result.error().str());
+    co_return;
+  }
+
+  serial::OutputArchive Out;
+  Out.write(CallId);
+  if (Result) {
+    Out.write(static_cast<uint8_t>(StatusOk));
+    Out.writeRaw(Result.get());
+  } else {
+    Out.write(static_cast<uint8_t>(StatusFault));
+    Out.write(static_cast<uint8_t>(Result.error().code()));
+    Out.write(Result.error().message());
+  }
+  Bytes Wire = frame(KindReturn, "ret", Out.bytes(), /*Response=*/true);
+  Stats.WireBytesSent += Wire.size();
+  co_await Host.compute(sideCost(Wire.size()));
+  Net.send(Host.id(), ReplyNode, ReplyPort, std::move(Wire));
+}

@@ -1,0 +1,156 @@
+//===- remoting/Engine.h - Generic RPC endpoint -----------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RPC engine underneath every remoting flavour in this library.  One
+/// RpcEndpoint per (node, stack) plays both roles: it publishes server
+/// objects and issues client calls.  The C#-remoting facade (Remoting.h),
+/// the Java RMI facade (rmi/) and the Java nio baseline all instantiate
+/// this engine with different StackProfiles, which is exactly the paper's
+/// framing: same RPC shape, different software stacks.
+///
+/// Message path and cost accounting (one call):
+///   client thread: marshal args -> envelope -> [HTTP frame] -> charge
+///     FixedPerSide + PerByteNs * wire bytes of node CPU -> NIC send
+///   wire: packetised transfer (net::Network)
+///   server: dispatch loop pulls the message, posts it to the node's
+///     dispatch thread pool (Mono's bounded pool!); the pooled handler
+///     charges FixedPerSide + PerByteNs * wire bytes, decodes, locates the
+///     object, runs the method (which charges its own compute), marshals
+///     the result and sends the reply symmetrically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_REMOTING_ENGINE_H
+#define PARCS_REMOTING_ENGINE_H
+
+#include "net/Network.h"
+#include "remoting/CallHandler.h"
+#include "remoting/Profiles.h"
+#include "sim/Sync.h"
+#include "vm/Node.h"
+#include "vm/ThreadPool.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace parcs::remoting {
+
+/// Statistics an endpoint accumulates (read by benches/tests).
+struct EndpointStats {
+  uint64_t CallsIssued = 0;
+  uint64_t CallsHandled = 0;
+  uint64_t RepliesReceived = 0;
+  uint64_t OneWaySent = 0;
+  uint64_t WireBytesSent = 0;
+  uint64_t MalformedDropped = 0;
+};
+
+/// A combined client/server RPC endpoint on one node.
+class RpcEndpoint {
+public:
+  /// Binds \p Port on \p Host's node and starts the dispatch loop.
+  /// \p DispatchWorkers caps concurrent server-side call handling
+  /// (0 = the host VM's thread-pool cap).
+  RpcEndpoint(vm::Node &Host, net::Network &Net, const StackProfile &Profile,
+              int Port, int DispatchWorkers = 0);
+  RpcEndpoint(const RpcEndpoint &) = delete;
+  RpcEndpoint &operator=(const RpcEndpoint &) = delete;
+
+  vm::Node &node() { return Host; }
+  int port() const { return Port; }
+  const StackProfile &profile() const { return Profile; }
+  const EndpointStats &stats() const { return Stats; }
+  vm::ThreadPool &dispatchPool() { return Pool; }
+
+  /// Publishes \p Object under \p Name (an explicitly instantiated
+  /// singleton, like RMI's Naming.rebind of a live object).
+  void publish(const std::string &Name, std::shared_ptr<CallHandler> Object);
+
+  /// Publishes a well-known service type: the factory instantiates the
+  /// object per .Net semantics (Singleton: first call; SingleCall: every
+  /// call).
+  void publishWellKnown(const std::string &Name, HandlerFactory Factory,
+                        WellKnownObjectMode Mode);
+
+  /// Removes a published name; returns false if it was not published.
+  bool unpublish(const std::string &Name);
+
+  /// Returns the live instance published under \p Name (null for unknown
+  /// names or not-yet-instantiated well-known singletons).  Used by layers
+  /// that can short-circuit local calls (the SCOOPP proxy's intra-grain
+  /// path).
+  std::shared_ptr<CallHandler> findPublished(const std::string &Name) const {
+    auto It = Published.find(Name);
+    return It == Published.end() ? nullptr : It->second.Instance;
+  }
+  bool isPublished(const std::string &Name) const {
+    return Published.count(Name) != 0;
+  }
+
+  /// Two-way call: returns the result bytes produced by the remote
+  /// handler, or the transported error.  A positive \p Timeout bounds the
+  /// wait: if no reply arrives in time the call completes with
+  /// ErrorCode::TimedOut (a late reply is then dropped), which is how
+  /// callers survive simulated packet loss.
+  sim::Task<ErrorOr<Bytes>> call(int DstNode, int DstPort,
+                                 std::string ObjectName, std::string Method,
+                                 Bytes Args,
+                                 sim::SimTime Timeout = sim::SimTime());
+
+  /// One-way (asynchronous, no result) call: returns once the message has
+  /// been handed to the NIC; remote faults are dropped, as with .Net
+  /// one-way delegate invocations.
+  sim::Task<void> callOneWay(int DstNode, int DstPort, std::string ObjectName,
+                             std::string Method, Bytes Args);
+
+private:
+  enum MsgKind : uint8_t { KindCall = 0xC1, KindReturn = 0xC2 };
+  enum CallFlags : uint8_t { FlagOneWay = 0x01 };
+  enum ReturnStatus : uint8_t { StatusOk = 0, StatusFault = 1 };
+
+  struct Registration {
+    WellKnownObjectMode Mode = WellKnownObjectMode::Singleton;
+    HandlerFactory Factory;
+    std::shared_ptr<CallHandler> Instance;
+  };
+
+  /// Cost of pushing/pulling \p WireBytes through this stack on one side.
+  sim::SimTime sideCost(size_t WireBytes) const;
+
+  /// First contact with a destination pays the stack's connection setup.
+  sim::Task<void> ensureConnected(int DstNode, int DstPort);
+
+  /// Builds the final wire buffer for a message body.
+  Bytes frame(MsgKind Kind, std::string_view EnvelopeName, const Bytes &Body,
+              bool Response) const;
+  /// Strips transport framing; returns the (kind, envelope) content.
+  ErrorOr<Bytes> unframe(const Bytes &Wire) const;
+
+  sim::Task<void> dispatchLoop();
+  sim::Task<void> handleCall(net::Message Msg);
+  void handleReturn(const Bytes &Content);
+
+  ErrorOr<std::shared_ptr<CallHandler>> resolveTarget(const std::string &Name);
+
+  vm::Node &Host;
+  net::Network &Net;
+  const StackProfile &Profile;
+  int Port;
+  vm::ThreadPool Pool;
+  std::map<std::string, Registration> Published;
+  std::unordered_map<uint64_t, sim::Promise<ErrorOr<Bytes>>> PendingCalls;
+  /// Destinations we already hold a connection to.
+  std::set<std::pair<int, int>> Connected;
+  uint64_t NextCallId = 1;
+  EndpointStats Stats;
+};
+
+} // namespace parcs::remoting
+
+#endif // PARCS_REMOTING_ENGINE_H

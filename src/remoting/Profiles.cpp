@@ -1,0 +1,55 @@
+//===- remoting/Profiles.cpp ----------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remoting/Profiles.h"
+
+#include "support/Compiler.h"
+#include "vm/Calibration.h"
+
+using namespace parcs;
+using namespace parcs::remoting;
+
+const StackProfile &parcs::remoting::stackProfile(StackKind Kind) {
+  static const StackProfile MonoTcp117 = {
+      "Mono 1.1.7 (Tcp)", serial::WireFormat::NetBinary,
+      calib::MonoTcpFixedPerSide, calib::MonoTcpPerByteNs,
+      /*HttpFraming=*/false, calib::TcpConnectSetup};
+  static const StackProfile MonoTcp105 = {
+      "Mono 1.0.5 (Tcp)", serial::WireFormat::NetBinary,
+      calib::Mono105FixedPerSide, calib::Mono105PerByteNs,
+      /*HttpFraming=*/false, 3 * calib::TcpConnectSetup};
+  static const StackProfile MonoHttp117 = {
+      "Mono 1.1.7 (Http)", serial::WireFormat::NetSoap,
+      calib::MonoHttpFixedPerSide, calib::MonoHttpPerByteNs,
+      /*HttpFraming=*/true, sim::SimTime()};
+  static const StackProfile JavaRmi = {
+      "Java RMI", serial::WireFormat::JavaStream, calib::RmiFixedPerSide,
+      calib::RmiPerByteNs, /*HttpFraming=*/false,
+      calib::TcpConnectSetup};
+  static const StackProfile MonoTuned = {
+      "Mono tuned (Tcp)", serial::WireFormat::NetBinary,
+      calib::MonoTunedFixedPerSide, calib::MonoTunedPerByteNs,
+      /*HttpFraming=*/false, calib::TcpConnectSetup};
+  static const StackProfile JavaNio = {
+      "Java nio", serial::WireFormat::MpiPack, calib::JavaNioFixedPerSide,
+      calib::JavaNioPerByteNs, /*HttpFraming=*/false,
+      calib::TcpConnectSetup};
+  switch (Kind) {
+  case StackKind::MonoRemotingTcp117:
+    return MonoTcp117;
+  case StackKind::MonoRemotingTcp105:
+    return MonoTcp105;
+  case StackKind::MonoRemotingHttp117:
+    return MonoHttp117;
+  case StackKind::JavaRmi:
+    return JavaRmi;
+  case StackKind::JavaNio:
+    return JavaNio;
+  case StackKind::MonoRemotingTuned:
+    return MonoTuned;
+  }
+  PARCS_UNREACHABLE("unhandled StackKind");
+}

@@ -1,0 +1,56 @@
+//===- remoting/Profiles.h - Per-stack cost/format profiles -----*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One StackProfile per messaging stack the paper measures.  A profile is
+/// what differentiates Mono Remoting from Java RMI from Java nio in the
+/// model: the wire format (real framing bytes), the fixed per-message
+/// software cost on each side, the per-byte marshalling cost, and whether
+/// calls ride inside real HTTP framing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_REMOTING_PROFILES_H
+#define PARCS_REMOTING_PROFILES_H
+
+#include "serial/Envelope.h"
+#include "sim/SimTime.h"
+
+namespace parcs::remoting {
+
+/// The messaging stacks of the paper's evaluation.
+enum class StackKind {
+  MonoRemotingTcp117, ///< Mono 1.1.7 TcpChannel + binary formatter.
+  MonoRemotingTcp105, ///< Mono 1.0.5 TcpChannel (Fig. 8b).
+  MonoRemotingHttp117, ///< Mono 1.1.7 HttpChannel + SOAP (Fig. 8b).
+  JavaRmi,            ///< Sun JDK 1.4.2 RMI.
+  JavaNio,            ///< java.nio message passing (latency comparison).
+  MonoRemotingTuned,  ///< Projection: the paper's future-work tuned Mono.
+};
+
+/// Cost/format description of one stack.
+struct StackProfile {
+  const char *Name;
+  serial::WireFormat Format;
+  /// Fixed software cost per message on each side (marshalling setup,
+  /// dispatch, channel sink chain...).
+  sim::SimTime FixedPerSide;
+  /// Per-byte marshalling cost (ns per wire byte) on each side.
+  double PerByteNs;
+  /// Wrap each message in real HTTP/1.0 request framing (HttpChannel).
+  bool HttpFraming;
+  /// One-time TCP connection establishment per destination endpoint
+  /// (three-way handshake + stream setup); zero when the cost is already
+  /// folded into the fixed per-message cost.
+  sim::SimTime ConnectSetup;
+};
+
+/// Returns the calibrated profile for \p Kind.
+const StackProfile &stackProfile(StackKind Kind);
+
+} // namespace parcs::remoting
+
+#endif // PARCS_REMOTING_PROFILES_H

@@ -1,0 +1,80 @@
+//===- remoting/Remoting.cpp ----------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remoting/Remoting.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace parcs;
+using namespace parcs::remoting;
+
+ErrorOr<ObjectUri> parcs::remoting::parseObjectUri(const std::string &Uri) {
+  ObjectUri Result;
+  std::string Rest;
+  if (startsWith(Uri, "tcp://")) {
+    Result.Channel = ChannelKind::Tcp;
+    Rest = Uri.substr(6);
+  } else if (startsWith(Uri, "http://")) {
+    Result.Channel = ChannelKind::Http;
+    Rest = Uri.substr(7);
+  } else {
+    return Error(ErrorCode::InvalidArgument,
+                 "uri must start with tcp:// or http://: " + Uri);
+  }
+
+  size_t Slash = Rest.find('/');
+  if (Slash == std::string::npos || Slash + 1 >= Rest.size())
+    return Error(ErrorCode::InvalidArgument,
+                 "uri missing /objectName: " + Uri);
+  Result.Name = Rest.substr(Slash + 1);
+
+  std::string HostPort = Rest.substr(0, Slash);
+  size_t Colon = HostPort.find(':');
+  if (Colon == std::string::npos)
+    return Error(ErrorCode::InvalidArgument, "uri missing :port: " + Uri);
+  std::string Host = HostPort.substr(0, Colon);
+  std::string PortText = HostPort.substr(Colon + 1);
+  if (PortText.empty() ||
+      PortText.find_first_not_of("0123456789") != std::string::npos)
+    return Error(ErrorCode::InvalidArgument, "bad port in uri: " + Uri);
+  Result.Port = std::atoi(PortText.c_str());
+
+  if (Host == "localhost") {
+    Result.Node = 0;
+  } else if (startsWith(Host, "node")) {
+    std::string Id = Host.substr(4);
+    if (Id.empty() || Id.find_first_not_of("0123456789") != std::string::npos)
+      return Error(ErrorCode::InvalidArgument, "bad host in uri: " + Uri);
+    Result.Node = std::atoi(Id.c_str());
+  } else {
+    return Error(ErrorCode::InvalidArgument,
+                 "hosts are node<K> or localhost: " + Uri);
+  }
+  return Result;
+}
+
+std::string parcs::remoting::makeObjectUri(ChannelKind Channel, int Node,
+                                           int Port,
+                                           const std::string &Name) {
+  std::string Uri = Channel == ChannelKind::Tcp ? "tcp://" : "http://";
+  Uri += "node" + std::to_string(Node) + ":" + std::to_string(Port) + "/" +
+         Name;
+  return Uri;
+}
+
+ErrorOr<RemoteHandle> parcs::remoting::getObject(RpcEndpoint &Local,
+                                                 const std::string &Uri) {
+  ErrorOr<ObjectUri> Parsed = parseObjectUri(Uri);
+  if (!Parsed)
+    return Parsed.error();
+  bool WantHttp = Parsed->Channel == ChannelKind::Http;
+  if (WantHttp != Local.profile().HttpFraming)
+    return Error(ErrorCode::InvalidArgument,
+                 "endpoint channel does not match uri channel: " + Uri);
+  return RemoteHandle(Local, Parsed->Node, Parsed->Port, Parsed->Name);
+}

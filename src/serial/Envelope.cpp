@@ -1,0 +1,297 @@
+//===- serial/Envelope.cpp ------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serial/Envelope.h"
+
+#include "support/Compiler.h"
+
+#include <array>
+
+using namespace parcs;
+using namespace parcs::serial;
+
+const char *parcs::serial::wireFormatName(WireFormat Format) {
+  switch (Format) {
+  case WireFormat::MpiPack:
+    return "mpi-pack";
+  case WireFormat::NetBinary:
+    return "net-binary";
+  case WireFormat::JavaStream:
+    return "java-stream";
+  case WireFormat::NetSoap:
+    return "net-soap";
+  }
+  PARCS_UNREACHABLE("unhandled WireFormat");
+}
+
+//===----------------------------------------------------------------------===//
+// Base64
+//===----------------------------------------------------------------------===//
+
+static const char Base64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string parcs::serial::base64Encode(const Bytes &Data) {
+  std::string Out;
+  Out.reserve((Data.size() + 2) / 3 * 4);
+  size_t I = 0;
+  for (; I + 3 <= Data.size(); I += 3) {
+    uint32_t Triple = (static_cast<uint32_t>(Data[I]) << 16) |
+                      (static_cast<uint32_t>(Data[I + 1]) << 8) |
+                      static_cast<uint32_t>(Data[I + 2]);
+    Out.push_back(Base64Alphabet[(Triple >> 18) & 0x3f]);
+    Out.push_back(Base64Alphabet[(Triple >> 12) & 0x3f]);
+    Out.push_back(Base64Alphabet[(Triple >> 6) & 0x3f]);
+    Out.push_back(Base64Alphabet[Triple & 0x3f]);
+  }
+  size_t Rest = Data.size() - I;
+  if (Rest == 1) {
+    uint32_t Triple = static_cast<uint32_t>(Data[I]) << 16;
+    Out.push_back(Base64Alphabet[(Triple >> 18) & 0x3f]);
+    Out.push_back(Base64Alphabet[(Triple >> 12) & 0x3f]);
+    Out.push_back('=');
+    Out.push_back('=');
+  } else if (Rest == 2) {
+    uint32_t Triple = (static_cast<uint32_t>(Data[I]) << 16) |
+                      (static_cast<uint32_t>(Data[I + 1]) << 8);
+    Out.push_back(Base64Alphabet[(Triple >> 18) & 0x3f]);
+    Out.push_back(Base64Alphabet[(Triple >> 12) & 0x3f]);
+    Out.push_back(Base64Alphabet[(Triple >> 6) & 0x3f]);
+    Out.push_back('=');
+  }
+  return Out;
+}
+
+static int base64Value(char C) {
+  if (C >= 'A' && C <= 'Z')
+    return C - 'A';
+  if (C >= 'a' && C <= 'z')
+    return C - 'a' + 26;
+  if (C >= '0' && C <= '9')
+    return C - '0' + 52;
+  if (C == '+')
+    return 62;
+  if (C == '/')
+    return 63;
+  return -1;
+}
+
+ErrorOr<Bytes> parcs::serial::base64Decode(std::string_view Text) {
+  if (Text.size() % 4 != 0)
+    return Error(ErrorCode::MalformedMessage, "base64 length not 4-aligned");
+  Bytes Out;
+  Out.reserve(Text.size() / 4 * 3);
+  for (size_t I = 0; I < Text.size(); I += 4) {
+    int Pad = 0;
+    std::array<int, 4> Vals = {0, 0, 0, 0};
+    for (size_t J = 0; J < 4; ++J) {
+      char C = Text[I + J];
+      if (C == '=') {
+        // Padding is only legal in the last two positions of the final
+        // group.
+        if (I + 4 != Text.size() || J < 2)
+          return Error(ErrorCode::MalformedMessage, "misplaced base64 pad");
+        ++Pad;
+        Vals[J] = 0;
+        continue;
+      }
+      if (Pad > 0)
+        return Error(ErrorCode::MalformedMessage, "data after base64 pad");
+      int V = base64Value(C);
+      if (V < 0)
+        return Error(ErrorCode::MalformedMessage, "invalid base64 character");
+      Vals[J] = V;
+    }
+    uint32_t Triple = (static_cast<uint32_t>(Vals[0]) << 18) |
+                      (static_cast<uint32_t>(Vals[1]) << 12) |
+                      (static_cast<uint32_t>(Vals[2]) << 6) |
+                      static_cast<uint32_t>(Vals[3]);
+    Out.push_back(static_cast<uint8_t>((Triple >> 16) & 0xff));
+    if (Pad < 2)
+      Out.push_back(static_cast<uint8_t>((Triple >> 8) & 0xff));
+    if (Pad < 1)
+      Out.push_back(static_cast<uint8_t>(Triple & 0xff));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Envelopes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// ".Net binary formatter" header magic.
+constexpr uint32_t NetBinaryMagic = 0x4e424631; // "NBF1"
+/// Java object stream magic (java.io.ObjectStreamConstants).
+constexpr uint16_t JavaStreamMagic = 0xaced;
+constexpr uint16_t JavaStreamVersion = 5;
+
+Bytes encodeMpiPack(const Bytes &Payload) {
+  OutputArchive Archive;
+  Archive.write(static_cast<uint32_t>(Payload.size()));
+  Archive.writeRaw(Payload);
+  return Archive.take();
+}
+
+ErrorOr<Envelope> decodeMpiPack(const Bytes &Wire) {
+  InputArchive Archive(Wire);
+  uint32_t Size = 0;
+  Envelope Result;
+  if (!Archive.read(Size) || !Archive.readRaw(Result.Payload, Size))
+    return Error(ErrorCode::MalformedMessage, "truncated mpi-pack buffer");
+  return Result;
+}
+
+Bytes encodeNetBinary(std::string_view Name, const Bytes &Payload) {
+  OutputArchive Archive;
+  Archive.write(NetBinaryMagic);
+  Archive.write(static_cast<uint8_t>(1)); // Formatter version.
+  Archive.write(std::string(Name));
+  Archive.write(static_cast<uint32_t>(Payload.size()));
+  Archive.writeRaw(Payload);
+  return Archive.take();
+}
+
+ErrorOr<Envelope> decodeNetBinary(const Bytes &Wire) {
+  InputArchive Archive(Wire);
+  uint32_t Magic = 0;
+  uint8_t Version = 0;
+  Envelope Result;
+  uint32_t Size = 0;
+  if (!Archive.read(Magic) || Magic != NetBinaryMagic)
+    return Error(ErrorCode::MalformedMessage, "bad net-binary magic");
+  if (!Archive.read(Version) || Version != 1)
+    return Error(ErrorCode::MalformedMessage, "bad net-binary version");
+  if (!Archive.read(Result.Name) || !Archive.read(Size) ||
+      !Archive.readRaw(Result.Payload, Size))
+    return Error(ErrorCode::MalformedMessage, "truncated net-binary buffer");
+  return Result;
+}
+
+Bytes encodeJavaStream(std::string_view Name, const Bytes &Payload) {
+  // The shape (not the exact bytes) of a Java serialisation stream: magic,
+  // version, then a class descriptor carrying the class name, a
+  // serialVersionUID, flags and a field table before the data itself.
+  OutputArchive Archive;
+  Archive.write(JavaStreamMagic);
+  Archive.write(JavaStreamVersion);
+  Archive.write(static_cast<uint8_t>(0x72)); // TC_CLASSDESC
+  Archive.write(std::string(Name));
+  Archive.write(static_cast<uint64_t>(0x123456789abcdef0ULL)); // suid
+  Archive.write(static_cast<uint8_t>(0x02));                   // SC_SERIALIZABLE
+  // A synthetic field table: RMI streams describe each field; we model a
+  // fixed three-entry table naming payload/length/checksum.
+  Archive.write(static_cast<uint16_t>(3));
+  Archive.write(std::string("payload"));
+  Archive.write(std::string("length"));
+  Archive.write(std::string("checksum"));
+  Archive.write(static_cast<uint8_t>(0x78)); // TC_ENDBLOCKDATA
+  Archive.write(static_cast<uint32_t>(Payload.size()));
+  Archive.writeRaw(Payload);
+  return Archive.take();
+}
+
+ErrorOr<Envelope> decodeJavaStream(const Bytes &Wire) {
+  InputArchive Archive(Wire);
+  uint16_t Magic = 0, Version = 0;
+  if (!Archive.read(Magic) || Magic != JavaStreamMagic)
+    return Error(ErrorCode::MalformedMessage, "bad java stream magic");
+  if (!Archive.read(Version) || Version != JavaStreamVersion)
+    return Error(ErrorCode::MalformedMessage, "bad java stream version");
+  uint8_t Tag = 0;
+  Envelope Result;
+  uint64_t Suid = 0;
+  uint8_t Flags = 0;
+  uint16_t FieldCount = 0;
+  if (!Archive.read(Tag) || Tag != 0x72 || !Archive.read(Result.Name) ||
+      !Archive.read(Suid) || !Archive.read(Flags) ||
+      !Archive.read(FieldCount))
+    return Error(ErrorCode::MalformedMessage, "bad java class descriptor");
+  for (uint16_t I = 0; I < FieldCount; ++I) {
+    std::string Field;
+    if (!Archive.read(Field))
+      return Error(ErrorCode::MalformedMessage, "bad java field table");
+  }
+  uint8_t End = 0;
+  uint32_t Size = 0;
+  if (!Archive.read(End) || End != 0x78 || !Archive.read(Size) ||
+      !Archive.readRaw(Result.Payload, Size))
+    return Error(ErrorCode::MalformedMessage, "truncated java stream");
+  return Result;
+}
+
+Bytes encodeNetSoap(std::string_view Name, const Bytes &Payload) {
+  std::string Xml;
+  Xml += "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/"
+         "soap/envelope/\" xmlns:i=\"http://www.w3.org/2001/"
+         "XMLSchema-instance\">\n";
+  Xml += "<SOAP-ENV:Body>\n";
+  Xml += "<i:";
+  Xml += Name;
+  Xml += ">";
+  Xml += base64Encode(Payload);
+  Xml += "</i:";
+  Xml += Name;
+  Xml += ">\n";
+  Xml += "</SOAP-ENV:Body>\n";
+  Xml += "</SOAP-ENV:Envelope>\n";
+  return Bytes(Xml.begin(), Xml.end());
+}
+
+ErrorOr<Envelope> decodeNetSoap(const Bytes &Wire) {
+  std::string Xml(Wire.begin(), Wire.end());
+  size_t OpenStart = Xml.find("<i:");
+  if (OpenStart == std::string::npos)
+    return Error(ErrorCode::MalformedMessage, "soap body element missing");
+  size_t OpenEnd = Xml.find('>', OpenStart);
+  if (OpenEnd == std::string::npos)
+    return Error(ErrorCode::MalformedMessage, "soap body tag unterminated");
+  Envelope Result;
+  Result.Name = Xml.substr(OpenStart + 3, OpenEnd - OpenStart - 3);
+  std::string CloseTag = "</i:" + Result.Name + ">";
+  size_t Close = Xml.find(CloseTag, OpenEnd);
+  if (Close == std::string::npos)
+    return Error(ErrorCode::MalformedMessage, "soap close tag missing");
+  std::string_view Body(Xml.data() + OpenEnd + 1, Close - OpenEnd - 1);
+  ErrorOr<Bytes> Decoded = base64Decode(Body);
+  if (!Decoded)
+    return Decoded.error();
+  Result.Payload = Decoded.take();
+  return Result;
+}
+
+} // namespace
+
+Bytes parcs::serial::encodeEnvelope(WireFormat Format, std::string_view Name,
+                                    const Bytes &Payload) {
+  switch (Format) {
+  case WireFormat::MpiPack:
+    return encodeMpiPack(Payload);
+  case WireFormat::NetBinary:
+    return encodeNetBinary(Name, Payload);
+  case WireFormat::JavaStream:
+    return encodeJavaStream(Name, Payload);
+  case WireFormat::NetSoap:
+    return encodeNetSoap(Name, Payload);
+  }
+  PARCS_UNREACHABLE("unhandled WireFormat");
+}
+
+ErrorOr<Envelope> parcs::serial::decodeEnvelope(WireFormat Format,
+                                                const Bytes &Wire) {
+  switch (Format) {
+  case WireFormat::MpiPack:
+    return decodeMpiPack(Wire);
+  case WireFormat::NetBinary:
+    return decodeNetBinary(Wire);
+  case WireFormat::JavaStream:
+    return decodeJavaStream(Wire);
+  case WireFormat::NetSoap:
+    return decodeNetSoap(Wire);
+  }
+  PARCS_UNREACHABLE("unhandled WireFormat");
+}

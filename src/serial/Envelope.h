@@ -1,0 +1,65 @@
+//===- serial/Envelope.h - Wire formats -------------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message envelopes of the protocol stacks the paper compares.  Each
+/// format really encodes/decodes, so the byte overheads that differentiate
+/// the stacks in Fig. 8 are produced by real framing, not fudge factors:
+///
+///  - MpiPack: a bare length-prefixed buffer (MPI messages are packed flat
+///    buffers with out-of-band tag/rank);
+///  - NetBinary: the .Net Remoting TcpChannel binary formatter shape --
+///    small fixed header plus the method/message name;
+///  - JavaStream: the Java object-stream shape used by RMI -- stream magic
+///    plus a class-descriptor block naming the type, field count and
+///    serialVersionUID; noticeably chattier than NetBinary;
+///  - NetSoap: the HttpChannel's SOAP formatter -- a real XML envelope
+///    with the binary payload base64-encoded (4/3 inflation plus tags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SERIAL_ENVELOPE_H
+#define PARCS_SERIAL_ENVELOPE_H
+
+#include "serial/Archive.h"
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace parcs::serial {
+
+/// The wire formats used by the modelled stacks.
+enum class WireFormat {
+  MpiPack,    ///< Flat packed buffer (MPI).
+  NetBinary,  ///< .Net Remoting binary formatter (TcpChannel).
+  JavaStream, ///< Java object stream (RMI).
+  NetSoap,    ///< .Net Remoting SOAP formatter (HttpChannel).
+};
+
+const char *wireFormatName(WireFormat Format);
+
+/// A decoded envelope: the message name (empty for MpiPack) and payload.
+struct Envelope {
+  std::string Name;
+  Bytes Payload;
+};
+
+/// Wraps \p Payload in \p Format's framing.  \p Name is the logical
+/// message/method name carried by the self-describing formats.
+Bytes encodeEnvelope(WireFormat Format, std::string_view Name,
+                     const Bytes &Payload);
+
+/// Parses a buffer produced by encodeEnvelope.
+ErrorOr<Envelope> decodeEnvelope(WireFormat Format, const Bytes &Wire);
+
+/// Base64 used by the SOAP formatter (exposed for tests).
+std::string base64Encode(const Bytes &Data);
+ErrorOr<Bytes> base64Decode(std::string_view Text);
+
+} // namespace parcs::serial
+
+#endif // PARCS_SERIAL_ENVELOPE_H

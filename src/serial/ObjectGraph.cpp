@@ -1,0 +1,127 @@
+//===- serial/ObjectGraph.cpp ---------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serial/ObjectGraph.h"
+
+using namespace parcs;
+using namespace parcs::serial;
+
+namespace {
+
+/// Stream tags for object links.
+enum LinkTag : uint8_t {
+  TagNull = 0,
+  TagNew = 1,
+  TagBackRef = 2,
+};
+
+} // namespace
+
+SerializableObject::~SerializableObject() = default;
+
+SerializableObject *TypeRegistry::create(std::string_view Name,
+                                         ObjectPool &Pool) const {
+  auto It = Factories.find(std::string(Name));
+  if (It == Factories.end())
+    return nullptr;
+  return It->second(Pool);
+}
+
+TypeRegistry &TypeRegistry::global() {
+  static TypeRegistry Registry;
+  return Registry;
+}
+
+void ObjectWriter::writeRef(const SerializableObject *Obj) {
+  if (!Obj) {
+    Archive.write(static_cast<uint8_t>(TagNull));
+    return;
+  }
+  auto It = Ids.find(Obj);
+  if (It != Ids.end()) {
+    Archive.write(static_cast<uint8_t>(TagBackRef));
+    Archive.write(It->second);
+    return;
+  }
+  Archive.write(static_cast<uint8_t>(TagNew));
+  uint32_t Id = static_cast<uint32_t>(Ids.size());
+  // Register before descending so cycles hit the back-reference path.
+  Ids.emplace(Obj, Id);
+  Archive.write(std::string(Obj->typeName()));
+  Obj->writeFields(*this);
+}
+
+bool ObjectReader::readRef(SerializableObject *&Out) {
+  Out = nullptr;
+  uint8_t Tag = 0;
+  if (!Archive.read(Tag)) {
+    Err = Error(ErrorCode::MalformedMessage, "truncated object link");
+    return false;
+  }
+  switch (Tag) {
+  case TagNull:
+    return true;
+  case TagBackRef: {
+    uint32_t Id = 0;
+    if (!Archive.read(Id) || Id >= ById.size()) {
+      Err = Error(ErrorCode::MalformedMessage, "bad object back-reference");
+      return false;
+    }
+    Out = ById[Id];
+    return true;
+  }
+  case TagNew: {
+    std::string Name;
+    if (!Archive.read(Name)) {
+      Err = Error(ErrorCode::MalformedMessage, "truncated type name");
+      return false;
+    }
+    SerializableObject *Obj = Registry.create(Name, Pool);
+    if (!Obj) {
+      Err = Error(ErrorCode::UnknownType,
+                  "no registered type named '" + Name + "'");
+      return false;
+    }
+    // Publish the identity before reading fields so self-references and
+    // cycles resolve to this object.
+    ById.push_back(Obj);
+    if (!Obj->readFields(*this)) {
+      if (!Err)
+        Err = Error(ErrorCode::MalformedMessage,
+                    "fields of '" + Name + "' failed to decode");
+      return false;
+    }
+    Out = Obj;
+    return true;
+  }
+  default:
+    Err = Error(ErrorCode::MalformedMessage, "unknown object link tag");
+    return false;
+  }
+}
+
+Bytes parcs::serial::encodeObjectGraph(const SerializableObject *Root) {
+  OutputArchive Archive;
+  ObjectWriter Writer(Archive);
+  Writer.writeRef(Root);
+  return Archive.take();
+}
+
+ErrorOr<SerializableObject *>
+parcs::serial::decodeObjectGraph(const Bytes &Data,
+                                 const TypeRegistry &Registry,
+                                 ObjectPool &Pool) {
+  InputArchive Archive(Data);
+  ObjectReader Reader(Archive, Registry, Pool);
+  SerializableObject *Root = nullptr;
+  if (!Reader.readRef(Root)) {
+    Error Err = Reader.error();
+    if (!Err)
+      Err = Error(ErrorCode::MalformedMessage, "object graph decode failed");
+    return Err;
+  }
+  return Root;
+}

@@ -1,0 +1,195 @@
+//===- serial/ObjectGraph.h - Object-graph serialisation --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialisation of polymorphic object graphs, reproducing what the paper
+/// relies on from Java/.Net: "Object serialisation allows object copies to
+/// move between virtual machines, even when objects are not allocated on a
+/// continuous memory range or when they are composed by several objects."
+/// SCOOPP passive objects move between parallel objects through this layer.
+///
+/// The design avoids C++ RTTI (library convention): every serialisable
+/// class carries a stable type-name string used both for dynamic dispatch
+/// through a TypeRegistry and for checked down-casts (objectCast).  Shared
+/// structure and cycles are preserved through back-references.  All decoded
+/// objects are owned by an ObjectPool arena, so cyclic graphs cannot leak.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SERIAL_OBJECTGRAPH_H
+#define PARCS_SERIAL_OBJECTGRAPH_H
+
+#include "serial/Archive.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace parcs::serial {
+
+class ObjectWriter;
+class ObjectReader;
+
+/// Base class of every graph-serialisable object.  Subclasses provide a
+/// stable type name (a static \c TypeNameStr member by convention), write
+/// and read their fields, and are registered in a TypeRegistry.
+class SerializableObject {
+public:
+  virtual ~SerializableObject();
+
+  /// Stable type name; must match the registry key and the subclass's
+  /// \c TypeNameStr.
+  virtual std::string_view typeName() const = 0;
+
+  /// Writes the object's fields (primitives via \p Writer's archive,
+  /// object links via writeRef).
+  virtual void writeFields(ObjectWriter &Writer) const = 0;
+
+  /// Reads the fields written by writeFields.  Returns false on malformed
+  /// input.
+  virtual bool readFields(ObjectReader &Reader) = 0;
+};
+
+/// Checked down-cast by type name; returns null when the name differs.
+template <typename T> T *objectCast(SerializableObject *Obj) {
+  if (Obj && Obj->typeName() == T::TypeNameStr)
+    return static_cast<T *>(Obj);
+  return nullptr;
+}
+template <typename T> const T *objectCast(const SerializableObject *Obj) {
+  if (Obj && Obj->typeName() == T::TypeNameStr)
+    return static_cast<const T *>(Obj);
+  return nullptr;
+}
+
+/// Arena owning decoded (or locally built) objects.  Graphs with cycles are
+/// reclaimed with the pool.
+class ObjectPool {
+public:
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(CtorArgs)...);
+    T *Ptr = Owned.get();
+    Objects.push_back(std::move(Owned));
+    return Ptr;
+  }
+
+  size_t size() const { return Objects.size(); }
+
+private:
+  std::vector<std::unique_ptr<SerializableObject>> Objects;
+};
+
+/// Maps type names to factories; readers use it to instantiate the classes
+/// named in the stream.
+class TypeRegistry {
+public:
+  using Factory = std::function<SerializableObject *(ObjectPool &)>;
+
+  /// Registers \p T under T::TypeNameStr.  Re-registration is allowed and
+  /// idempotent.
+  template <typename T> void registerType() {
+    Factories[std::string(T::TypeNameStr)] = [](ObjectPool &Pool) {
+      return Pool.create<T>();
+    };
+  }
+
+  bool knows(std::string_view Name) const {
+    return Factories.count(std::string(Name)) != 0;
+  }
+
+  /// Creates an instance of \p Name in \p Pool; null for unknown names.
+  SerializableObject *create(std::string_view Name, ObjectPool &Pool) const;
+
+  /// Process-wide registry used by the remoting stacks.
+  static TypeRegistry &global();
+
+private:
+  std::map<std::string, Factory> Factories;
+};
+
+/// Serialises an object graph into an archive, preserving sharing.
+class ObjectWriter {
+public:
+  explicit ObjectWriter(OutputArchive &Archive) : Archive(Archive) {}
+
+  OutputArchive &archive() { return Archive; }
+
+  /// Writes a primitive field.
+  template <typename T> void write(const T &Value) { Archive.write(Value); }
+
+  /// Writes an object link: null, a back-reference to an already written
+  /// object, or the object's type name followed by its fields.
+  void writeRef(const SerializableObject *Obj);
+
+private:
+  OutputArchive &Archive;
+  std::unordered_map<const SerializableObject *, uint32_t> Ids;
+};
+
+/// Reads an object graph written by ObjectWriter.
+class ObjectReader {
+public:
+  ObjectReader(InputArchive &Archive, const TypeRegistry &Registry,
+               ObjectPool &Pool)
+      : Archive(Archive), Registry(Registry), Pool(Pool) {}
+
+  InputArchive &archive() { return Archive; }
+  ObjectPool &pool() { return Pool; }
+
+  template <typename T> bool read(T &Out) { return Archive.read(Out); }
+
+  /// Reads an object link; \p Out becomes null for a null link.  Returns
+  /// false on malformed input or unknown type names (error() gives the
+  /// reason).
+  bool readRef(SerializableObject *&Out);
+
+  /// Typed convenience wrapper: fails when the link is non-null but of a
+  /// different type.
+  template <typename T> bool readRefAs(T *&Out) {
+    SerializableObject *Obj = nullptr;
+    if (!readRef(Obj))
+      return false;
+    if (!Obj) {
+      Out = nullptr;
+      return true;
+    }
+    Out = objectCast<T>(Obj);
+    if (!Out) {
+      Err = Error(ErrorCode::MalformedMessage,
+                  "object type mismatch: stream has '" +
+                      std::string(Obj->typeName()) + "'");
+      return false;
+    }
+    return true;
+  }
+
+  const Error &error() const { return Err; }
+
+private:
+  InputArchive &Archive;
+  const TypeRegistry &Registry;
+  ObjectPool &Pool;
+  std::vector<SerializableObject *> ById;
+  Error Err;
+};
+
+/// Encodes a whole graph rooted at \p Root into bytes.
+Bytes encodeObjectGraph(const SerializableObject *Root);
+
+/// Decodes a graph encoded by encodeObjectGraph; objects are created in
+/// \p Pool.
+ErrorOr<SerializableObject *> decodeObjectGraph(const Bytes &Data,
+                                                const TypeRegistry &Registry,
+                                                ObjectPool &Pool);
+
+} // namespace parcs::serial
+
+#endif // PARCS_SERIAL_OBJECTGRAPH_H

@@ -1,0 +1,29 @@
+//===- sim/SimTime.cpp ----------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimTime.h"
+
+#include <cstdio>
+
+using namespace parcs::sim;
+
+std::string SimTime::str() const {
+  char Buffer[48];
+  int64_t Abs = Ns < 0 ? -Ns : Ns;
+  if (Abs < 1000)
+    std::snprintf(Buffer, sizeof(Buffer), "%lldns",
+                  static_cast<long long>(Ns));
+  else if (Abs < 1000 * 1000)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1fus",
+                  static_cast<double>(Ns) * 1e-3);
+  else if (Abs < 1000 * 1000 * 1000)
+    std::snprintf(Buffer, sizeof(Buffer), "%.3fms",
+                  static_cast<double>(Ns) * 1e-6);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.3fs",
+                  static_cast<double>(Ns) * 1e-9);
+  return Buffer;
+}

@@ -1,0 +1,67 @@
+//===- sim/Simulator.cpp --------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+using namespace parcs::sim;
+
+void parcs::sim::detail::detachedTaskFinished(Simulator &Sim, void *Frame) {
+  [[maybe_unused]] size_t Erased = Sim.LiveDetached.erase(Frame);
+  assert(Erased == 1 && "detached frame was not registered");
+}
+
+Simulator::~Simulator() {
+  // Destroy coroutines that never finished (e.g. server dispatch loops).
+  // Copy first: destroying a frame may cascade into child Task destructors
+  // but never into LiveDetached mutation, since children are not detached.
+  std::vector<void *> Pending(LiveDetached.begin(), LiveDetached.end());
+  LiveDetached.clear();
+  for (void *Frame : Pending)
+    std::coroutine_handle<>::from_address(Frame).destroy();
+}
+
+void Simulator::scheduleAt(SimTime At, std::function<void()> Fn) {
+  assert(At >= Now && "scheduling into the past");
+  Queue.push(Scheduled{At, NextSeq++, std::move(Fn)});
+}
+
+void Simulator::spawn(Task<void> T) {
+  assert(T.valid() && "spawning an empty task");
+  auto Handle = T.release();
+  Handle.promise().DetachedIn = this;
+  LiveDetached.insert(Handle.address());
+  schedule(SimTime(), [Handle] { Handle.resume(); });
+}
+
+bool Simulator::step() {
+  if (Queue.empty())
+    return false;
+  // Move the event out before running it: the callback may schedule more
+  // events and mutating the queue mid-top() would be undefined.
+  Scheduled Event = std::move(const_cast<Scheduled &>(Queue.top()));
+  Queue.pop();
+  assert(Event.At >= Now && "event queue went backwards");
+  Now = Event.At;
+  ++EventCount;
+  Event.Fn();
+  return true;
+}
+
+uint64_t Simulator::run(uint64_t MaxEvents) {
+  uint64_t Executed = 0;
+  while (Executed < MaxEvents && step())
+    ++Executed;
+  return Executed;
+}
+
+void Simulator::runUntil(SimTime Until) {
+  assert(Until >= Now && "runUntil into the past");
+  while (!Queue.empty() && Queue.top().At <= Until)
+    step();
+  Now = Until;
+}

@@ -1,0 +1,117 @@
+//===- sim/Simulator.h - Discrete-event simulation kernel -------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic discrete-event simulator.  All concurrency in the
+/// reproduction (cluster nodes, VM threads, network transfers) runs as
+/// coroutines scheduled on this single-threaded virtual-time event loop, so
+/// every run is reproducible bit-for-bit on any machine.
+///
+/// Events with equal timestamps fire in scheduling order (a monotonically
+/// increasing sequence number breaks ties), which makes wake-up ordering of
+/// semaphores, channels and futures deterministic as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SIM_SIMULATOR_H
+#define PARCS_SIM_SIMULATOR_H
+
+#include "sim/SimTime.h"
+#include "sim/Task.h"
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace parcs::sim {
+
+/// Single-threaded virtual-time event loop.
+class Simulator {
+public:
+  Simulator() = default;
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+  ~Simulator();
+
+  /// Current virtual time.
+  SimTime now() const { return Now; }
+
+  /// Number of events executed so far.
+  uint64_t eventsProcessed() const { return EventCount; }
+
+  /// Schedules \p Fn to run \p Delay after the current time.
+  void schedule(SimTime Delay, std::function<void()> Fn) {
+    scheduleAt(Now + Delay, std::move(Fn));
+  }
+
+  /// Schedules \p Fn at absolute time \p At (must not be in the past).
+  void scheduleAt(SimTime At, std::function<void()> Fn);
+
+  /// Schedules \p Handle to be resumed \p Delay from now.
+  void scheduleResume(SimTime Delay, std::coroutine_handle<> Handle) {
+    schedule(Delay, [Handle] { Handle.resume(); });
+  }
+
+  /// Detaches \p T and starts it from the event loop at the current time.
+  /// The coroutine frame self-destroys on completion or, if still pending,
+  /// is destroyed when the simulator is destroyed.
+  void spawn(Task<void> T);
+
+  /// Awaitable that suspends the caller for \p Duration of virtual time.
+  auto delay(SimTime Duration) {
+    struct Awaiter {
+      Simulator &Sim;
+      SimTime Duration;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> Handle) {
+        Sim.scheduleResume(Duration, Handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, Duration};
+  }
+
+  /// Runs one event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains or \p MaxEvents have executed.
+  /// Returns the number of events executed.
+  uint64_t run(uint64_t MaxEvents = UINT64_MAX);
+
+  /// Runs events with timestamp <= \p Until (and advances the clock to
+  /// \p Until even if the queue drains earlier).
+  void runUntil(SimTime Until);
+
+private:
+  friend void detail::detachedTaskFinished(Simulator &Sim, void *Frame);
+
+  struct Scheduled {
+    SimTime At;
+    uint64_t Seq;
+    std::function<void()> Fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled &A, const Scheduled &B) const {
+      if (A.At != B.At)
+        return B.At < A.At;
+      return B.Seq < A.Seq;
+    }
+  };
+
+  SimTime Now;
+  uint64_t NextSeq = 0;
+  uint64_t EventCount = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> Queue;
+  /// Frames of detached coroutines still alive; destroyed in ~Simulator.
+  std::unordered_set<void *> LiveDetached;
+};
+
+} // namespace parcs::sim
+
+#endif // PARCS_SIM_SIMULATOR_H

@@ -1,0 +1,214 @@
+//===- sim/Task.h - Coroutine task type -------------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coroutine task type used for all simulated activities.  A Task<T> is
+/// a *lazy* coroutine: creating it does not run any code.  It starts either
+/// when a parent coroutine `co_await`s it (symmetric transfer) or when it is
+/// handed to Simulator::spawn, which detaches it and resumes it from the
+/// event loop.
+///
+/// Ownership rules:
+///  - An un-started, un-detached Task owns its frame and destroys it in the
+///    Task destructor.
+///  - Awaiting a Task transfers control; the frame is destroyed by the
+///    awaiting Task object's destructor after completion.
+///  - A detached (spawned) Task frame destroys itself at final suspend and
+///    unregisters from the simulator's live set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SIM_TASK_H
+#define PARCS_SIM_TASK_H
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace parcs::sim {
+
+class Simulator;
+
+namespace detail {
+
+/// Called from promise final-suspend when a detached coroutine finishes, so
+/// the simulator can drop it from the live set.  Defined in Simulator.cpp.
+void detachedTaskFinished(Simulator &Sim, void *FramePointer);
+
+/// State shared by all Task promises, independent of the result type.
+struct PromiseBase {
+  /// Coroutine to resume when this task completes (the awaiting parent).
+  std::coroutine_handle<> Continuation;
+  /// Non-null when the task was detached via Simulator::spawn.
+  Simulator *DetachedIn = nullptr;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept {
+    // The library is exception-free by policy; anything reaching here is a
+    // bug in user code run inside the simulation.
+    std::fprintf(stderr, "parcs: exception escaped a simulated task\n");
+    std::abort();
+  }
+
+  /// Final awaiter: resume the continuation if any; self-destroy when
+  /// detached.
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+
+    template <typename PromiseT>
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<PromiseT> Handle) noexcept {
+      PromiseBase &P = Handle.promise();
+      if (P.Continuation)
+        return P.Continuation;
+      if (P.DetachedIn) {
+        detachedTaskFinished(*P.DetachedIn, Handle.address());
+        Handle.destroy();
+      }
+      return std::noop_coroutine();
+    }
+
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+} // namespace detail
+
+/// A lazy coroutine returning T (default void).  Move-only.
+template <typename T = void> class [[nodiscard]] Task {
+public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> Result;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T Value) { Result.emplace(std::move(Value)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> Handle) : Handle(Handle) {}
+  Task(Task &&Other) noexcept : Handle(std::exchange(Other.Handle, nullptr)) {}
+  Task &operator=(Task &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      Handle = std::exchange(Other.Handle, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return Handle != nullptr; }
+  bool done() const { return Handle && Handle.done(); }
+
+  /// Awaiting a task starts it and suspends the parent until completion;
+  /// resuming yields the co_returned value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> Child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<>
+      await_suspend(std::coroutine_handle<> Parent) noexcept {
+        Child.promise().Continuation = Parent;
+        return Child; // Symmetric transfer: start the child now.
+      }
+      T await_resume() {
+        assert(Child.promise().Result && "task finished without a value");
+        return std::move(*Child.promise().Result);
+      }
+    };
+    assert(Handle && "awaiting an empty task");
+    return Awaiter{Handle};
+  }
+
+private:
+  friend class Simulator;
+
+  /// Releases ownership of the frame (used by Simulator::spawn).
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(Handle, nullptr);
+  }
+
+  void destroy() {
+    if (Handle) {
+      Handle.destroy();
+      Handle = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> Handle;
+};
+
+/// Specialisation for tasks that produce no value.
+template <> class [[nodiscard]] Task<void> {
+public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> Handle) : Handle(Handle) {}
+  Task(Task &&Other) noexcept : Handle(std::exchange(Other.Handle, nullptr)) {}
+  Task &operator=(Task &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      Handle = std::exchange(Other.Handle, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return Handle != nullptr; }
+  bool done() const { return Handle && Handle.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> Child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<>
+      await_suspend(std::coroutine_handle<> Parent) noexcept {
+        Child.promise().Continuation = Parent;
+        return Child;
+      }
+      void await_resume() {}
+    };
+    assert(Handle && "awaiting an empty task");
+    return Awaiter{Handle};
+  }
+
+private:
+  friend class Simulator;
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(Handle, nullptr);
+  }
+
+  void destroy() {
+    if (Handle) {
+      Handle.destroy();
+      Handle = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> Handle;
+};
+
+} // namespace parcs::sim
+
+#endif // PARCS_SIM_TASK_H

@@ -1,0 +1,38 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability macros used across the library.  The library is
+/// built without exceptions or RTTI in spirit (LLVM conventions): programmer
+/// errors abort via assertions and \c parcsUnreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_COMPILER_H
+#define PARCS_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace parcs {
+
+/// Marks a point in control flow that must never be reached.  Prints the
+/// message and location, then aborts.  Unlike \c assert this also fires in
+/// release builds, because reaching such a point means internal state is
+/// corrupt and continuing would produce garbage results.
+[[noreturn]] inline void parcsUnreachableImpl(const char *Msg,
+                                              const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace parcs
+
+#define PARCS_UNREACHABLE(Msg)                                                 \
+  ::parcs::parcsUnreachableImpl(Msg, __FILE__, __LINE__)
+
+#endif // PARCS_SUPPORT_COMPILER_H

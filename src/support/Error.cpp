@@ -1,0 +1,43 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include "support/Compiler.h"
+
+using namespace parcs;
+
+const char *parcs::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::None:
+    return "none";
+  case ErrorCode::MalformedMessage:
+    return "malformed message";
+  case ErrorCode::UnknownObject:
+    return "unknown object";
+  case ErrorCode::UnknownMethod:
+    return "unknown method";
+  case ErrorCode::UnknownType:
+    return "unknown type";
+  case ErrorCode::ConnectionFailed:
+    return "connection failed";
+  case ErrorCode::RemoteFault:
+    return "remote fault";
+  case ErrorCode::InvalidArgument:
+    return "invalid argument";
+  case ErrorCode::ParseError:
+    return "parse error";
+  case ErrorCode::TimedOut:
+    return "timed out";
+  }
+  PARCS_UNREACHABLE("unhandled ErrorCode");
+}
+
+std::string Error::str() const {
+  if (Code == ErrorCode::None)
+    return "success";
+  return std::string(errorCodeName(Code)) + ": " + Message;
+}

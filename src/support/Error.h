@@ -1,0 +1,118 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types in the spirit of llvm::Error /
+/// llvm::Expected, without exceptions.  Library code returns \c ErrorOr<T>
+/// for operations that can fail because of *input* (malformed wire bytes,
+/// unknown object names); programmer errors use assertions instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_ERROR_H
+#define PARCS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace parcs {
+
+/// Unit type standing in for 'void' wherever a value is required (e.g.
+/// ErrorOr<Unit> as the result of a remote void method).
+struct Unit {
+  friend bool operator==(Unit, Unit) { return true; }
+  friend bool operator!=(Unit, Unit) { return false; }
+};
+
+/// Category of a recoverable error.  Kept deliberately small; the message
+/// carries the detail.
+enum class ErrorCode {
+  None = 0,
+  MalformedMessage,  ///< Wire bytes failed to deserialise.
+  UnknownObject,     ///< Remote object URI / registry name not bound.
+  UnknownMethod,     ///< Method name not registered on the target class.
+  UnknownType,       ///< Serialisation registry has no entry for a type tag.
+  ConnectionFailed,  ///< Simulated transport could not reach the peer.
+  RemoteFault,       ///< The remote method itself reported a failure.
+  InvalidArgument,   ///< Caller-supplied configuration is unusable.
+  ParseError,        ///< parcgen source file failed to parse.
+  TimedOut,          ///< A call's deadline elapsed before the reply.
+};
+
+/// Returns a stable human-readable name for \p Code.
+const char *errorCodeName(ErrorCode Code);
+
+/// A recoverable error: a code plus a free-form message.
+class Error {
+public:
+  Error() = default;
+  Error(ErrorCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {
+    assert(Code != ErrorCode::None && "real errors need a real code");
+  }
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// True when this object actually carries an error.
+  explicit operator bool() const { return Code != ErrorCode::None; }
+
+  /// Renders "code: message" for diagnostics.
+  std::string str() const;
+
+private:
+  ErrorCode Code = ErrorCode::None;
+  std::string Message;
+};
+
+/// Either a value of type \p T or an Error.  Modeled after llvm::ErrorOr.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  ErrorOr(Error Err) : Err(std::move(Err)) {
+    assert(this->Err && "ErrorOr constructed from empty Error");
+  }
+  ErrorOr(ErrorCode Code, std::string Message)
+      : Err(Code, std::move(Message)) {}
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Moves the value out; only valid on success.
+  T take() {
+    assert(Value && "taking value of failed ErrorOr");
+    return std::move(*Value);
+  }
+
+  const Error &error() const {
+    assert(!Value && "accessing error of successful ErrorOr");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+} // namespace parcs
+
+#endif // PARCS_SUPPORT_ERROR_H

@@ -1,0 +1,54 @@
+//===- support/Logging.cpp ------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace parcs;
+
+namespace {
+
+LogLevel readInitialLevel() {
+  if (const char *Env = std::getenv("PARCS_LOG")) {
+    int Value = std::atoi(Env);
+    if (Value >= 0 && Value <= 4)
+      return static_cast<LogLevel>(Value);
+  }
+  return LogLevel::Off;
+}
+
+LogLevel &currentLevel() {
+  static LogLevel Level = readInitialLevel();
+  return Level;
+}
+
+const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Off:
+    return "off";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+} // namespace
+
+void parcs::setLogLevel(LogLevel Level) { currentLevel() = Level; }
+
+LogLevel parcs::logLevel() { return currentLevel(); }
+
+void parcs::logLine(LogLevel Level, const std::string &Message) {
+  std::fprintf(stderr, "[parcs:%s] %s\n", levelName(Level), Message.c_str());
+}

@@ -1,0 +1,46 @@
+//===- support/Logging.h - Leveled diagnostic logging -----------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger.  Logging is off by default so tests and benches
+/// stay quiet; set the level with \c setLogLevel or the PARCS_LOG environment
+/// variable (0=off, 1=error, 2=warn, 3=info, 4=debug).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_LOGGING_H
+#define PARCS_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace parcs {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Sets the global log level.
+void setLogLevel(LogLevel Level);
+
+/// Returns the current global log level (initialised from PARCS_LOG).
+LogLevel logLevel();
+
+/// Writes one formatted line to stderr; used by the PARCS_LOG macro.
+void logLine(LogLevel Level, const std::string &Message);
+
+} // namespace parcs
+
+/// Logs \p Expr (an ostream chain) at \p LevelName if enabled, e.g.
+/// PARCS_LOG(Info, "node " << Id << " booted").
+#define PARCS_LOG(LevelName, Expr)                                            \
+  do {                                                                        \
+    if (::parcs::logLevel() >= ::parcs::LogLevel::LevelName) {                \
+      std::ostringstream LogOss_;                                             \
+      LogOss_ << Expr;                                                        \
+      ::parcs::logLine(::parcs::LogLevel::LevelName, LogOss_.str());          \
+    }                                                                         \
+  } while (false)
+
+#endif // PARCS_SUPPORT_LOGGING_H

@@ -1,0 +1,91 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random generator (SplitMix64 seeding a
+/// xoshiro256**).  All randomised behaviour in the simulator goes through
+/// this class so runs are reproducible bit-for-bit across platforms; the
+/// standard library engines are avoided because their streams are not
+/// guaranteed identical everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_RANDOM_H
+#define PARCS_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace parcs {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initialises the state from \p Seed.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(X);
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  static uint64_t splitMix64(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace parcs
+
+#endif // PARCS_SUPPORT_RANDOM_H

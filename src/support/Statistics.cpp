@@ -1,0 +1,65 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace parcs;
+
+void RunningStats::add(double Value) {
+  ++Count;
+  Sum += Value;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+  Min = std::min(Min, Value);
+  Max = std::max(Max, Value);
+}
+
+double RunningStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::add(double Value) {
+  Samples.push_back(Value);
+  Sorted = Samples.size() <= 1;
+  Stats.add(Value);
+}
+
+double SampleSet::percentile(double P) const {
+  assert(!Samples.empty() && "percentile of empty sample set");
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  if (!Sorted) {
+    std::sort(Samples.begin(), Samples.end());
+    Sorted = true;
+  }
+  if (Samples.size() == 1)
+    return Samples.front();
+  double Rank = P / 100.0 * static_cast<double>(Samples.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
+}
+
+std::string SampleSet::str() const {
+  std::ostringstream Oss;
+  Oss << "n=" << Stats.count();
+  if (Stats.count() > 0) {
+    Oss << " mean=" << Stats.mean() << " p50=" << percentile(50)
+        << " p99=" << percentile(99) << " min=" << Stats.min()
+        << " max=" << Stats.max();
+  }
+  return Oss.str();
+}

@@ -1,0 +1,71 @@
+//===- support/Statistics.h - Running statistics ----------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators used by the benchmark harnesses: a running summary (count,
+/// mean, variance via Welford, min, max) and a sample buffer that can report
+/// percentiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_STATISTICS_H
+#define PARCS_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace parcs {
+
+/// Streaming summary statistics (no sample storage).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double Value);
+
+  size_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+  double sum() const { return Sum; }
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Sum = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers percentile queries.
+class SampleSet {
+public:
+  void add(double Value);
+  size_t count() const { return Samples.size(); }
+
+  /// Returns the \p P-th percentile (0..100) by linear interpolation.
+  /// Asserts when empty.
+  double percentile(double P) const;
+  double median() const { return percentile(50.0); }
+  const RunningStats &summary() const { return Stats; }
+
+  /// One-line "n=.. mean=.. p50=.. p99=.. max=.." rendering.
+  std::string str() const;
+
+private:
+  mutable std::vector<double> Samples;
+  mutable bool Sorted = true;
+  RunningStats Stats;
+};
+
+} // namespace parcs
+
+#endif // PARCS_SUPPORT_STATISTICS_H

@@ -1,0 +1,74 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+using namespace parcs;
+
+std::vector<std::string> parcs::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string_view parcs::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool parcs::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool parcs::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string parcs::joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+std::string parcs::formatBytes(uint64_t Bytes) {
+  static const char *const Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  size_t Unit = 0;
+  while (Value >= 1024.0 && Unit + 1 < sizeof(Units) / sizeof(Units[0])) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  char Buffer[32];
+  if (Unit == 0)
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f %s", Value, Units[Unit]);
+  return Buffer;
+}

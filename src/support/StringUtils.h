@@ -1,0 +1,40 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers used by parcgen and the URI parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_STRINGUTILS_H
+#define PARCS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcs {
+
+/// Splits \p Text on \p Sep.  Adjacent separators produce empty elements;
+/// splitting the empty string yields one empty element.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+bool startsWith(std::string_view Text, std::string_view Prefix);
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Joins \p Parts with \p Sep between elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Formats a byte count as a human-readable string ("1.5 KB", "3 MB").
+std::string formatBytes(uint64_t Bytes);
+
+} // namespace parcs
+
+#endif // PARCS_SUPPORT_STRINGUTILS_H

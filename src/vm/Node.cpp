@@ -1,0 +1,39 @@
+//===- vm/Node.cpp --------------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Node.h"
+
+using namespace parcs;
+using namespace parcs::vm;
+
+sim::Task<void> Node::compute(sim::SimTime CpuTime) {
+  if (CpuTime <= sim::SimTime())
+    co_return;
+  ++Runnable;
+  sim::SimTime Remaining = CpuTime;
+  while (Remaining > sim::SimTime()) {
+    co_await CoreSlots.acquire();
+    sim::SimTime Slice = Remaining < Quantum ? Remaining : Quantum;
+    co_await Sim.delay(Slice);
+    Busy += Slice;
+    Remaining -= Slice;
+    // Yield the core between slices so equal-priority threads round-robin.
+    CoreSlots.release();
+  }
+  --Runnable;
+}
+
+void Node::startThread(sim::Task<void> Body) {
+  // The creation cost is charged on the node before the body runs, matching
+  // what a pool would amortise away.
+  struct Launcher {
+    static sim::Task<void> run(Node &Self, sim::Task<void> Body) {
+      co_await Self.compute(calib::ThreadCreateCost);
+      co_await std::move(Body);
+    }
+  };
+  Sim.spawn(Launcher::run(*this, std::move(Body)));
+}

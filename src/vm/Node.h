@@ -1,0 +1,84 @@
+//===- vm/Node.h - A cluster node with cores and a VM -----------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One cluster node: a set of CPU cores shared by simulated threads with
+/// round-robin time slicing, executing under a VM cost model.  The paper's
+/// testbed nodes are dual Athlon MP 1800+ machines, i.e. 2 cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_VM_NODE_H
+#define PARCS_VM_NODE_H
+
+#include "sim/Simulator.h"
+#include "sim/Sync.h"
+#include "sim/Task.h"
+#include "vm/Calibration.h"
+#include "vm/VmKind.h"
+
+namespace parcs::vm {
+
+/// A processing node: \c Cores CPUs shared by any number of simulated
+/// threads.  compute() occupies one core for the requested CPU time, sliced
+/// into scheduler quanta so concurrent threads share cores fairly (FIFO
+/// round-robin), exactly reproducible.
+class Node {
+public:
+  Node(sim::Simulator &Sim, int Id, VmKind Vm, int Cores = 2,
+       sim::SimTime Quantum = calib::SchedulerQuantum)
+      : Sim(Sim), Id(Id), Vm(Vm), Model(vmCostModel(Vm)), Cores(Cores),
+        Quantum(Quantum), CoreSlots(Sim, Cores) {
+    assert(Cores > 0 && "node needs at least one core");
+    assert(Quantum > sim::SimTime() && "quantum must be positive");
+  }
+  Node(const Node &) = delete;
+  Node &operator=(const Node &) = delete;
+
+  sim::Simulator &sim() { return Sim; }
+  int id() const { return Id; }
+  VmKind vmKind() const { return Vm; }
+  const VmCostModel &costModel() const { return Model; }
+  int cores() const { return Cores; }
+
+  /// Occupies one core for \p CpuTime, time-sliced; other runnable threads
+  /// interleave at quantum granularity.
+  sim::Task<void> compute(sim::SimTime CpuTime);
+
+  /// Charges \p ReferenceTime of \p Kind work scaled by this node's VM
+  /// multiplier (reference = Sun JVM 1.4.2).
+  sim::Task<void> computeWork(WorkKind Kind, sim::SimTime ReferenceTime) {
+    double Mult = workMultiplier(Model, Kind);
+    return compute(sim::SimTime::fromSecondsF(ReferenceTime.toSecondsF() *
+                                              Mult));
+  }
+
+  /// Starts a new simulated thread on this node, paying the thread-creation
+  /// cost before \p Body runs.
+  void startThread(sim::Task<void> Body);
+
+  /// Total CPU time consumed on this node so far.
+  sim::SimTime busyTime() const { return Busy; }
+
+  /// Number of threads currently inside compute() (running or queued for a
+  /// core).
+  int runnableThreads() const { return Runnable; }
+
+private:
+  sim::Simulator &Sim;
+  int Id;
+  VmKind Vm;
+  const VmCostModel &Model;
+  int Cores;
+  sim::SimTime Quantum;
+  sim::Semaphore CoreSlots;
+  sim::SimTime Busy;
+  int Runnable = 0;
+};
+
+} // namespace parcs::vm
+
+#endif // PARCS_VM_NODE_H

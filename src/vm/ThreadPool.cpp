@@ -1,0 +1,35 @@
+//===- vm/ThreadPool.cpp --------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ThreadPool.h"
+
+using namespace parcs;
+using namespace parcs::vm;
+
+ThreadPool::ThreadPool(Node &Host, int MaxWorkers)
+    : Host(Host),
+      MaxWorkers(MaxWorkers > 0 ? MaxWorkers
+                                : Host.costModel().ThreadPoolMax),
+      Queue(Host.sim()), Pending(Host.sim()) {
+  assert(this->MaxWorkers > 0 && "pool needs at least one worker");
+  for (int I = 0; I < this->MaxWorkers; ++I)
+    Host.sim().spawn(workerLoop());
+}
+
+void ThreadPool::post(std::function<sim::Task<void>()> Work) {
+  ++Posted;
+  Pending.add(1);
+  Queue.trySend(std::move(Work));
+}
+
+sim::Task<void> ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<sim::Task<void>()> Work = co_await Queue.recv();
+    co_await Host.compute(calib::ThreadPoolDispatch);
+    co_await Work();
+    Pending.done();
+  }
+}

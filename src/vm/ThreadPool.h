@@ -1,0 +1,63 @@
+//===- vm/ThreadPool.h - Bounded worker pool --------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded pool of simulated worker threads on one node, modelling the
+/// Mono/.Net thread pool.  The paper observes that the pool "reduces the
+/// thread creation cost; however limiting the number of running threads in
+/// parallel applications reduces the overlap among computation and
+/// communication and also produces starvation in some application threads"
+/// -- both effects fall out of this model: at most MaxWorkers items run
+/// concurrently and excess items queue FIFO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_VM_THREADPOOL_H
+#define PARCS_VM_THREADPOOL_H
+
+#include "sim/Channel.h"
+#include "sim/Sync.h"
+#include "sim/Task.h"
+#include "vm/Node.h"
+
+#include <functional>
+
+namespace parcs::vm {
+
+/// FIFO work queue drained by a fixed set of simulated worker threads.
+class ThreadPool {
+public:
+  /// Creates the pool with \p MaxWorkers workers (default: the node VM's
+  /// configured cap) and starts the worker loops.
+  explicit ThreadPool(Node &Host, int MaxWorkers = 0);
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a work item: a thunk producing the task to run.  Callable
+  /// from event context (non-suspending).
+  void post(std::function<sim::Task<void>()> Work);
+
+  /// Awaitable: resumes once every posted item has completed.
+  auto waitIdle() { return Pending.wait(); }
+
+  int workers() const { return MaxWorkers; }
+  size_t queueDepth() const { return Queue.size(); }
+  /// Items posted over the pool's lifetime.
+  uint64_t posted() const { return Posted; }
+
+private:
+  sim::Task<void> workerLoop();
+
+  Node &Host;
+  int MaxWorkers;
+  sim::Channel<std::function<sim::Task<void>()>> Queue;
+  sim::WaitGroup Pending;
+  uint64_t Posted = 0;
+};
+
+} // namespace parcs::vm
+
+#endif // PARCS_VM_THREADPOOL_H

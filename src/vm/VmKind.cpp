@@ -1,0 +1,79 @@
+//===- vm/VmKind.cpp ------------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VmKind.h"
+
+#include "support/Compiler.h"
+#include "vm/Calibration.h"
+
+using namespace parcs;
+using namespace parcs::vm;
+
+const VmCostModel &parcs::vm::vmCostModel(VmKind Kind) {
+  static const VmCostModel Native = {calib::FpCostNative, calib::IntCostNative,
+                                     calib::AllocCostNative,
+                                     calib::JvmThreadPoolMax};
+  static const VmCostModel SunJvm = {calib::FpCostSunJvm, calib::IntCostSunJvm,
+                                     calib::AllocCostSunJvm,
+                                     calib::JvmThreadPoolMax};
+  static const VmCostModel MsClr = {calib::FpCostMsClr, calib::IntCostMsClr,
+                                    calib::AllocCostMsClr,
+                                    calib::MonoThreadPoolMax};
+  static const VmCostModel Mono105 = {
+      calib::FpCostMono105, calib::IntCostMono105, calib::AllocCostMono105,
+      calib::MonoThreadPoolMax};
+  static const VmCostModel Mono117 = {
+      calib::FpCostMono117, calib::IntCostMono117, calib::AllocCostMono117,
+      calib::MonoThreadPoolMax};
+  static const VmCostModel MonoTuned = {
+      calib::FpCostMonoTuned, calib::IntCostMono117,
+      calib::AllocCostSunJvm, calib::MonoTunedThreadPoolMax};
+  switch (Kind) {
+  case VmKind::NativeCpp:
+    return Native;
+  case VmKind::SunJvm142:
+    return SunJvm;
+  case VmKind::MsClr:
+    return MsClr;
+  case VmKind::MonoVm105:
+    return Mono105;
+  case VmKind::MonoVm117:
+    return Mono117;
+  case VmKind::MonoTuned:
+    return MonoTuned;
+  }
+  PARCS_UNREACHABLE("unhandled VmKind");
+}
+
+const char *parcs::vm::vmKindName(VmKind Kind) {
+  switch (Kind) {
+  case VmKind::NativeCpp:
+    return "native C++";
+  case VmKind::SunJvm142:
+    return "Sun JVM 1.4.2";
+  case VmKind::MsClr:
+    return "MS CLR";
+  case VmKind::MonoVm105:
+    return "Mono 1.0.5";
+  case VmKind::MonoVm117:
+    return "Mono 1.1.7";
+  case VmKind::MonoTuned:
+    return "Mono (tuned projection)";
+  }
+  PARCS_UNREACHABLE("unhandled VmKind");
+}
+
+double parcs::vm::workMultiplier(const VmCostModel &Model, WorkKind Work) {
+  switch (Work) {
+  case WorkKind::FloatingPoint:
+    return Model.FpMultiplier;
+  case WorkKind::Integer:
+    return Model.IntMultiplier;
+  case WorkKind::Allocation:
+    return Model.AllocMultiplier;
+  }
+  PARCS_UNREACHABLE("unhandled WorkKind");
+}

@@ -1,0 +1,62 @@
+//===- vm/VmKind.h - Virtual machine cost models ----------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machines the paper compares (Sun JVM 1.4.2, Mono 1.0.5,
+/// Mono 1.1.7, Microsoft CLR) plus a native-code baseline, modelled as
+/// execution-cost multipliers over abstract work units.  Real algorithm
+/// code runs once to produce *results*; the *time* it is charged scales
+/// with the executing VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_VM_VMKIND_H
+#define PARCS_VM_VMKIND_H
+
+#include "sim/SimTime.h"
+
+namespace parcs::vm {
+
+/// The execution platforms of the paper's evaluation.
+enum class VmKind {
+  NativeCpp, ///< g++ 3.2.2 compiled code (the MPI baseline's host).
+  SunJvm142, ///< Sun JDK 1.4.2 HotSpot.
+  MsClr,     ///< Microsoft .Net CLR (Windows; sequential comparison only).
+  MonoVm105, ///< Mono 1.0.5.
+  MonoVm117, ///< Mono 1.1.7 (the paper's main platform).
+  MonoTuned, ///< Hypothetical tuned Mono (the paper's future work: an
+             ///< improved JIT and thread scheduling policy).
+};
+
+/// Kind of work being charged to a core; VMs differ per kind.
+enum class WorkKind {
+  FloatingPoint, ///< FP-heavy code (ray tracer shading/intersections).
+  Integer,       ///< Integer code (prime sieve).
+  Allocation,    ///< Allocation/GC heavy code.
+};
+
+/// Cost model of one VM: multipliers over reference work plus threading
+/// behaviour.
+struct VmCostModel {
+  double FpMultiplier;
+  double IntMultiplier;
+  double AllocMultiplier;
+  /// Default cap on pool worker threads (models Mono's bounded pool).
+  int ThreadPoolMax;
+};
+
+/// Returns the cost model for \p Kind (constants from vm/Calibration.h).
+const VmCostModel &vmCostModel(VmKind Kind);
+
+/// Stable display name, e.g. "Mono 1.1.7".
+const char *vmKindName(VmKind Kind);
+
+/// Multiplier for \p Work under \p Model.
+double workMultiplier(const VmCostModel &Model, WorkKind Work);
+
+} // namespace parcs::vm
+
+#endif // PARCS_VM_VMKIND_H

@@ -1,0 +1,241 @@
+//===- tests/FaultTest.cpp - fault injection + timeout tests --------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Failure-path behaviour: deterministic packet loss in the fabric, call
+/// deadlines in the RPC engine, connection-setup costs, and retry logic
+/// built from the two.
+///
+//===----------------------------------------------------------------------===//
+
+#include "remoting/Remoting.h"
+#include "vm/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcs;
+using namespace parcs::remoting;
+using namespace parcs::sim;
+
+namespace {
+
+SimTime ms(int64_t N) { return SimTime::milliseconds(N); }
+
+class EchoHandler : public CallHandler {
+public:
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
+                                       const Bytes &Args) override {
+    if (Method != "echo")
+      co_return Error(ErrorCode::UnknownMethod, std::string(Method));
+    ++Calls;
+    co_return Bytes(Args);
+  }
+  int Calls = 0;
+};
+
+struct FaultWorld {
+  explicit FaultWorld(int DropEveryNth = 0)
+      : Machines(2, vm::VmKind::MonoVm117),
+        Net(Machines.sim(), 2, [DropEveryNth] {
+          net::NetConfig Config;
+          Config.DropEveryNth = DropEveryNth;
+          return Config;
+        }()),
+        Client(Machines.node(0), Net,
+               stackProfile(StackKind::MonoRemotingTcp117), 1050),
+        Server(Machines.node(1), Net,
+               stackProfile(StackKind::MonoRemotingTcp117), 1050),
+        Echo(std::make_shared<EchoHandler>()) {
+    Server.publish("echo", Echo);
+  }
+
+  Simulator &sim() { return Machines.sim(); }
+
+  vm::Cluster Machines;
+  net::Network Net;
+  RpcEndpoint Client;
+  RpcEndpoint Server;
+  std::shared_ptr<EchoHandler> Echo;
+};
+
+//===----------------------------------------------------------------------===//
+// Packet loss
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, DropPatternIsDeterministic) {
+  FaultWorld W(/*DropEveryNth=*/3);
+  int Ok = 0, TimedOut = 0;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, int &Ok, int &TimedOut) {
+      for (int I = 0; I < 9; ++I) {
+        Bytes Payload = serial::encodeValues(static_cast<int32_t>(I));
+        ErrorOr<Bytes> Out = co_await W.Client.call(
+            1, 1050, "echo", "echo", Payload, /*Timeout=*/ms(50));
+        if (Out)
+          ++Ok;
+        else if (Out.error().code() == ErrorCode::TimedOut)
+          ++TimedOut;
+      }
+    }
+  };
+  W.sim().spawn(Proc::run(W, Ok, TimedOut));
+  W.sim().run();
+  // Transfers interleave request/reply, but a dropped request produces no
+  // reply, which shifts the pattern: transfer 3 (request 2), 6 (request
+  // 4), 9 (request 6), 12 (request 8) are lost -- 4 drops, so calls
+  // 2/4/6/8 time out and the odd calls succeed.
+  EXPECT_EQ(W.Net.messagesDropped(), 4u);
+  EXPECT_EQ(Ok + TimedOut, 9);
+  EXPECT_EQ(TimedOut, 4);
+  EXPECT_EQ(Ok, 5);
+}
+
+TEST(FaultTest, LossyNetworkWithoutTimeoutJustStalls) {
+  // A dropped call without a deadline leaves the pending entry parked;
+  // the simulation drains and the caller never resumes -- exactly why
+  // the timeout API exists.  The frame must still be reclaimed safely.
+  FaultWorld W(/*DropEveryNth=*/1); // Everything is lost.
+  bool Resumed = false;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, bool &Resumed) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(1));
+      (void)co_await W.Client.call(1, 1050, "echo", "echo", Payload);
+      Resumed = true;
+    }
+  };
+  W.sim().spawn(Proc::run(W, Resumed));
+  W.sim().run();
+  EXPECT_FALSE(Resumed);
+  EXPECT_GE(W.Net.messagesDropped(), 1u);
+}
+
+TEST(FaultTest, RetryLoopSurvivesLoss) {
+  // Standard client pattern: retry with a deadline until success.  A
+  // leading one-way message shifts the drop phase so the first attempt
+  // loses its reply and the retry goes through.
+  FaultWorld W(/*DropEveryNth=*/3);
+  int Attempts = 0;
+  bool Succeeded = false;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, int &Attempts, bool &Succeeded) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(42));
+      co_await W.Client.callOneWay(1, 1050, "echo", "echo", Payload);
+      for (int Try = 0; Try < 10 && !Succeeded; ++Try) {
+        ++Attempts;
+        ErrorOr<Bytes> Out = co_await W.Client.call(
+            1, 1050, "echo", "echo", Payload, /*Timeout=*/ms(20));
+        Succeeded = Out.hasValue();
+      }
+    }
+  };
+  W.sim().spawn(Proc::run(W, Attempts, Succeeded));
+  W.sim().run();
+  EXPECT_TRUE(Succeeded);
+  EXPECT_EQ(Attempts, 2) << "first attempt's reply is transfer 3 (lost)";
+}
+
+TEST(FaultTest, TimeoutDoesNotFireOnFastReply) {
+  FaultWorld W;
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(FaultWorld &W, ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(5));
+      Out = co_await W.Client.call(1, 1050, "echo", "echo", Payload,
+                                   /*Timeout=*/SimTime::seconds(10));
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  EXPECT_TRUE(Out.hasValue());
+}
+
+TEST(FaultTest, LateRepliesAfterTimeoutAreDropped) {
+  // Timeout shorter than the round trip: the reply arrives after the
+  // deadline and must be discarded without crashing or mis-matching.
+  FaultWorld W;
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(FaultWorld &W, ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(5));
+      Out = co_await W.Client.call(1, 1050, "echo", "echo", Payload,
+                                   /*Timeout=*/SimTime::microseconds(100));
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_EQ(Out.error().code(), ErrorCode::TimedOut);
+  // The server still executed the call; its late reply was dropped as an
+  // unknown call id.
+  EXPECT_EQ(W.Echo->Calls, 1);
+  EXPECT_EQ(W.Client.stats().MalformedDropped, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Connection establishment
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, FirstCallPaysConnectionSetup) {
+  FaultWorld W;
+  SimTime First, Second;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, SimTime &First, SimTime &Second) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(1));
+      SimTime T0 = W.sim().now();
+      (void)co_await W.Client.call(1, 1050, "echo", "echo", Payload);
+      First = W.sim().now() - T0;
+      SimTime T1 = W.sim().now();
+      (void)co_await W.Client.call(1, 1050, "echo", "echo", Payload);
+      Second = W.sim().now() - T1;
+    }
+  };
+  W.sim().spawn(Proc::run(W, First, Second));
+  W.sim().run();
+  SimTime Setup = stackProfile(StackKind::MonoRemotingTcp117).ConnectSetup;
+  EXPECT_GT(First, Second + Setup - SimTime::microseconds(1));
+  EXPECT_LT(First - Second, Setup + SimTime::microseconds(50));
+}
+
+TEST(FaultTest, LoopbackSkipsConnectionSetup) {
+  FaultWorld W;
+  W.Client.publish("local-echo", std::make_shared<EchoHandler>());
+  SimTime First;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, SimTime &First) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(1));
+      SimTime T0 = W.sim().now();
+      (void)co_await W.Client.call(0, 1050, "local-echo", "echo", Payload);
+      First = W.sim().now() - T0;
+    }
+  };
+  W.sim().spawn(Proc::run(W, First));
+  W.sim().run();
+  EXPECT_LT(First,
+            stackProfile(StackKind::MonoRemotingTcp117).ConnectSetup);
+}
+
+TEST(FaultTest, ConcurrentFirstCallsConnectOnce) {
+  FaultWorld W;
+  SimTime Done;
+  struct Proc {
+    static Task<void> run(FaultWorld &W, sim::WaitGroup &Group) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(1));
+      (void)co_await W.Client.call(1, 1050, "echo", "echo", Payload);
+      Group.done();
+    }
+  };
+  sim::WaitGroup Group(W.sim());
+  Group.add(3);
+  for (int I = 0; I < 3; ++I)
+    W.sim().spawn(Proc::run(W, Group));
+  W.sim().run();
+  EXPECT_EQ(W.Echo->Calls, 3);
+  // All three completed within roughly one connect + one round trip --
+  // not three connects back to back.
+  EXPECT_LT(W.sim().now(), ms(3));
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+//===- tests/MpiTest.cpp - MPI subset tests -------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mpi/Mpi.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcs;
+using namespace parcs::mpi;
+using namespace parcs::sim;
+
+namespace {
+
+struct MpiFixture {
+  MpiFixture(int Nodes, int Ranks, int RanksPerNode = 2)
+      : Machines(Nodes, vm::VmKind::NativeCpp), Net(Machines.sim(), Nodes),
+        World(Machines, Net, Ranks, RanksPerNode) {}
+
+  Simulator &sim() { return Machines.sim(); }
+
+  vm::Cluster Machines;
+  net::Network Net;
+  MpiWorld World;
+};
+
+Bytes packInt(int32_t Value) { return serial::encodeValues(Value); }
+
+int32_t unpackInt(const Bytes &Data) {
+  int32_t Value = -1;
+  EXPECT_TRUE(serial::decodeValues(Data, Value));
+  return Value;
+}
+
+//===----------------------------------------------------------------------===//
+// Point to point
+//===----------------------------------------------------------------------===//
+
+TEST(MpiTest, SendRecvBetweenNodes) {
+  MpiFixture F(2, 2, 1);
+  std::vector<int32_t> Got;
+  F.World.launch([&Got](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      co_await Comm.send(1, /*Tag=*/7, packInt(41));
+    } else {
+      RecvResult In = co_await Comm.recv(0, 7);
+      Got.push_back(unpackInt(In.Data));
+      Got.push_back(In.Source);
+      Got.push_back(In.Tag);
+    }
+  });
+  F.sim().run();
+  EXPECT_EQ(F.World.finishedRanks(), 2);
+  EXPECT_EQ(Got, (std::vector<int32_t>{41, 0, 7}));
+}
+
+TEST(MpiTest, TagMatchingIsSelective) {
+  // Messages with tag 2 must not satisfy a recv posted for tag 1, even if
+  // they arrive first.
+  MpiFixture F(2, 2, 1);
+  std::vector<int32_t> Order;
+  F.World.launch([&Order](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      co_await Comm.send(1, 2, packInt(222));
+      co_await Comm.send(1, 1, packInt(111));
+    } else {
+      RecvResult First = co_await Comm.recv(0, 1);
+      RecvResult Second = co_await Comm.recv(0, 2);
+      Order.push_back(unpackInt(First.Data));
+      Order.push_back(unpackInt(Second.Data));
+    }
+  });
+  F.sim().run();
+  EXPECT_EQ(Order, (std::vector<int32_t>{111, 222}));
+}
+
+TEST(MpiTest, AnySourceReceivesInArrivalOrder) {
+  MpiFixture F(3, 3, 1);
+  std::vector<int32_t> Sources;
+  F.World.launch([&Sources](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      for (int I = 1; I < Comm.size(); ++I) {
+        RecvResult In = co_await Comm.recv(AnySource, 5);
+        Sources.push_back(In.Source);
+      }
+    } else {
+      // Rank 2 delays so rank 1's message arrives first.
+      if (Comm.rank() == 2)
+        co_await Comm.node().sim().delay(SimTime::milliseconds(5));
+      co_await Comm.send(0, 5, packInt(Comm.rank()));
+    }
+  });
+  F.sim().run();
+  EXPECT_EQ(Sources, (std::vector<int32_t>{1, 2}));
+}
+
+TEST(MpiTest, UnexpectedMessagesQueueFifo) {
+  MpiFixture F(2, 2, 1);
+  std::vector<int32_t> Values;
+  F.World.launch([&Values](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      for (int32_t I = 0; I < 4; ++I)
+        co_await Comm.send(1, 9, packInt(I));
+    } else {
+      // Let all four arrive unexpected, then drain.
+      co_await Comm.node().sim().delay(SimTime::milliseconds(10));
+      for (int I = 0; I < 4; ++I) {
+        RecvResult In = co_await Comm.recv(0, 9);
+        Values.push_back(unpackInt(In.Data));
+      }
+    }
+  });
+  F.sim().run();
+  EXPECT_EQ(Values, (std::vector<int32_t>{0, 1, 2, 3}));
+}
+
+TEST(MpiTest, IsendIrecvOverlap) {
+  MpiFixture F(2, 2, 1);
+  std::vector<int32_t> Got;
+  F.World.launch([&Got](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      auto R1 = Comm.isend(1, 1, packInt(10));
+      auto R2 = Comm.isend(1, 2, packInt(20));
+      (void)co_await R1;
+      (void)co_await R2;
+    } else {
+      auto A = Comm.irecv(0, 2);
+      auto B = Comm.irecv(0, 1);
+      RecvResult MsgA = co_await A;
+      RecvResult MsgB = co_await B;
+      Got.push_back(unpackInt(MsgA.Data));
+      Got.push_back(unpackInt(MsgB.Data));
+    }
+  });
+  F.sim().run();
+  EXPECT_EQ(Got, (std::vector<int32_t>{20, 10}));
+}
+
+TEST(MpiTest, RanksOnSameNodeCommunicate) {
+  // Two ranks sharing a dual-CPU node (loopback path).
+  MpiFixture F(1, 2, 2);
+  int32_t Got = -1;
+  F.World.launch([&Got](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0)
+      co_await Comm.send(1, 3, packInt(77));
+    else
+      Got = unpackInt((co_await Comm.recv(0, 3)).Data);
+  });
+  F.sim().run();
+  EXPECT_EQ(Got, 77);
+}
+
+//===----------------------------------------------------------------------===//
+// Collectives
+//===----------------------------------------------------------------------===//
+
+class MpiCollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiCollectiveTest, BarrierSynchronises) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  std::vector<SimTime> After(static_cast<size_t>(Ranks));
+  SimTime SlowestEntry;
+  F.World.launch([&](MpiComm Comm) -> Task<void> {
+    // Each rank arrives at a different time; nobody may leave before the
+    // last arrival.
+    SimTime Entry = SimTime::milliseconds(Comm.rank() * 3);
+    co_await Comm.node().sim().delay(Entry);
+    if (Entry > SlowestEntry)
+      SlowestEntry = Entry;
+    co_await Comm.barrier();
+    After[static_cast<size_t>(Comm.rank())] = Comm.node().sim().now();
+  });
+  F.sim().run();
+  EXPECT_EQ(F.World.finishedRanks(), Ranks);
+  for (const SimTime &T : After)
+    EXPECT_GE(T, SlowestEntry);
+}
+
+TEST_P(MpiCollectiveTest, BcastReachesAllRanks) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  int Root = Ranks / 3;
+  std::vector<int32_t> Got(static_cast<size_t>(Ranks), -1);
+  F.World.launch([&, Root](MpiComm Comm) -> Task<void> {
+    Bytes Data;
+    if (Comm.rank() == Root)
+      Data = packInt(1234);
+    Bytes Out = co_await Comm.bcast(Root, std::move(Data));
+    Got[static_cast<size_t>(Comm.rank())] = unpackInt(Out);
+  });
+  F.sim().run();
+  for (int32_t V : Got)
+    EXPECT_EQ(V, 1234);
+}
+
+TEST_P(MpiCollectiveTest, ReduceSumsVectors) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  std::vector<double> RootResult;
+  F.World.launch([&](MpiComm Comm) -> Task<void> {
+    std::vector<double> Mine = {1.0, static_cast<double>(Comm.rank())};
+    std::vector<double> Out = co_await Comm.reduceSum(0, Mine);
+    if (Comm.rank() == 0)
+      RootResult = Out;
+  });
+  F.sim().run();
+  ASSERT_EQ(RootResult.size(), 2u);
+  EXPECT_DOUBLE_EQ(RootResult[0], static_cast<double>(Ranks));
+  EXPECT_DOUBLE_EQ(RootResult[1],
+                   static_cast<double>(Ranks * (Ranks - 1)) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiCollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 13));
+
+//===----------------------------------------------------------------------===//
+// Latency calibration (the 100 us in-text figure)
+//===----------------------------------------------------------------------===//
+
+TEST(MpiCalibrationTest, OneWayLatencyNear100us) {
+  MpiFixture F(2, 2, 1);
+  double OneWayUs = 0;
+  int Rounds = 50;
+  F.World.launch([&OneWayUs, Rounds](MpiComm Comm) -> Task<void> {
+    Bytes Payload = packInt(1);
+    if (Comm.rank() == 0) {
+      // Warm-up.
+      co_await Comm.send(1, 0, Payload);
+      (void)co_await Comm.recv(1, 0);
+      SimTime Start = Comm.node().sim().now();
+      for (int I = 0; I < Rounds; ++I) {
+        co_await Comm.send(1, 0, Payload);
+        (void)co_await Comm.recv(1, 0);
+      }
+      OneWayUs =
+          (Comm.node().sim().now() - Start).toMicrosF() / (2.0 * Rounds);
+    } else {
+      for (int I = 0; I < Rounds + 1; ++I) {
+        RecvResult In = co_await Comm.recv(0, 0);
+        co_await Comm.send(0, 0, std::move(In.Data));
+      }
+    }
+  });
+  F.sim().run();
+  EXPECT_NEAR(OneWayUs, 100.0, 15.0);
+}
+
+TEST(MpiCalibrationTest, LargeMessageBandwidthNearWireCeiling) {
+  MpiFixture F(2, 2, 1);
+  double MBps = 0;
+  size_t Size = 1 << 20;
+  F.World.launch([&MBps, Size](MpiComm Comm) -> Task<void> {
+    if (Comm.rank() == 0) {
+      Bytes Payload(Size, 0x7e);
+      co_await Comm.send(1, 0, Payload); // Warm-up.
+      (void)co_await Comm.recv(1, 0);
+      SimTime Start = Comm.node().sim().now();
+      co_await Comm.send(1, 0, Payload);
+      (void)co_await Comm.recv(1, 0);
+      double Sec = (Comm.node().sim().now() - Start).toSecondsF() / 2.0;
+      MBps = static_cast<double>(Size) / Sec / 1e6;
+    } else {
+      for (int I = 0; I < 2; ++I) {
+        RecvResult In = co_await Comm.recv(0, 0);
+        co_await Comm.send(0, 0, Bytes(In.Data.size(), 0));
+      }
+    }
+  });
+  F.sim().run();
+  // Paper Fig. 8a: MPI approaches (but does not exceed) the ~11.9 MB/s
+  // goodput ceiling of 100 Mbit Ethernet.
+  EXPECT_GT(MBps, 10.0);
+  EXPECT_LT(MBps, 11.9);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Extended collectives
+//===----------------------------------------------------------------------===//
+
+TEST_P(MpiCollectiveTest, AllreduceGivesEveryRankTheSum) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  std::vector<std::vector<double>> PerRank(static_cast<size_t>(Ranks));
+  F.World.launch([&](MpiComm Comm) -> Task<void> {
+    std::vector<double> Mine = {static_cast<double>(Comm.rank() + 1)};
+    PerRank[static_cast<size_t>(Comm.rank())] =
+        co_await Comm.allreduceSum(Mine);
+  });
+  F.sim().run();
+  double Expected = Ranks * (Ranks + 1) / 2.0;
+  for (const auto &V : PerRank) {
+    ASSERT_EQ(V.size(), 1u);
+    EXPECT_DOUBLE_EQ(V[0], Expected);
+  }
+}
+
+TEST_P(MpiCollectiveTest, GatherCollectsPerRankBuffers) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  int Root = Ranks - 1;
+  std::vector<Bytes> AtRoot;
+  F.World.launch([&, Root](MpiComm Comm) -> Task<void> {
+    // Variable-size buffers: rank r contributes r+1 bytes of value r.
+    Bytes Mine(static_cast<size_t>(Comm.rank() + 1),
+               static_cast<uint8_t>(Comm.rank()));
+    std::vector<Bytes> All = co_await Comm.gather(Root, std::move(Mine));
+    if (Comm.rank() == Root)
+      AtRoot = std::move(All);
+  });
+  F.sim().run();
+  ASSERT_EQ(AtRoot.size(), static_cast<size_t>(Ranks));
+  for (int R = 0; R < Ranks; ++R) {
+    EXPECT_EQ(AtRoot[static_cast<size_t>(R)].size(),
+              static_cast<size_t>(R + 1));
+    if (!AtRoot[static_cast<size_t>(R)].empty()) {
+      EXPECT_EQ(AtRoot[static_cast<size_t>(R)][0],
+                static_cast<uint8_t>(R));
+    }
+  }
+}
+
+TEST_P(MpiCollectiveTest, ScatterDealsChunks) {
+  int Ranks = GetParam();
+  MpiFixture F((Ranks + 1) / 2, Ranks);
+  std::vector<Bytes> Got(static_cast<size_t>(Ranks));
+  F.World.launch([&](MpiComm Comm) -> Task<void> {
+    std::vector<Bytes> Chunks;
+    if (Comm.rank() == 0)
+      for (int R = 0; R < Comm.size(); ++R)
+        Chunks.push_back(Bytes(static_cast<size_t>(R + 2),
+                               static_cast<uint8_t>(0x40 + R)));
+    Bytes Mine = co_await Comm.scatter(0, std::move(Chunks));
+    Got[static_cast<size_t>(Comm.rank())] = std::move(Mine);
+  });
+  F.sim().run();
+  for (int R = 0; R < Ranks; ++R) {
+    ASSERT_EQ(Got[static_cast<size_t>(R)].size(),
+              static_cast<size_t>(R + 2));
+    EXPECT_EQ(Got[static_cast<size_t>(R)][0],
+              static_cast<uint8_t>(0x40 + R));
+  }
+}
+
+TEST(MpiTest, SendRecvExchangesWithoutDeadlock) {
+  // Pairwise simultaneous exchange: with naive blocking send+recv this
+  // can deadlock; MPI_Sendrecv posts the receive first.
+  MpiFixture F(2, 2, 1);
+  std::vector<int32_t> Got(2, -1);
+  F.World.launch([&Got](MpiComm Comm) -> Task<void> {
+    int Peer = 1 - Comm.rank();
+    mpi::RecvResult In = co_await Comm.sendRecv(
+        Peer, /*SendTag=*/4, packInt(100 + Comm.rank()), Peer,
+        /*RecvTag=*/4);
+    Got[static_cast<size_t>(Comm.rank())] = unpackInt(In.Data);
+  });
+  F.sim().run();
+  EXPECT_EQ(Got[0], 101);
+  EXPECT_EQ(Got[1], 100);
+}
+
+TEST(MpiTest, RingAllreducePipelineProgram) {
+  // A small "real" MPI program over the extended API: every rank holds a
+  // slice of a vector, the group normalises it by the global sum.
+  int Ranks = 4;
+  MpiFixture F(2, Ranks);
+  std::vector<double> Normalised(static_cast<size_t>(Ranks), 0.0);
+  F.World.launch([&](MpiComm Comm) -> Task<void> {
+    double Mine = static_cast<double>((Comm.rank() + 1) * 10);
+    std::vector<double> MineVec = {Mine};
+    std::vector<double> Sum =
+        co_await Comm.allreduceSum(std::move(MineVec));
+    co_await Comm.barrier();
+    Normalised[static_cast<size_t>(Comm.rank())] = Mine / Sum[0];
+  });
+  F.sim().run();
+  double Total = 0;
+  for (double V : Normalised)
+    Total += V;
+  EXPECT_NEAR(Total, 1.0, 1e-12);
+}
+
+TEST(MpiTest, DeterministicAcrossRuns) {
+  auto RunOnce = [] {
+    MpiFixture F(3, 6);
+    F.World.launch([](MpiComm Comm) -> Task<void> {
+      std::vector<double> V = {static_cast<double>(Comm.rank())};
+      (void)co_await Comm.reduceSum(0, V);
+      co_await Comm.barrier();
+      Bytes Blob = {1, 2, 3};
+      (void)co_await Comm.bcast(0, std::move(Blob));
+    });
+    F.sim().run();
+    return F.sim().now();
+  };
+  EXPECT_EQ(RunOnce(), RunOnce());
+}
+
+} // namespace

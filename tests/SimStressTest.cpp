@@ -1,0 +1,275 @@
+//===- tests/SimStressTest.cpp - kernel property/stress tests -------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomised property tests of the simulation kernel: large seeded
+/// workloads over channels, semaphores and wait groups, checking
+/// conservation, mutual exclusion, FIFO per producer, and bit-for-bit
+/// determinism across independent runs of the same seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Channel.h"
+#include "sim/Simulator.h"
+#include "sim/Sync.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace parcs;
+using namespace parcs::sim;
+
+namespace {
+
+SimTime us(int64_t N) { return SimTime::microseconds(N); }
+
+//===----------------------------------------------------------------------===//
+// Channel conservation + per-producer FIFO under random load
+//===----------------------------------------------------------------------===//
+
+struct ChannelStressResult {
+  std::vector<std::pair<int, int>> Received; ///< (producer, seq).
+  uint64_t FinalClockNs = 0;
+};
+
+ChannelStressResult runChannelStress(uint64_t Seed, int Producers,
+                                     int ItemsPerProducer,
+                                     size_t Capacity) {
+  Simulator Sim;
+  Channel<std::pair<int, int>> Chan(Sim, Capacity);
+  ChannelStressResult Result;
+  Rng R(Seed);
+
+  struct Producer {
+    static Task<void> run(Simulator &Sim, Channel<std::pair<int, int>> &Chan,
+                          int Id, int Items, uint64_t SubSeed) {
+      Rng Mine(SubSeed);
+      for (int Seq = 0; Seq < Items; ++Seq) {
+        co_await Sim.delay(us(static_cast<int64_t>(Mine.nextBelow(50))));
+        co_await Chan.send({Id, Seq});
+      }
+    }
+  };
+  struct Consumer {
+    static Task<void> run(Simulator &Sim, Channel<std::pair<int, int>> &Chan,
+                          int Total, uint64_t SubSeed,
+                          std::vector<std::pair<int, int>> &Out) {
+      Rng Mine(SubSeed);
+      for (int I = 0; I < Total; ++I) {
+        if (Mine.nextBelow(3) == 0)
+          co_await Sim.delay(us(static_cast<int64_t>(Mine.nextBelow(80))));
+        Out.push_back(co_await Chan.recv());
+      }
+    }
+  };
+
+  for (int P = 0; P < Producers; ++P)
+    Sim.spawn(Producer::run(Sim, Chan, P, ItemsPerProducer, R.next()));
+  // Two competing consumers stress the reservation logic.
+  int Total = Producers * ItemsPerProducer;
+  int Half = Total / 2;
+  Sim.spawn(Consumer::run(Sim, Chan, Half, R.next(), Result.Received));
+  Sim.spawn(
+      Consumer::run(Sim, Chan, Total - Half, R.next(), Result.Received));
+  Sim.run();
+  Result.FinalClockNs =
+      static_cast<uint64_t>(Sim.now().nanosecondsCount());
+  return Result;
+}
+
+class ChannelStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChannelStressTest, ConservesAndOrdersItems) {
+  const int Producers = 7, Items = 40;
+  ChannelStressResult Result =
+      runChannelStress(GetParam(), Producers, Items, /*Capacity=*/5);
+  ASSERT_EQ(Result.Received.size(),
+            static_cast<size_t>(Producers * Items));
+  // Conservation: every (producer, seq) exactly once.
+  std::map<int, std::vector<int>> PerProducer;
+  for (auto [P, Seq] : Result.Received)
+    PerProducer[P].push_back(Seq);
+  ASSERT_EQ(PerProducer.size(), static_cast<size_t>(Producers));
+  for (auto &[P, Seqs] : PerProducer) {
+    ASSERT_EQ(Seqs.size(), static_cast<size_t>(Items)) << "producer " << P;
+    // The two consumers interleave, but the union per producer must
+    // contain every sequence number exactly once.
+    std::vector<int> Sorted = Seqs;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (int I = 0; I < Items; ++I)
+      EXPECT_EQ(Sorted[static_cast<size_t>(I)], I);
+  }
+}
+
+TEST_P(ChannelStressTest, DeterministicReplay) {
+  ChannelStressResult A = runChannelStress(GetParam(), 5, 30, 3);
+  ChannelStressResult B = runChannelStress(GetParam(), 5, 30, 3);
+  EXPECT_EQ(A.Received, B.Received);
+  EXPECT_EQ(A.FinalClockNs, B.FinalClockNs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelStressTest,
+                         ::testing::Values(1u, 42u, 2026u, 777777u));
+
+//===----------------------------------------------------------------------===//
+// Semaphore mutual exclusion under random load
+//===----------------------------------------------------------------------===//
+
+class SemaphoreStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SemaphoreStressTest, NeverOversubscribed) {
+  Simulator Sim;
+  const int Permits = 3, Tasks = 25;
+  Semaphore Sema(Sim, Permits);
+  int Inside = 0, MaxInside = 0, Completed = 0;
+  Rng R(GetParam());
+
+  struct Worker {
+    static Task<void> run(Simulator &Sim, Semaphore &Sema, uint64_t SubSeed,
+                          int &Inside, int &MaxInside, int &Completed) {
+      Rng Mine(SubSeed);
+      for (int Round = 0; Round < 5; ++Round) {
+        co_await Sim.delay(us(static_cast<int64_t>(Mine.nextBelow(40))));
+        co_await Sema.acquire();
+        ++Inside;
+        MaxInside = std::max(MaxInside, Inside);
+        co_await Sim.delay(us(1 + static_cast<int64_t>(Mine.nextBelow(20))));
+        --Inside;
+        Sema.release();
+      }
+      ++Completed;
+    }
+  };
+  for (int T = 0; T < Tasks; ++T)
+    Sim.spawn(
+        Worker::run(Sim, Sema, R.next(), Inside, MaxInside, Completed));
+  Sim.run();
+  EXPECT_EQ(Completed, Tasks);
+  EXPECT_EQ(Inside, 0);
+  EXPECT_LE(MaxInside, Permits);
+  EXPECT_EQ(MaxInside, Permits) << "load should reach full concurrency";
+  EXPECT_EQ(Sema.available(), Permits);
+  EXPECT_EQ(Sema.waiting(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemaphoreStressTest,
+                         ::testing::Values(3u, 99u, 123456u));
+
+//===----------------------------------------------------------------------===//
+// Pipelines of channels (data integrity through multiple hops)
+//===----------------------------------------------------------------------===//
+
+TEST(SimStressTest, MultiStageChannelPipelinePreservesStream) {
+  Simulator Sim;
+  const int Stages = 6, Items = 200;
+  std::vector<std::unique_ptr<Channel<int>>> Links;
+  for (int I = 0; I <= Stages; ++I)
+    Links.push_back(std::make_unique<Channel<int>>(Sim, 4));
+
+  struct Stage {
+    static Task<void> run(Simulator &Sim, Channel<int> &In, Channel<int> &Out,
+                          int Items, int Increment) {
+      for (int I = 0; I < Items; ++I) {
+        int Value = co_await In.recv();
+        co_await Sim.delay(us(1));
+        co_await Out.send(Value + Increment);
+      }
+    }
+  };
+  for (int S = 0; S < Stages; ++S)
+    Sim.spawn(Stage::run(Sim, *Links[static_cast<size_t>(S)],
+                         *Links[static_cast<size_t>(S + 1)], Items, 1));
+
+  struct Feeder {
+    static Task<void> run(Channel<int> &Out, int Items) {
+      for (int I = 0; I < Items; ++I)
+        co_await Out.send(I * 10);
+    }
+  };
+  std::vector<int> Final;
+  struct Drain {
+    static Task<void> run(Channel<int> &In, int Items,
+                          std::vector<int> &Out) {
+      for (int I = 0; I < Items; ++I)
+        Out.push_back(co_await In.recv());
+    }
+  };
+  Sim.spawn(Feeder::run(*Links[0], Items));
+  Sim.spawn(Drain::run(*Links[static_cast<size_t>(Stages)], Items, Final));
+  Sim.run();
+
+  ASSERT_EQ(Final.size(), static_cast<size_t>(Items));
+  for (int I = 0; I < Items; ++I)
+    EXPECT_EQ(Final[static_cast<size_t>(I)], I * 10 + Stages)
+        << "stream order and increments must survive every hop";
+}
+
+//===----------------------------------------------------------------------===//
+// WaitGroup fan-out/fan-in stress
+//===----------------------------------------------------------------------===//
+
+TEST(SimStressTest, NestedWaitGroupFanIn) {
+  Simulator Sim;
+  WaitGroup Outer(Sim);
+  int Leaves = 0;
+  struct Branch {
+    static Task<void> run(Simulator &Sim, WaitGroup &Outer, int Depth,
+                          int Fanout, int &Leaves) {
+      if (Depth == 0) {
+        co_await Sim.delay(us(3));
+        ++Leaves;
+        Outer.done();
+        co_return;
+      }
+      for (int I = 0; I < Fanout; ++I) {
+        Outer.add(1);
+        Sim.spawn(Branch::run(Sim, Outer, Depth - 1, Fanout, Leaves));
+      }
+      Outer.done();
+    }
+  };
+  Outer.add(1);
+  Sim.spawn(Branch::run(Sim, Outer, /*Depth=*/4, /*Fanout=*/3, Leaves));
+  bool Finished = false;
+  struct Waiter {
+    static Task<void> run(WaitGroup &Outer, bool &Finished) {
+      co_await Outer.wait();
+      Finished = true;
+    }
+  };
+  Sim.spawn(Waiter::run(Outer, Finished));
+  Sim.run();
+  EXPECT_TRUE(Finished);
+  EXPECT_EQ(Leaves, 3 * 3 * 3 * 3);
+  EXPECT_EQ(Outer.count(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Event queue scale
+//===----------------------------------------------------------------------===//
+
+TEST(SimStressTest, HundredThousandEventsInOrder) {
+  Simulator Sim;
+  Rng R(11);
+  int64_t LastSeen = -1;
+  bool Monotonic = true;
+  const int Events = 100000;
+  for (int I = 0; I < Events; ++I) {
+    int64_t At = static_cast<int64_t>(R.nextBelow(1000000));
+    Sim.scheduleAt(us(At), [&, At] {
+      if (At < LastSeen)
+        Monotonic = false;
+      LastSeen = std::max(LastSeen, At);
+    });
+  }
+  Sim.run();
+  EXPECT_TRUE(Monotonic);
+  EXPECT_EQ(Sim.eventsProcessed(), static_cast<uint64_t>(Events));
+}
+
+} // namespace

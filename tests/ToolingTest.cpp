@@ -1,0 +1,110 @@
+//===- tests/ToolingTest.cpp - parcgen tool + runtime dynamics ------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-level tests of the parcgen tool entry point (generate / check /
+/// dump-ast over real files) and dynamics of the runtime's grain
+/// estimator that the unit suites don't reach.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ObjectManager.h"
+#include "parcgen/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace parcs;
+
+namespace {
+
+/// Writes \p Content to a fresh temp file and returns its path.
+std::string writeTemp(const std::string &Name, const std::string &Content) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Content;
+  return Path;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+//===----------------------------------------------------------------------===//
+// parcgen tool entry
+//===----------------------------------------------------------------------===//
+
+TEST(ParcgenToolTest, GenerateModeWritesHeader) {
+  std::string In = writeTemp("tool_gen.pci",
+                             "module t;\nparallel class W { void go(); }\n");
+  std::string Out = ::testing::TempDir() + "tool_gen.h";
+  EXPECT_EQ(pcc::runParcgenTool(In, Out), 0);
+  std::string Code = slurp(Out);
+  EXPECT_NE(Code.find("class WProxy"), std::string::npos);
+  EXPECT_NE(Code.find("class WSkeleton"), std::string::npos);
+}
+
+TEST(ParcgenToolTest, GenerateModeFailsOnBadSource) {
+  std::string In =
+      writeTemp("tool_bad.pci", "parallel class W { async int bad(); }\n");
+  std::string Out = ::testing::TempDir() + "tool_bad.h";
+  std::remove(Out.c_str());
+  EXPECT_NE(pcc::runParcgenTool(In, Out), 0);
+  EXPECT_TRUE(slurp(Out).empty()) << "no output on failed compile";
+}
+
+TEST(ParcgenToolTest, CheckModeWritesNothing) {
+  std::string In =
+      writeTemp("tool_check.pci", "parallel class W { void go(); }\n");
+  EXPECT_EQ(pcc::runParcgenTool(In, "", pcc::ToolMode::Check), 0);
+}
+
+TEST(ParcgenToolTest, CheckModeReportsErrors) {
+  std::string In =
+      writeTemp("tool_check_bad.pci", "parallel class W { async int x(); }");
+  EXPECT_NE(pcc::runParcgenTool(In, "", pcc::ToolMode::Check), 0);
+}
+
+TEST(ParcgenToolTest, MissingInputFails) {
+  EXPECT_NE(pcc::runParcgenTool("/nonexistent/x.pci", "/tmp/x.h"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Grain estimator dynamics
+//===----------------------------------------------------------------------===//
+
+TEST(GrainEstimatorTest, ConvergesToStableWorkload) {
+  scoopp::GrainEstimator Est;
+  EXPECT_FALSE(Est.hasData());
+  for (int I = 0; I < 100; ++I)
+    Est.note(sim::SimTime::microseconds(200));
+  EXPECT_TRUE(Est.hasData());
+  EXPECT_NEAR(Est.average().toMicrosF(), 200.0, 1.0);
+}
+
+TEST(GrainEstimatorTest, TracksShiftingWorkload) {
+  scoopp::GrainEstimator Est;
+  for (int I = 0; I < 50; ++I)
+    Est.note(sim::SimTime::microseconds(100));
+  for (int I = 0; I < 50; ++I)
+    Est.note(sim::SimTime::milliseconds(10));
+  // The EWMA must have moved decisively toward the new regime.
+  EXPECT_GT(Est.average().toMicrosF(), 5000.0);
+}
+
+TEST(GrainEstimatorTest, FirstSampleSeedsAverage) {
+  scoopp::GrainEstimator Est;
+  Est.note(sim::SimTime::microseconds(700));
+  EXPECT_NEAR(Est.average().toMicrosF(), 700.0, 1e-9);
+}
+
+} // namespace
