@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_agglomeration.dir/ablate_agglomeration.cpp.o"
+  "CMakeFiles/ablate_agglomeration.dir/ablate_agglomeration.cpp.o.d"
+  "ablate_agglomeration"
+  "ablate_agglomeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_agglomeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_threadpool.dir/ablate_threadpool.cpp.o"
+  "CMakeFiles/ablate_threadpool.dir/ablate_threadpool.cpp.o.d"
+  "ablate_threadpool"
+  "ablate_threadpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

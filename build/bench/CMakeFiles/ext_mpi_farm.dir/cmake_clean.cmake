@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mpi_farm.dir/ext_mpi_farm.cpp.o"
+  "CMakeFiles/ext_mpi_farm.dir/ext_mpi_farm.cpp.o.d"
+  "ext_mpi_farm"
+  "ext_mpi_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mpi_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tuned_mono.dir/ext_tuned_mono.cpp.o"
+  "CMakeFiles/ext_tuned_mono.dir/ext_tuned_mono.cpp.o.d"
+  "ext_tuned_mono"
+  "ext_tuned_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tuned_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_tuned_mono.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_bandwidth.dir/fig8a_bandwidth.cpp.o"
+  "CMakeFiles/fig8a_bandwidth.dir/fig8a_bandwidth.cpp.o.d"
+  "fig8a_bandwidth"
+  "fig8a_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_mono_versions.dir/fig8b_mono_versions.cpp.o"
+  "CMakeFiles/fig8b_mono_versions.dir/fig8b_mono_versions.cpp.o.d"
+  "fig8b_mono_versions"
+  "fig8b_mono_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_mono_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

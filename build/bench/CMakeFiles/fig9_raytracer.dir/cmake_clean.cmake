@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_raytracer.dir/fig9_raytracer.cpp.o"
+  "CMakeFiles/fig9_raytracer.dir/fig9_raytracer.cpp.o.d"
+  "fig9_raytracer"
+  "fig9_raytracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

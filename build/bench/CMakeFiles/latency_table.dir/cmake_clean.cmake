@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_table.dir/latency_table.cpp.o"
+  "CMakeFiles/latency_table.dir/latency_table.cpp.o.d"
+  "latency_table"
+  "latency_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

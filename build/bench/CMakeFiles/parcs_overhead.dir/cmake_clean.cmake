@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_overhead.dir/parcs_overhead.cpp.o"
+  "CMakeFiles/parcs_overhead.dir/parcs_overhead.cpp.o.d"
+  "parcs_overhead"
+  "parcs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_sequential.dir/vm_sequential.cpp.o"
+  "CMakeFiles/vm_sequential.dir/vm_sequential.cpp.o.d"
+  "vm_sequential"
+  "vm_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

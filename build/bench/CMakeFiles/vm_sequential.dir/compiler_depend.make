@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vm_sequential.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcgen_demo.dir/parcgen_demo.cpp.o"
+  "CMakeFiles/parcgen_demo.dir/parcgen_demo.cpp.o.d"
+  "MatrixGen.h"
+  "parcgen_demo"
+  "parcgen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcgen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_objects.dir/passive_objects.cpp.o"
+  "CMakeFiles/passive_objects.dir/passive_objects.cpp.o.d"
+  "passive_objects"
+  "passive_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytracer_farm.dir/raytracer_farm.cpp.o"
+  "CMakeFiles/raytracer_farm.dir/raytracer_farm.cpp.o.d"
+  "raytracer_farm"
+  "raytracer_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytracer_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

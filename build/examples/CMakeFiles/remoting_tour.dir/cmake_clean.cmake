@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remoting_tour.dir/remoting_tour.cpp.o"
+  "CMakeFiles/remoting_tour.dir/remoting_tour.cpp.o.d"
+  "remoting_tour"
+  "remoting_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remoting_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_apps.dir/pingpong/PingPong.cpp.o"
+  "CMakeFiles/parcs_apps.dir/pingpong/PingPong.cpp.o.d"
+  "CMakeFiles/parcs_apps.dir/ray/Farm.cpp.o"
+  "CMakeFiles/parcs_apps.dir/ray/Farm.cpp.o.d"
+  "CMakeFiles/parcs_apps.dir/ray/Scene.cpp.o"
+  "CMakeFiles/parcs_apps.dir/ray/Scene.cpp.o.d"
+  "CMakeFiles/parcs_apps.dir/sieve/Sieve.cpp.o"
+  "CMakeFiles/parcs_apps.dir/sieve/Sieve.cpp.o.d"
+  "libparcs_apps.a"
+  "libparcs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ImplAdapter.cpp" "src/core/CMakeFiles/parcs_core.dir/ImplAdapter.cpp.o" "gcc" "src/core/CMakeFiles/parcs_core.dir/ImplAdapter.cpp.o.d"
+  "/root/repo/src/core/ObjectManager.cpp" "src/core/CMakeFiles/parcs_core.dir/ObjectManager.cpp.o" "gcc" "src/core/CMakeFiles/parcs_core.dir/ObjectManager.cpp.o.d"
+  "/root/repo/src/core/Passive.cpp" "src/core/CMakeFiles/parcs_core.dir/Passive.cpp.o" "gcc" "src/core/CMakeFiles/parcs_core.dir/Passive.cpp.o.d"
+  "/root/repo/src/core/Proxy.cpp" "src/core/CMakeFiles/parcs_core.dir/Proxy.cpp.o" "gcc" "src/core/CMakeFiles/parcs_core.dir/Proxy.cpp.o.d"
+  "/root/repo/src/core/Runtime.cpp" "src/core/CMakeFiles/parcs_core.dir/Runtime.cpp.o" "gcc" "src/core/CMakeFiles/parcs_core.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/remoting/CMakeFiles/parcs_remoting.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/parcs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/parcs_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

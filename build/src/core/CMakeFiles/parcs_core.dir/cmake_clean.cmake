@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_core.dir/ImplAdapter.cpp.o"
+  "CMakeFiles/parcs_core.dir/ImplAdapter.cpp.o.d"
+  "CMakeFiles/parcs_core.dir/ObjectManager.cpp.o"
+  "CMakeFiles/parcs_core.dir/ObjectManager.cpp.o.d"
+  "CMakeFiles/parcs_core.dir/Passive.cpp.o"
+  "CMakeFiles/parcs_core.dir/Passive.cpp.o.d"
+  "CMakeFiles/parcs_core.dir/Proxy.cpp.o"
+  "CMakeFiles/parcs_core.dir/Proxy.cpp.o.d"
+  "CMakeFiles/parcs_core.dir/Runtime.cpp.o"
+  "CMakeFiles/parcs_core.dir/Runtime.cpp.o.d"
+  "libparcs_core.a"
+  "libparcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/Mpi.cpp" "src/mpi/CMakeFiles/parcs_mpi.dir/Mpi.cpp.o" "gcc" "src/mpi/CMakeFiles/parcs_mpi.dir/Mpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/parcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/parcs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/parcs_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

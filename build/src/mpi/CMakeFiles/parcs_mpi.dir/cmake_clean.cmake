@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_mpi.dir/Mpi.cpp.o"
+  "CMakeFiles/parcs_mpi.dir/Mpi.cpp.o.d"
+  "libparcs_mpi.a"
+  "libparcs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_net.dir/Network.cpp.o"
+  "CMakeFiles/parcs_net.dir/Network.cpp.o.d"
+  "libparcs_net.a"
+  "libparcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

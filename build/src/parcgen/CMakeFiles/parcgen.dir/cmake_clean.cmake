@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcgen.dir/tool/ParcgenMain.cpp.o"
+  "CMakeFiles/parcgen.dir/tool/ParcgenMain.cpp.o.d"
+  "parcgen"
+  "parcgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

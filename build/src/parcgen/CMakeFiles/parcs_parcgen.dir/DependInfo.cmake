@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parcgen/Ast.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Ast.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Ast.cpp.o.d"
+  "/root/repo/src/parcgen/AstPrinter.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/AstPrinter.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/parcgen/CodeGen.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/CodeGen.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/parcgen/Driver.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Driver.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Driver.cpp.o.d"
+  "/root/repo/src/parcgen/Lexer.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Lexer.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Lexer.cpp.o.d"
+  "/root/repo/src/parcgen/Parser.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Parser.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Parser.cpp.o.d"
+  "/root/repo/src/parcgen/Sema.cpp" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Sema.cpp.o" "gcc" "src/parcgen/CMakeFiles/parcs_parcgen.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_parcgen.dir/Ast.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/Ast.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/AstPrinter.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/CodeGen.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/Driver.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/Driver.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/Lexer.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/Lexer.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/Parser.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/Parser.cpp.o.d"
+  "CMakeFiles/parcs_parcgen.dir/Sema.cpp.o"
+  "CMakeFiles/parcs_parcgen.dir/Sema.cpp.o.d"
+  "libparcs_parcgen.a"
+  "libparcs_parcgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_parcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

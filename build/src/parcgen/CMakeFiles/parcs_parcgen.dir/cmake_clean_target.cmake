@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparcs_parcgen.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parcs_parcgen.
+# This may be replaced when dependencies are built.

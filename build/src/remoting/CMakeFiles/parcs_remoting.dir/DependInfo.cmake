@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remoting/Engine.cpp" "src/remoting/CMakeFiles/parcs_remoting.dir/Engine.cpp.o" "gcc" "src/remoting/CMakeFiles/parcs_remoting.dir/Engine.cpp.o.d"
+  "/root/repo/src/remoting/Profiles.cpp" "src/remoting/CMakeFiles/parcs_remoting.dir/Profiles.cpp.o" "gcc" "src/remoting/CMakeFiles/parcs_remoting.dir/Profiles.cpp.o.d"
+  "/root/repo/src/remoting/Remoting.cpp" "src/remoting/CMakeFiles/parcs_remoting.dir/Remoting.cpp.o" "gcc" "src/remoting/CMakeFiles/parcs_remoting.dir/Remoting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/parcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/parcs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/parcs_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_remoting.dir/Engine.cpp.o"
+  "CMakeFiles/parcs_remoting.dir/Engine.cpp.o.d"
+  "CMakeFiles/parcs_remoting.dir/Profiles.cpp.o"
+  "CMakeFiles/parcs_remoting.dir/Profiles.cpp.o.d"
+  "CMakeFiles/parcs_remoting.dir/Remoting.cpp.o"
+  "CMakeFiles/parcs_remoting.dir/Remoting.cpp.o.d"
+  "libparcs_remoting.a"
+  "libparcs_remoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_remoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

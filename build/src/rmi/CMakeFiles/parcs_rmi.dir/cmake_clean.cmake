@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_rmi.dir/Rmi.cpp.o"
+  "CMakeFiles/parcs_rmi.dir/Rmi.cpp.o.d"
+  "libparcs_rmi.a"
+  "libparcs_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/Envelope.cpp" "src/serial/CMakeFiles/parcs_serial.dir/Envelope.cpp.o" "gcc" "src/serial/CMakeFiles/parcs_serial.dir/Envelope.cpp.o.d"
+  "/root/repo/src/serial/ObjectGraph.cpp" "src/serial/CMakeFiles/parcs_serial.dir/ObjectGraph.cpp.o" "gcc" "src/serial/CMakeFiles/parcs_serial.dir/ObjectGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_serial.dir/Envelope.cpp.o"
+  "CMakeFiles/parcs_serial.dir/Envelope.cpp.o.d"
+  "CMakeFiles/parcs_serial.dir/ObjectGraph.cpp.o"
+  "CMakeFiles/parcs_serial.dir/ObjectGraph.cpp.o.d"
+  "libparcs_serial.a"
+  "libparcs_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

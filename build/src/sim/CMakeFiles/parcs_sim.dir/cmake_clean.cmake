@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_sim.dir/SimTime.cpp.o"
+  "CMakeFiles/parcs_sim.dir/SimTime.cpp.o.d"
+  "CMakeFiles/parcs_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/parcs_sim.dir/Simulator.cpp.o.d"
+  "libparcs_sim.a"
+  "libparcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

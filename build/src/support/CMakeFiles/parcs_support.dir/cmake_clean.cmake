@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_support.dir/Error.cpp.o"
+  "CMakeFiles/parcs_support.dir/Error.cpp.o.d"
+  "CMakeFiles/parcs_support.dir/Logging.cpp.o"
+  "CMakeFiles/parcs_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/parcs_support.dir/Statistics.cpp.o"
+  "CMakeFiles/parcs_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/parcs_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/parcs_support.dir/StringUtils.cpp.o.d"
+  "libparcs_support.a"
+  "libparcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Cluster.cpp" "src/vm/CMakeFiles/parcs_vm.dir/Cluster.cpp.o" "gcc" "src/vm/CMakeFiles/parcs_vm.dir/Cluster.cpp.o.d"
+  "/root/repo/src/vm/Node.cpp" "src/vm/CMakeFiles/parcs_vm.dir/Node.cpp.o" "gcc" "src/vm/CMakeFiles/parcs_vm.dir/Node.cpp.o.d"
+  "/root/repo/src/vm/ThreadPool.cpp" "src/vm/CMakeFiles/parcs_vm.dir/ThreadPool.cpp.o" "gcc" "src/vm/CMakeFiles/parcs_vm.dir/ThreadPool.cpp.o.d"
+  "/root/repo/src/vm/VmKind.cpp" "src/vm/CMakeFiles/parcs_vm.dir/VmKind.cpp.o" "gcc" "src/vm/CMakeFiles/parcs_vm.dir/VmKind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/parcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcs_vm.dir/Cluster.cpp.o"
+  "CMakeFiles/parcs_vm.dir/Cluster.cpp.o.d"
+  "CMakeFiles/parcs_vm.dir/Node.cpp.o"
+  "CMakeFiles/parcs_vm.dir/Node.cpp.o.d"
+  "CMakeFiles/parcs_vm.dir/ThreadPool.cpp.o"
+  "CMakeFiles/parcs_vm.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/parcs_vm.dir/VmKind.cpp.o"
+  "CMakeFiles/parcs_vm.dir/VmKind.cpp.o.d"
+  "libparcs_vm.a"
+  "libparcs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/MpiTest.cpp" "tests/CMakeFiles/mpi_test.dir/MpiTest.cpp.o" "gcc" "tests/CMakeFiles/mpi_test.dir/MpiTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/parcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmi/CMakeFiles/parcs_rmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/parcs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/remoting/CMakeFiles/parcs_remoting.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/parcs_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/parcs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "AccumulatorGen.h"
+  "CMakeFiles/parcgen_integration_test.dir/ParcgenIntegrationTest.cpp.o"
+  "CMakeFiles/parcgen_integration_test.dir/ParcgenIntegrationTest.cpp.o.d"
+  "parcgen_integration_test"
+  "parcgen_integration_test.pdb"
+  "parcgen_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcgen_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

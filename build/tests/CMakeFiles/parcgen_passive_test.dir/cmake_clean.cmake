@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcgen_passive_test.dir/ParcgenPassiveTest.cpp.o"
+  "CMakeFiles/parcgen_passive_test.dir/ParcgenPassiveTest.cpp.o.d"
+  "ShapesGen.h"
+  "parcgen_passive_test"
+  "parcgen_passive_test.pdb"
+  "parcgen_passive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcgen_passive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

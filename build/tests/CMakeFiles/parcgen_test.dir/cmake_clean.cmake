@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcgen_test.dir/ParcgenTest.cpp.o"
+  "CMakeFiles/parcgen_test.dir/ParcgenTest.cpp.o.d"
+  "parcgen_test"
+  "parcgen_test.pdb"
+  "parcgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remoting_robustness_test.dir/RemotingRobustnessTest.cpp.o"
+  "CMakeFiles/remoting_robustness_test.dir/RemotingRobustnessTest.cpp.o.d"
+  "remoting_robustness_test"
+  "remoting_robustness_test.pdb"
+  "remoting_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remoting_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

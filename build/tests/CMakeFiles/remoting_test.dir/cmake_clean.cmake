@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remoting_test.dir/RemotingTest.cpp.o"
+  "CMakeFiles/remoting_test.dir/RemotingTest.cpp.o.d"
+  "remoting_test"
+  "remoting_test.pdb"
+  "remoting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remoting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoopp_test.dir/ScooppTest.cpp.o"
+  "CMakeFiles/scoopp_test.dir/ScooppTest.cpp.o.d"
+  "scoopp_test"
+  "scoopp_test.pdb"
+  "scoopp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoopp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting_test[1]_include.cmake")
+include("/root/repo/build/tests/rmi_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/scoopp_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/parcgen_test[1]_include.cmake")
+include("/root/repo/build/tests/parcgen_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/net_property_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/tooling_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/parcgen_passive_test[1]_include.cmake")
