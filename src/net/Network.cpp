@@ -63,20 +63,24 @@ void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) {
   Msg.Port = Port;
   Msg.Id = NextMessageId++;
   Msg.Payload = std::move(Payload);
+  if (Src == Dst) {
+    // Loopback: no wire, but keep it asynchronous (one event-queue hop) so
+    // local and remote sends have the same re-entrancy behaviour.  A plain
+    // callback event -- the capture fits the inline buffer, so unlike the
+    // remote path there is no coroutine frame per message.
+    sim::Channel<Message> &Chan = bind(Dst, Port);
+    Sim.schedule(sim::SimTime(),
+                 [this, &Chan, Msg = std::move(Msg)]() mutable {
+                   ++Delivered;
+                   PayloadBytes += Msg.Payload.size();
+                   Chan.trySend(std::move(Msg));
+                 });
+    return;
+  }
   Sim.spawn(transfer(std::move(Msg)));
 }
 
 sim::Task<void> Network::transfer(Message Msg) {
-  // Loopback: no wire, but keep it asynchronous (one event-queue hop) so
-  // local and remote sends have the same re-entrancy behaviour.
-  if (Msg.Src == Msg.Dst) {
-    ++Delivered;
-    PayloadBytes += Msg.Payload.size();
-    sim::Channel<Message> &Port = bind(Msg.Dst, Msg.Port);
-    Port.trySend(std::move(Msg));
-    co_return;
-  }
-
   Nic &Tx = *Nics[static_cast<size_t>(Msg.Src)];
   Nic &Rx = *Nics[static_cast<size_t>(Msg.Dst)];
 

@@ -8,39 +8,54 @@
 
 #include "support/Logging.h"
 
-#include <cstdlib>
+#include <charconv>
 
 using namespace parcs;
 using namespace parcs::remoting;
 
 namespace {
 
-/// Realistic HTTP/1.0 request header for the HttpChannel (the bytes are
-/// really on the wire; Content-Length is filled in per message).
-std::string httpRequestHeader(size_t ContentLength, std::string_view Action) {
-  std::string Header;
-  Header += "POST /factory.soap HTTP/1.0\r\n";
-  Header += "User-Agent: Mozilla/4.0+(compatible; Mono Remoting; MonoCLR)\r\n";
-  Header += "Content-Type: text/xml; charset=\"utf-8\"\r\n";
-  Header += "SOAPAction: \"http://schemas.microsoft.com/clr/";
-  Header += Action;
-  Header += "\"\r\n";
-  Header += "Expect: 100-continue\r\n";
-  Header += "Connection: Keep-Alive\r\n";
-  Header += "Content-Length: " + std::to_string(ContentLength) + "\r\n";
-  Header += "\r\n";
-  return Header;
+void appendText(Bytes &Out, std::string_view Text) {
+  Out.insert(Out.end(), Text.begin(), Text.end());
 }
 
-std::string httpResponseHeader(size_t ContentLength) {
-  std::string Header;
-  Header += "HTTP/1.0 200 OK\r\n";
-  Header += "Server: Mono Remoting Server/1.1\r\n";
-  Header += "Content-Type: text/xml; charset=\"utf-8\"\r\n";
-  Header += "Content-Length: " + std::to_string(ContentLength) + "\r\n";
-  Header += "\r\n";
-  return Header;
+void appendNumber(Bytes &Out, size_t Value) {
+  char Buf[20];
+  char *End = std::to_chars(Buf, Buf + sizeof(Buf), Value).ptr;
+  Out.insert(Out.end(), Buf, End);
 }
+
+/// Realistic HTTP/1.0 request header for the HttpChannel (the bytes are
+/// really on the wire; Content-Length is filled in per message).  Appended
+/// piecewise to the wire buffer -- no intermediate header string.
+void appendHttpRequestHeader(Bytes &Out, size_t ContentLength,
+                             std::string_view Action) {
+  appendText(Out, "POST /factory.soap HTTP/1.0\r\n");
+  appendText(Out,
+             "User-Agent: Mozilla/4.0+(compatible; Mono Remoting; MonoCLR)\r\n");
+  appendText(Out, "Content-Type: text/xml; charset=\"utf-8\"\r\n");
+  appendText(Out, "SOAPAction: \"http://schemas.microsoft.com/clr/");
+  appendText(Out, Action);
+  appendText(Out, "\"\r\n");
+  appendText(Out, "Expect: 100-continue\r\n");
+  appendText(Out, "Connection: Keep-Alive\r\n");
+  appendText(Out, "Content-Length: ");
+  appendNumber(Out, ContentLength);
+  appendText(Out, "\r\n\r\n");
+}
+
+void appendHttpResponseHeader(Bytes &Out, size_t ContentLength) {
+  appendText(Out, "HTTP/1.0 200 OK\r\n");
+  appendText(Out, "Server: Mono Remoting Server/1.1\r\n");
+  appendText(Out, "Content-Type: text/xml; charset=\"utf-8\"\r\n");
+  appendText(Out, "Content-Length: ");
+  appendNumber(Out, ContentLength);
+  appendText(Out, "\r\n\r\n");
+}
+
+/// Upper bound on the headers above (the request header with a long
+/// SOAPAction stays comfortably under this).
+constexpr size_t MaxHttpHeaderBytes = 320;
 
 } // namespace
 
@@ -88,39 +103,52 @@ sim::SimTime RpcEndpoint::sideCost(size_t WireBytes) const {
 
 Bytes RpcEndpoint::frame(MsgKind Kind, std::string_view EnvelopeName,
                          const Bytes &Body, bool Response) const {
-  Bytes Envelope = serial::encodeEnvelope(Profile.Format, EnvelopeName, Body);
-  Bytes Content;
-  Content.reserve(Envelope.size() + 1);
-  Content.push_back(static_cast<uint8_t>(Kind));
-  Content.insert(Content.end(), Envelope.begin(), Envelope.end());
-  if (!Profile.HttpFraming)
-    return Content;
-  std::string Header = Response
-                           ? httpResponseHeader(Content.size())
-                           : httpRequestHeader(Content.size(), EnvelopeName);
-  Bytes Wire(Header.begin(), Header.end());
-  Wire.insert(Wire.end(), Content.begin(), Content.end());
+  if (!Profile.HttpFraming) {
+    // Kind byte + envelope emitted straight into the wire buffer.
+    Bytes Wire;
+    Wire.reserve(Body.size() + 96);
+    Wire.push_back(static_cast<uint8_t>(Kind));
+    serial::encodeEnvelopeInto(Profile.Format, EnvelopeName, Body, Wire);
+    return Wire;
+  }
+  // HTTP framing: the header carries the content length, so stage the
+  // content in the endpoint's scratch buffer (capacity reused across
+  // calls), then emit header + content into one reserved wire buffer.
+  EnvScratch.clear();
+  EnvScratch.push_back(static_cast<uint8_t>(Kind));
+  serial::encodeEnvelopeInto(Profile.Format, EnvelopeName, Body, EnvScratch);
+  Bytes Wire;
+  Wire.reserve(MaxHttpHeaderBytes + EnvScratch.size());
+  if (Response)
+    appendHttpResponseHeader(Wire, EnvScratch.size());
+  else
+    appendHttpRequestHeader(Wire, EnvScratch.size(), EnvelopeName);
+  Wire.insert(Wire.end(), EnvScratch.begin(), EnvScratch.end());
   return Wire;
 }
 
-ErrorOr<Bytes> RpcEndpoint::unframe(const Bytes &Wire) const {
+ErrorOr<std::span<const uint8_t>> RpcEndpoint::unframe(const Bytes &Wire) const {
   if (!Profile.HttpFraming)
-    return Wire;
-  // Find the header/body separator and honour Content-Length.
-  static const char Sep[] = "\r\n\r\n";
-  std::string Text(Wire.begin(), Wire.end());
-  size_t Split = Text.find(Sep);
-  if (Split == std::string::npos)
+    return std::span<const uint8_t>(Wire.data(), Wire.size());
+  // Parse the header in place over a view of the wire bytes and honour
+  // Content-Length; the returned span aliases the body inside Wire.
+  std::string_view Text(reinterpret_cast<const char *>(Wire.data()),
+                        Wire.size());
+  size_t Split = Text.find("\r\n\r\n");
+  if (Split == std::string_view::npos)
     return Error(ErrorCode::MalformedMessage, "http framing: no header end");
   size_t BodyStart = Split + 4;
   size_t LenPos = Text.find("Content-Length: ");
-  if (LenPos == std::string::npos || LenPos > Split)
+  if (LenPos == std::string_view::npos || LenPos > Split)
     return Error(ErrorCode::MalformedMessage, "http framing: no length");
-  size_t Length = std::strtoul(Text.c_str() + LenPos + 16, nullptr, 10);
+  size_t Length = 0;
+  const char *Digits = Text.data() + LenPos + 16;
+  if (std::from_chars(Digits, Text.data() + Text.size(), Length).ec !=
+      std::errc())
+    return Error(ErrorCode::MalformedMessage, "http framing: bad length");
   if (BodyStart + Length > Wire.size())
     return Error(ErrorCode::MalformedMessage, "http framing: short body");
-  return Bytes(Wire.begin() + static_cast<ptrdiff_t>(BodyStart),
-               Wire.begin() + static_cast<ptrdiff_t>(BodyStart + Length));
+  return std::span<const uint8_t>(Wire.data() + BodyStart, Length);
 }
 
 ErrorOr<std::shared_ptr<CallHandler>>
@@ -223,7 +251,7 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
   sim::Channel<net::Message> &Inbox = Net.bind(Host.id(), Port);
   for (;;) {
     net::Message Msg = co_await Inbox.recv();
-    ErrorOr<Bytes> Content = unframe(Msg.Payload);
+    ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
     if (!Content || Content->empty()) {
       ++Stats.MalformedDropped;
       PARCS_LOG(Warn, "endpoint " << Host.id() << ":" << Port
@@ -242,10 +270,9 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
       // Calls are dispatched through the node's (bounded) thread pool;
       // this is where Mono's small pool throttles overlap.
       ++Stats.CallsHandled;
-      net::Message Owned = std::move(Msg);
       auto Self = this;
-      Pool.post([Self, Owned]() -> sim::Task<void> {
-        return Self->handleCall(Owned);
+      Pool.post([Self, Owned = std::move(Msg)]() mutable -> sim::Task<void> {
+        return Self->handleCall(std::move(Owned));
       });
       continue;
     }
@@ -253,10 +280,9 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
   }
 }
 
-void RpcEndpoint::handleReturn(const Bytes &Content) {
-  Bytes Envelope(Content.begin() + 1, Content.end());
-  ErrorOr<serial::Envelope> Env =
-      serial::decodeEnvelope(Profile.Format, Envelope);
+void RpcEndpoint::handleReturn(std::span<const uint8_t> Content) {
+  ErrorOr<serial::Envelope> Env = serial::decodeEnvelope(
+      Profile.Format, Content.data() + 1, Content.size() - 1);
   if (!Env) {
     ++Stats.MalformedDropped;
     return;
@@ -298,11 +324,10 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
   // Server-side unmarshalling cost for the incoming wire bytes.
   co_await Host.compute(sideCost(Msg.Payload.size()));
 
-  ErrorOr<Bytes> Content = unframe(Msg.Payload);
+  ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
   assert(Content && !Content->empty() && "checked in dispatchLoop");
-  Bytes Envelope(Content->begin() + 1, Content->end());
-  ErrorOr<serial::Envelope> Env =
-      serial::decodeEnvelope(Profile.Format, Envelope);
+  ErrorOr<serial::Envelope> Env = serial::decodeEnvelope(
+      Profile.Format, Content->data() + 1, Content->size() - 1);
   if (!Env) {
     ++Stats.MalformedDropped;
     co_return;

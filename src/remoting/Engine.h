@@ -36,6 +36,7 @@
 
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -126,15 +127,18 @@ private:
   /// First contact with a destination pays the stack's connection setup.
   sim::Task<void> ensureConnected(int DstNode, int DstPort);
 
-  /// Builds the final wire buffer for a message body.
+  /// Builds the final wire buffer for a message body: kind byte, envelope
+  /// and (for HTTP stacks) the header, emitted into one reserved buffer.
   Bytes frame(MsgKind Kind, std::string_view EnvelopeName, const Bytes &Body,
               bool Response) const;
-  /// Strips transport framing; returns the (kind, envelope) content.
-  ErrorOr<Bytes> unframe(const Bytes &Wire) const;
+  /// Strips transport framing; returns a view of the (kind, envelope)
+  /// content inside \p Wire -- headers are parsed in place, nothing is
+  /// copied.  The view is valid as long as \p Wire is.
+  ErrorOr<std::span<const uint8_t>> unframe(const Bytes &Wire) const;
 
   sim::Task<void> dispatchLoop();
   sim::Task<void> handleCall(net::Message Msg);
-  void handleReturn(const Bytes &Content);
+  void handleReturn(std::span<const uint8_t> Content);
 
   ErrorOr<std::shared_ptr<CallHandler>> resolveTarget(const std::string &Name);
 
@@ -149,6 +153,9 @@ private:
   std::set<std::pair<int, int>> Connected;
   uint64_t NextCallId = 1;
   EndpointStats Stats;
+  /// Staging buffer for HTTP-framed content (the header needs the content
+  /// length up front); capacity is reused across calls.
+  mutable Bytes EnvScratch;
 };
 
 } // namespace parcs::remoting

@@ -40,6 +40,12 @@ class OutputArchive {
 public:
   OutputArchive() = default;
 
+  /// Continues an existing buffer: writes append after its current
+  /// contents, and take() returns the whole thing.  Lets framing code
+  /// encode straight into a reused scratch buffer (capacity survives the
+  /// round trip) instead of concatenating intermediate vectors.
+  explicit OutputArchive(Bytes &&Seed) : Buffer(std::move(Seed)) {}
+
   /// Unit (void stand-in) occupies no bytes.
   void write(Unit) {}
 

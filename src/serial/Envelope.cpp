@@ -34,9 +34,11 @@ const char *parcs::serial::wireFormatName(WireFormat Format) {
 static const char Base64Alphabet[] =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
-std::string parcs::serial::base64Encode(const Bytes &Data) {
-  std::string Out;
-  Out.reserve((Data.size() + 2) / 3 * 4);
+/// Core encoder appending to any container with push_back(char)/reserve
+/// (std::string for the public helper, Bytes for the envelope hot path).
+template <typename Container>
+static void base64EncodeImpl(const Bytes &Data, Container &Out) {
+  Out.reserve(Out.size() + (Data.size() + 2) / 3 * 4);
   size_t I = 0;
   for (; I + 3 <= Data.size(); I += 3) {
     uint32_t Triple = (static_cast<uint32_t>(Data[I]) << 16) |
@@ -62,7 +64,16 @@ std::string parcs::serial::base64Encode(const Bytes &Data) {
     Out.push_back(Base64Alphabet[(Triple >> 6) & 0x3f]);
     Out.push_back('=');
   }
+}
+
+std::string parcs::serial::base64Encode(const Bytes &Data) {
+  std::string Out;
+  base64EncodeImpl(Data, Out);
   return Out;
+}
+
+void parcs::serial::base64EncodeInto(const Bytes &Data, Bytes &Out) {
+  base64EncodeImpl(Data, Out);
 }
 
 static int base64Value(char C) {
@@ -130,15 +141,15 @@ constexpr uint32_t NetBinaryMagic = 0x4e424631; // "NBF1"
 constexpr uint16_t JavaStreamMagic = 0xaced;
 constexpr uint16_t JavaStreamVersion = 5;
 
-Bytes encodeMpiPack(const Bytes &Payload) {
-  OutputArchive Archive;
+void encodeMpiPackInto(const Bytes &Payload, Bytes &Out) {
+  OutputArchive Archive(std::move(Out));
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
-  return Archive.take();
+  Out = Archive.take();
 }
 
-ErrorOr<Envelope> decodeMpiPack(const Bytes &Wire) {
-  InputArchive Archive(Wire);
+ErrorOr<Envelope> decodeMpiPack(const uint8_t *Data, size_t WireSize) {
+  InputArchive Archive(Data, WireSize);
   uint32_t Size = 0;
   Envelope Result;
   if (!Archive.read(Size) || !Archive.readRaw(Result.Payload, Size))
@@ -146,18 +157,19 @@ ErrorOr<Envelope> decodeMpiPack(const Bytes &Wire) {
   return Result;
 }
 
-Bytes encodeNetBinary(std::string_view Name, const Bytes &Payload) {
-  OutputArchive Archive;
+void encodeNetBinaryInto(std::string_view Name, const Bytes &Payload,
+                         Bytes &Out) {
+  OutputArchive Archive(std::move(Out));
   Archive.write(NetBinaryMagic);
   Archive.write(static_cast<uint8_t>(1)); // Formatter version.
   Archive.write(std::string(Name));
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
-  return Archive.take();
+  Out = Archive.take();
 }
 
-ErrorOr<Envelope> decodeNetBinary(const Bytes &Wire) {
-  InputArchive Archive(Wire);
+ErrorOr<Envelope> decodeNetBinary(const uint8_t *Data, size_t WireSize) {
+  InputArchive Archive(Data, WireSize);
   uint32_t Magic = 0;
   uint8_t Version = 0;
   Envelope Result;
@@ -172,11 +184,12 @@ ErrorOr<Envelope> decodeNetBinary(const Bytes &Wire) {
   return Result;
 }
 
-Bytes encodeJavaStream(std::string_view Name, const Bytes &Payload) {
+void encodeJavaStreamInto(std::string_view Name, const Bytes &Payload,
+                          Bytes &Out) {
   // The shape (not the exact bytes) of a Java serialisation stream: magic,
   // version, then a class descriptor carrying the class name, a
   // serialVersionUID, flags and a field table before the data itself.
-  OutputArchive Archive;
+  OutputArchive Archive(std::move(Out));
   Archive.write(JavaStreamMagic);
   Archive.write(JavaStreamVersion);
   Archive.write(static_cast<uint8_t>(0x72)); // TC_CLASSDESC
@@ -192,11 +205,11 @@ Bytes encodeJavaStream(std::string_view Name, const Bytes &Payload) {
   Archive.write(static_cast<uint8_t>(0x78)); // TC_ENDBLOCKDATA
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
-  return Archive.take();
+  Out = Archive.take();
 }
 
-ErrorOr<Envelope> decodeJavaStream(const Bytes &Wire) {
-  InputArchive Archive(Wire);
+ErrorOr<Envelope> decodeJavaStream(const uint8_t *Data, size_t WireSize) {
+  InputArchive Archive(Data, WireSize);
   uint16_t Magic = 0, Version = 0;
   if (!Archive.read(Magic) || Magic != JavaStreamMagic)
     return Error(ErrorCode::MalformedMessage, "bad java stream magic");
@@ -224,39 +237,43 @@ ErrorOr<Envelope> decodeJavaStream(const Bytes &Wire) {
   return Result;
 }
 
-Bytes encodeNetSoap(std::string_view Name, const Bytes &Payload) {
-  std::string Xml;
-  Xml += "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/"
-         "soap/envelope/\" xmlns:i=\"http://www.w3.org/2001/"
-         "XMLSchema-instance\">\n";
-  Xml += "<SOAP-ENV:Body>\n";
-  Xml += "<i:";
-  Xml += Name;
-  Xml += ">";
-  Xml += base64Encode(Payload);
-  Xml += "</i:";
-  Xml += Name;
-  Xml += ">\n";
-  Xml += "</SOAP-ENV:Body>\n";
-  Xml += "</SOAP-ENV:Envelope>\n";
-  return Bytes(Xml.begin(), Xml.end());
+void appendText(Bytes &Out, std::string_view Text) {
+  Out.insert(Out.end(), Text.begin(), Text.end());
 }
 
-ErrorOr<Envelope> decodeNetSoap(const Bytes &Wire) {
-  std::string Xml(Wire.begin(), Wire.end());
+void encodeNetSoapInto(std::string_view Name, const Bytes &Payload,
+                       Bytes &Out) {
+  appendText(Out,
+             "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/"
+             "soap/envelope/\" xmlns:i=\"http://www.w3.org/2001/"
+             "XMLSchema-instance\">\n");
+  appendText(Out, "<SOAP-ENV:Body>\n");
+  appendText(Out, "<i:");
+  appendText(Out, Name);
+  appendText(Out, ">");
+  base64EncodeInto(Payload, Out);
+  appendText(Out, "</i:");
+  appendText(Out, Name);
+  appendText(Out, ">\n");
+  appendText(Out, "</SOAP-ENV:Body>\n");
+  appendText(Out, "</SOAP-ENV:Envelope>\n");
+}
+
+ErrorOr<Envelope> decodeNetSoap(const uint8_t *Data, size_t Size) {
+  std::string_view Xml(reinterpret_cast<const char *>(Data), Size);
   size_t OpenStart = Xml.find("<i:");
-  if (OpenStart == std::string::npos)
+  if (OpenStart == std::string_view::npos)
     return Error(ErrorCode::MalformedMessage, "soap body element missing");
   size_t OpenEnd = Xml.find('>', OpenStart);
-  if (OpenEnd == std::string::npos)
+  if (OpenEnd == std::string_view::npos)
     return Error(ErrorCode::MalformedMessage, "soap body tag unterminated");
   Envelope Result;
   Result.Name = Xml.substr(OpenStart + 3, OpenEnd - OpenStart - 3);
   std::string CloseTag = "</i:" + Result.Name + ">";
   size_t Close = Xml.find(CloseTag, OpenEnd);
-  if (Close == std::string::npos)
+  if (Close == std::string_view::npos)
     return Error(ErrorCode::MalformedMessage, "soap close tag missing");
-  std::string_view Body(Xml.data() + OpenEnd + 1, Close - OpenEnd - 1);
+  std::string_view Body = Xml.substr(OpenEnd + 1, Close - OpenEnd - 1);
   ErrorOr<Bytes> Decoded = base64Decode(Body);
   if (!Decoded)
     return Decoded.error();
@@ -268,30 +285,44 @@ ErrorOr<Envelope> decodeNetSoap(const Bytes &Wire) {
 
 Bytes parcs::serial::encodeEnvelope(WireFormat Format, std::string_view Name,
                                     const Bytes &Payload) {
+  Bytes Out;
+  encodeEnvelopeInto(Format, Name, Payload, Out);
+  return Out;
+}
+
+void parcs::serial::encodeEnvelopeInto(WireFormat Format,
+                                       std::string_view Name,
+                                       const Bytes &Payload, Bytes &Out) {
   switch (Format) {
   case WireFormat::MpiPack:
-    return encodeMpiPack(Payload);
+    return encodeMpiPackInto(Payload, Out);
   case WireFormat::NetBinary:
-    return encodeNetBinary(Name, Payload);
+    return encodeNetBinaryInto(Name, Payload, Out);
   case WireFormat::JavaStream:
-    return encodeJavaStream(Name, Payload);
+    return encodeJavaStreamInto(Name, Payload, Out);
   case WireFormat::NetSoap:
-    return encodeNetSoap(Name, Payload);
+    return encodeNetSoapInto(Name, Payload, Out);
   }
   PARCS_UNREACHABLE("unhandled WireFormat");
 }
 
 ErrorOr<Envelope> parcs::serial::decodeEnvelope(WireFormat Format,
                                                 const Bytes &Wire) {
+  return decodeEnvelope(Format, Wire.data(), Wire.size());
+}
+
+ErrorOr<Envelope> parcs::serial::decodeEnvelope(WireFormat Format,
+                                                const uint8_t *Data,
+                                                size_t Size) {
   switch (Format) {
   case WireFormat::MpiPack:
-    return decodeMpiPack(Wire);
+    return decodeMpiPack(Data, Size);
   case WireFormat::NetBinary:
-    return decodeNetBinary(Wire);
+    return decodeNetBinary(Data, Size);
   case WireFormat::JavaStream:
-    return decodeJavaStream(Wire);
+    return decodeJavaStream(Data, Size);
   case WireFormat::NetSoap:
-    return decodeNetSoap(Wire);
+    return decodeNetSoap(Data, Size);
   }
   PARCS_UNREACHABLE("unhandled WireFormat");
 }

@@ -53,11 +53,24 @@ struct Envelope {
 Bytes encodeEnvelope(WireFormat Format, std::string_view Name,
                      const Bytes &Payload);
 
+/// Appends \p Payload's envelope to \p Out -- the allocation-free variant
+/// used on the RPC hot path: \p Out may already hold a prefix (the message
+/// kind byte) and keeps its capacity across calls.
+void encodeEnvelopeInto(WireFormat Format, std::string_view Name,
+                        const Bytes &Payload, Bytes &Out);
+
 /// Parses a buffer produced by encodeEnvelope.
 ErrorOr<Envelope> decodeEnvelope(WireFormat Format, const Bytes &Wire);
 
+/// Zero-copy variant: parses directly out of (\p Data, \p Size) -- a view
+/// into the wire buffer -- without materialising a Bytes first.
+ErrorOr<Envelope> decodeEnvelope(WireFormat Format, const uint8_t *Data,
+                                 size_t Size);
+
 /// Base64 used by the SOAP formatter (exposed for tests).
 std::string base64Encode(const Bytes &Data);
+/// Appends the encoding to \p Out (the SOAP envelope hot path).
+void base64EncodeInto(const Bytes &Data, Bytes &Out);
 ErrorOr<Bytes> base64Decode(std::string_view Text);
 
 } // namespace parcs::serial

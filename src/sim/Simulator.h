@@ -14,6 +14,28 @@
 /// increasing sequence number breaks ties), which makes wake-up ordering of
 /// semaphores, channels and futures deterministic as well.
 ///
+/// The kernel is built for throughput -- every paper figure is millions of
+/// events:
+///  - event callbacks are InlineFunction with a 64-byte inline buffer, so
+///    the common captures (a handle, a promise, a small message) never heap
+///    allocate;
+///  - coroutine resumes (the single hottest event kind: channel wake-ups,
+///    delays, semaphore grants) store the raw std::coroutine_handle<> in
+///    the event node, with no closure at all;
+///  - the pending-event set is a two-level calendar queue with a FIFO fast
+///    lane: events scheduled exactly at the current time (wake-ups) go to a
+///    plain FIFO -- push order there is already (time, seq) order --
+///    near-future events live in time-bucketed per-bucket heaps, and
+///    far-future events in an overflow heap that drains into the buckets as
+///    the window advances;
+///  - event nodes are recycled through a free list, so a steady-state run
+///    performs zero allocations per event.
+///
+/// Pop order is strictly (time, sequence) -- the unique key makes the order
+/// independent of heap layout, so the calendar queue is observably
+/// identical to the textbook binary-heap implementation, just faster.  See
+/// docs/perf.md for the design notes and bench/sim_kernel for the numbers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARCS_SIM_SIMULATOR_H
@@ -21,20 +43,43 @@
 
 #include "sim/SimTime.h"
 #include "sim/Task.h"
+#include "support/InlineFunction.h"
+#include "support/Statistics.h"
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
 namespace parcs::sim {
 
+/// Event callback storage: 64 inline bytes covers every capture on the
+/// kernel's hot paths (the largest is a network Message plus two pointers).
+using EventCallback = parcs::InlineFunction<void(), 64>;
+
+/// Scheduler observability counters (see Simulator::counters).  Plain
+/// struct so benches can diff snapshots.
+struct SchedulerCounters {
+  /// Events executed, by kind.
+  uint64_t CallbackEvents = 0;
+  uint64_t ResumeEvents = 0;
+  /// High-water mark of pending events.
+  uint64_t PeakQueueDepth = 0;
+  /// Callback captures that exceeded the inline buffer (heap fallback).
+  uint64_t SboMisses = 0;
+  /// Event nodes allocated (free-list misses; steady state allocates none).
+  uint64_t NodesAllocated = 0;
+  /// Events that landed beyond the calendar window, into the overflow heap.
+  uint64_t OverflowInserts = 0;
+  /// Times the calendar window jumped forward to the overflow minimum.
+  uint64_t WindowAdvances = 0;
+};
+
 /// Single-threaded virtual-time event loop.
 class Simulator {
 public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
   ~Simulator();
@@ -46,17 +91,36 @@ public:
   uint64_t eventsProcessed() const { return EventCount; }
 
   /// Schedules \p Fn to run \p Delay after the current time.
-  void schedule(SimTime Delay, std::function<void()> Fn) {
-    scheduleAt(Now + Delay, std::move(Fn));
+  template <typename F> void schedule(SimTime Delay, F &&Fn) {
+    scheduleAt(Now + Delay, std::forward<F>(Fn));
   }
 
   /// Schedules \p Fn at absolute time \p At (must not be in the past).
-  void scheduleAt(SimTime At, std::function<void()> Fn);
-
-  /// Schedules \p Handle to be resumed \p Delay from now.
-  void scheduleResume(SimTime Delay, std::coroutine_handle<> Handle) {
-    schedule(Delay, [Handle] { Handle.resume(); });
+  /// The callable is constructed directly into a recycled event node --
+  /// no temporary wrapper, no relocation.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F> &>)
+  void scheduleAt(SimTime At, F &&Fn) {
+    assert(At >= Now && "scheduling into the past");
+    if constexpr (!EventCallback::fitsInline<std::decay_t<F>>())
+      ++Counters.SboMisses;
+    EventNode *Node = allocNode(At, NextSeq++);
+    Node->Fn.emplace(std::forward<F>(Fn));
+    insert(Node);
   }
+
+  /// Overload for a pre-built callback (moved into the node).
+  void scheduleAt(SimTime At, EventCallback &&Fn);
+
+  /// Schedules \p Handle to be resumed \p Delay from now.  Stores the raw
+  /// handle -- no closure, no allocation.
+  void scheduleResume(SimTime Delay, std::coroutine_handle<> Handle) {
+    scheduleResumeAt(Now + Delay, Handle);
+  }
+
+  /// Absolute-time variant of scheduleResume.
+  void scheduleResumeAt(SimTime At, std::coroutine_handle<> Handle);
 
   /// Detaches \p T and starts it from the event loop at the current time.
   /// The coroutine frame self-destroys on completion or, if still pending,
@@ -88,26 +152,112 @@ public:
   /// \p Until even if the queue drains earlier).
   void runUntil(SimTime Until);
 
+  /// Scheduler observability counters accumulated since construction.
+  const SchedulerCounters &counters() const { return Counters; }
+
+  /// Counters as a printable name/value group (for benches and logs).
+  CounterGroup counterSnapshot() const;
+
 private:
   friend void detail::detachedTaskFinished(Simulator &Sim, void *Frame);
 
-  struct Scheduled {
-    SimTime At;
-    uint64_t Seq;
-    std::function<void()> Fn;
+  /// One pending event.  Resume events carry the raw coroutine handle (Fn
+  /// stays empty); callback events carry Fn (Handle stays null).  Nodes are
+  /// recycled through FreeList, linked via NextFree.
+  struct EventNode {
+    int64_t AtNs = 0;
+    uint64_t Seq = 0;
+    EventNode *NextFree = nullptr;
+    std::coroutine_handle<> Handle;
+    EventCallback Fn;
   };
-  struct Later {
-    bool operator()(const Scheduled &A, const Scheduled &B) const {
-      if (A.At != B.At)
-        return B.At < A.At;
-      return B.Seq < A.Seq;
-    }
-  };
+
+  /// Calendar geometry: 4096 buckets of 2^9 ns (512 ns) cover a ~2 ms
+  /// near-future window -- wider than one RPC round trip, narrower than the
+  /// coarse timeouts that belong in the overflow heap.  Narrow buckets keep
+  /// the per-bucket heaps a handful of entries, and the scan hint only
+  /// moves forward, so the sparse-bucket scan is amortized O(1) per pop.
+  static constexpr int BucketShift = 9;
+  static constexpr size_t BucketCountLog2 = 12;
+  static constexpr size_t NumBuckets = size_t(1) << BucketCountLog2;
+
+  EventNode *allocNode(SimTime At, uint64_t Seq);
+  void insert(EventNode *Node);
+  void recycle(EventNode *Node);
+  /// Removes and returns the earliest event, or null when empty.
+  EventNode *popEarliest();
+  /// Time of the earliest pending event; only valid when PendingCount > 0.
+  int64_t earliestTimeNs();
+  /// Repositions the calendar window at the overflow minimum and drains
+  /// every overflow event that now falls inside it.
+  void advanceWindow();
+  /// Executes one popped event (shared tail of step()).
+  void execute(EventNode *Node);
+  void freeAllNodes();
 
   SimTime Now;
   uint64_t NextSeq = 0;
   uint64_t EventCount = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> Queue;
+
+  /// Power-of-two ring buffer of event nodes (the immediate lane).
+  class EventFifo {
+  public:
+    EventFifo() : Slots(64), Mask(63) {}
+    bool empty() const { return Count == 0; }
+    size_t size() const { return Count; }
+    EventNode *front() const { return Slots[Head]; }
+    void push(EventNode *Node) {
+      if (Count == Slots.size())
+        grow();
+      Slots[(Head + Count) & Mask] = Node;
+      ++Count;
+    }
+    EventNode *pop() {
+      EventNode *Node = Slots[Head];
+      Head = (Head + 1) & Mask;
+      --Count;
+      return Node;
+    }
+
+  private:
+    void grow();
+    std::vector<EventNode *> Slots;
+    size_t Mask;
+    size_t Head = 0;
+    size_t Count = 0;
+  };
+
+  /// Events scheduled at exactly the current time, in push order.  Because
+  /// Now is non-decreasing and Seq is increasing, push order here IS
+  /// (time, seq) order, so the head is always this lane's minimum.
+  EventFifo Immediate;
+  /// Near-future buckets; each is a (time, seq) min-heap of node pointers.
+  std::vector<std::vector<EventNode *>> Buckets;
+  /// One bit per bucket (set = non-empty), so finding the next occupied
+  /// bucket is a word scan + countr_zero instead of touching each bucket.
+  std::vector<uint64_t> BucketBits;
+  void markBucket(size_t Idx) {
+    BucketBits[Idx >> 6] |= uint64_t(1) << (Idx & 63);
+  }
+  void unmarkBucket(size_t Idx) {
+    BucketBits[Idx >> 6] &= ~(uint64_t(1) << (Idx & 63));
+  }
+  /// First occupied bucket index >= From; call only when BucketedCount > 0.
+  size_t firstOccupiedBucket(size_t From) const;
+  /// Events at or beyond WindowEndNs, as a (time, seq) min-heap.
+  std::vector<EventNode *> Overflow;
+  /// Window start (multiple of the bucket width) and one-past-the-end.
+  int64_t WindowStartNs = 0;
+  int64_t WindowEndNs = 0;
+  /// Lowest bucket index that may be non-empty (scan hint).
+  size_t ScanHint = 0;
+  /// Events currently in Buckets / in total.
+  size_t BucketedCount = 0;
+  size_t PendingCount = 0;
+
+  EventNode *FreeList = nullptr;
+  SchedulerCounters Counters;
+
   /// Frames of detached coroutines still alive; destroyed in ~Simulator.
   std::unordered_set<void *> LiveDetached;
 };

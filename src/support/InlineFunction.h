@@ -1,0 +1,186 @@
+//===- support/InlineFunction.h - SBO move-only callable --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only `std::function` replacement with a guaranteed small-buffer
+/// size.  The simulator schedules millions of events per figure, and
+/// `std::function`'s 16-byte inline buffer (libstdc++) forces a heap
+/// allocation for any capture beyond two pointers -- which is nearly every
+/// event callback on the kernel's hot paths.  InlineFunction stores
+/// callables up to \c InlineBytes (default 64) in place, falls back to the
+/// heap only beyond that, and reports which mode it is in so schedulers can
+/// count SBO misses.
+///
+/// Differences from std::function, all deliberate:
+///  - move-only (captured promises/buffers need no copies, and copyability
+///    would force heap fallback for move-only captures);
+///  - no allocator, no target_type/target accessors;
+///  - invoking an empty InlineFunction asserts instead of throwing (the
+///    library is exception-free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_INLINEFUNCTION_H
+#define PARCS_SUPPORT_INLINEFUNCTION_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace parcs {
+
+template <typename Signature, size_t InlineBytes = 64> class InlineFunction;
+
+template <typename Ret, typename... Args, size_t InlineBytes>
+class InlineFunction<Ret(Args...), InlineBytes> {
+public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}
+
+  /// Wraps any callable.  Callables up to InlineBytes with standard
+  /// alignment live in the inline buffer; larger ones are heap-allocated.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<Ret, std::decay_t<F> &, Args...>)
+  InlineFunction(F &&Fn) {
+    emplace(std::forward<F>(Fn));
+  }
+
+  /// Constructs a callable directly in this (empty) function -- the
+  /// scheduler uses this to build captures straight into recycled event
+  /// nodes, skipping a temporary and its relocation.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<Ret, std::decay_t<F> &, Args...>)
+  void emplace(F &&Fn) {
+    assert(!Invoke && "emplace over a live callable");
+    using Callable = std::decay_t<F>;
+    if constexpr (fitsInline<Callable>()) {
+      ::new (static_cast<void *>(Storage)) Callable(std::forward<F>(Fn));
+      OnHeap = false;
+      // Trivially copyable inline callables (the hot-path captures: a few
+      // pointers and integers) move by memcpy and need no destructor; a
+      // null Manage encodes that, keeping moves free of indirect calls.
+      if constexpr (std::is_trivially_copyable_v<Callable>)
+        Manage = nullptr;
+      else
+        Manage = &manageImpl<Callable>;
+    } else {
+      ptrSlot() = new Callable(std::forward<F>(Fn));
+      OnHeap = true;
+      Manage = &manageImpl<Callable>;
+    }
+    Invoke = &invokeImpl<Callable>;
+  }
+
+  InlineFunction(InlineFunction &&Other) noexcept { moveFrom(Other); }
+
+  InlineFunction &operator=(InlineFunction &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction &) = delete;
+  InlineFunction &operator=(const InlineFunction &) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the held callable (if any) and becomes empty.
+  void reset() {
+    if (Invoke && Manage)
+      Manage(Op::Destroy, this, nullptr);
+    Invoke = nullptr;
+    Manage = nullptr;
+    OnHeap = false;
+  }
+
+  explicit operator bool() const { return Invoke != nullptr; }
+
+  /// True when the callable lives in the inline buffer (empty functions
+  /// report true: they never allocated).
+  bool isInline() const { return !OnHeap; }
+
+  /// Compile-time check: would a callable of type F be stored inline?
+  template <typename F> static constexpr bool fitsInline() {
+    return sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t);
+  }
+
+  Ret operator()(Args... Values) {
+    assert(Invoke && "invoking an empty InlineFunction");
+    return Invoke(this, std::forward<Args>(Values)...);
+  }
+
+private:
+  enum class Op { Destroy, MoveTo };
+
+  void *object() {
+    return OnHeap ? ptrSlot() : static_cast<void *>(Storage);
+  }
+  void *&ptrSlot() { return *reinterpret_cast<void **>(Storage); }
+
+  void moveFrom(InlineFunction &Other) noexcept {
+    Invoke = Other.Invoke;
+    Manage = Other.Manage;
+    OnHeap = Other.OnHeap;
+    if (Other.Invoke) {
+      if (Other.Manage)
+        Other.Manage(Op::MoveTo, &Other, this);
+      else
+        std::memcpy(Storage, Other.Storage, InlineBytes);
+    }
+    Other.Invoke = nullptr;
+    Other.Manage = nullptr;
+    Other.OnHeap = false;
+  }
+
+  template <typename Callable>
+  static Ret invokeImpl(InlineFunction *Self, Args... Values) {
+    return (*static_cast<Callable *>(Self->object()))(
+        std::forward<Args>(Values)...);
+  }
+
+  template <typename Callable>
+  static void manageImpl(Op What, InlineFunction *Self, InlineFunction *Dst) {
+    if constexpr (fitsInline<Callable>()) {
+      Callable *Held = static_cast<Callable *>(
+          static_cast<void *>(Self->Storage));
+      switch (What) {
+      case Op::Destroy:
+        Held->~Callable();
+        break;
+      case Op::MoveTo:
+        ::new (static_cast<void *>(Dst->Storage))
+            Callable(std::move(*Held));
+        Held->~Callable();
+        break;
+      }
+    } else {
+      switch (What) {
+      case Op::Destroy:
+        delete static_cast<Callable *>(Self->ptrSlot());
+        break;
+      case Op::MoveTo:
+        Dst->ptrSlot() = Self->ptrSlot();
+        break;
+      }
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char Storage[InlineBytes];
+  Ret (*Invoke)(InlineFunction *, Args...) = nullptr;
+  void (*Manage)(Op, InlineFunction *, InlineFunction *) = nullptr;
+  bool OnHeap = false;
+};
+
+} // namespace parcs
+
+#endif // PARCS_SUPPORT_INLINEFUNCTION_H

@@ -53,6 +53,26 @@ double SampleSet::percentile(double P) const {
   return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
 }
 
+uint64_t CounterGroup::get(std::string_view Name) const {
+  for (const auto &[Key, Value] : Entries)
+    if (Key == Name)
+      return Value;
+  assert(false && "unknown counter name");
+  return 0;
+}
+
+std::string CounterGroup::str() const {
+  std::ostringstream Oss;
+  bool First = true;
+  for (const auto &[Key, Value] : Entries) {
+    if (!First)
+      Oss << ' ';
+    First = false;
+    Oss << Key << '=' << Value;
+  }
+  return Oss.str();
+}
+
 std::string SampleSet::str() const {
   std::ostringstream Oss;
   Oss << "n=" << Stats.count();

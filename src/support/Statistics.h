@@ -15,8 +15,11 @@
 #define PARCS_SUPPORT_STATISTICS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace parcs {
@@ -64,6 +67,30 @@ private:
   mutable std::vector<double> Samples;
   mutable bool Sorted = true;
   RunningStats Stats;
+};
+
+/// An ordered list of named integer counters -- the exchange format between
+/// instrumented components (the simulator's scheduler counters, endpoint
+/// stats) and the benches/tests that print or assert on them.
+class CounterGroup {
+public:
+  void add(std::string Name, uint64_t Value) {
+    Entries.emplace_back(std::move(Name), Value);
+  }
+
+  size_t size() const { return Entries.size(); }
+  const std::vector<std::pair<std::string, uint64_t>> &entries() const {
+    return Entries;
+  }
+
+  /// Returns the value of \p Name; asserts when absent.
+  uint64_t get(std::string_view Name) const;
+
+  /// One-line "name=value name=value ..." rendering.
+  std::string str() const;
+
+private:
+  std::vector<std::pair<std::string, uint64_t>> Entries;
 };
 
 } // namespace parcs

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(Node &Host, int MaxWorkers)
     Host.sim().spawn(workerLoop());
 }
 
-void ThreadPool::post(std::function<sim::Task<void>()> Work) {
+void ThreadPool::post(WorkItem Work) {
   ++Posted;
   Pending.add(1);
   Queue.trySend(std::move(Work));
@@ -27,7 +27,7 @@ void ThreadPool::post(std::function<sim::Task<void>()> Work) {
 
 sim::Task<void> ThreadPool::workerLoop() {
   for (;;) {
-    std::function<sim::Task<void>()> Work = co_await Queue.recv();
+    WorkItem Work = co_await Queue.recv();
     co_await Host.compute(calib::ThreadPoolDispatch);
     co_await Work();
     Pending.done();

@@ -21,24 +21,27 @@
 #include "sim/Channel.h"
 #include "sim/Sync.h"
 #include "sim/Task.h"
+#include "support/InlineFunction.h"
 #include "vm/Node.h"
-
-#include <functional>
 
 namespace parcs::vm {
 
 /// FIFO work queue drained by a fixed set of simulated worker threads.
 class ThreadPool {
 public:
+  /// A queued work item: a thunk producing the task to run.  InlineFunction
+  /// keeps the common captures (an endpoint pointer plus a message) out of
+  /// the heap -- one fewer allocation per dispatched call.
+  using WorkItem = parcs::InlineFunction<sim::Task<void>(), 64>;
+
   /// Creates the pool with \p MaxWorkers workers (default: the node VM's
   /// configured cap) and starts the worker loops.
   explicit ThreadPool(Node &Host, int MaxWorkers = 0);
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues a work item: a thunk producing the task to run.  Callable
-  /// from event context (non-suspending).
-  void post(std::function<sim::Task<void>()> Work);
+  /// Enqueues a work item.  Callable from event context (non-suspending).
+  void post(WorkItem Work);
 
   /// Awaitable: resumes once every posted item has completed.
   auto waitIdle() { return Pending.wait(); }
@@ -53,7 +56,7 @@ private:
 
   Node &Host;
   int MaxWorkers;
-  sim::Channel<std::function<sim::Task<void>()>> Queue;
+  sim::Channel<WorkItem> Queue;
   sim::WaitGroup Pending;
   uint64_t Posted = 0;
 };

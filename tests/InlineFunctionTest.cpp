@@ -1,0 +1,189 @@
+//===- tests/InlineFunctionTest.cpp - SBO callable unit tests -------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The simulator stores every event callback in an InlineFunction, so this
+// type must get object lifetimes exactly right across the inline/heap
+// boundary: captures that straddle the buffer size, move-only captures,
+// and destruction counts through move/reset/reassign.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/InlineFunction.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+using parcs::InlineFunction;
+
+namespace {
+
+using Fn = InlineFunction<int(), 64>;
+
+/// A callable of an exact size, with instance accounting.
+template <size_t PayloadBytes> struct Sized {
+  static int Live;
+  static int Destroyed;
+  std::array<unsigned char, PayloadBytes> Payload;
+
+  Sized() { ++Live; }
+  Sized(const Sized &Other) : Payload(Other.Payload) { ++Live; }
+  Sized(Sized &&Other) noexcept : Payload(Other.Payload) { ++Live; }
+  ~Sized() {
+    --Live;
+    ++Destroyed;
+  }
+  int operator()() const { return static_cast<int>(Payload.size()); }
+};
+template <size_t PayloadBytes> int Sized<PayloadBytes>::Live = 0;
+template <size_t PayloadBytes> int Sized<PayloadBytes>::Destroyed = 0;
+
+TEST(InlineFunctionTest, EmptyStates) {
+  Fn F;
+  EXPECT_FALSE(F);
+  EXPECT_TRUE(F.isInline());
+  Fn G(nullptr);
+  EXPECT_FALSE(G);
+  F = std::move(G);
+  EXPECT_FALSE(F);
+}
+
+TEST(InlineFunctionTest, SmallCaptureIsInlineAndCalls) {
+  int X = 41;
+  Fn F([&X] { return X + 1; });
+  ASSERT_TRUE(F);
+  EXPECT_TRUE(F.isInline());
+  EXPECT_EQ(F(), 42);
+}
+
+TEST(InlineFunctionTest, CaptureSizesStraddleTheBuffer) {
+  // 64 bytes: exactly the buffer -- must be inline.
+  EXPECT_TRUE((Fn::fitsInline<Sized<64>>()));
+  Fn AtLimit(Sized<64>{});
+  EXPECT_TRUE(AtLimit.isInline());
+  EXPECT_EQ(AtLimit(), 64);
+
+  // 65 bytes: one past the buffer -- must fall back to the heap, and still
+  // call and destroy correctly.
+  EXPECT_FALSE((Fn::fitsInline<Sized<65>>()));
+  {
+    Fn PastLimit(Sized<65>{});
+    EXPECT_FALSE(PastLimit.isInline());
+    EXPECT_EQ(PastLimit(), 65);
+    EXPECT_EQ(Sized<65>::Live, 1);
+  }
+  EXPECT_EQ(Sized<65>::Live, 0);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapture) {
+  auto Boxed = std::make_unique<int>(7);
+  InlineFunction<int(), 64> F([Boxed = std::move(Boxed)] { return *Boxed; });
+  ASSERT_TRUE(F);
+  EXPECT_TRUE(F.isInline());
+
+  // Move the wrapper; the capture (and its unique_ptr) must follow.
+  InlineFunction<int(), 64> G(std::move(F));
+  EXPECT_FALSE(F);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G(), 7);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureOnHeap) {
+  struct Big {
+    std::unique_ptr<int> Boxed;
+    std::array<unsigned char, 96> Pad{};
+    int operator()() const { return *Boxed; }
+  };
+  InlineFunction<int(), 64> F(Big{std::make_unique<int>(9), {}});
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(F.isInline());
+  InlineFunction<int(), 64> G(std::move(F));
+  EXPECT_EQ(G(), 9);
+}
+
+TEST(InlineFunctionTest, DestructionCountsInline) {
+  Sized<32>::Live = 0;
+  Sized<32>::Destroyed = 0;
+  {
+    Fn F(Sized<32>{});
+    EXPECT_TRUE(F.isInline());
+    EXPECT_EQ(Sized<32>::Live, 1);
+    // Move constructs in the destination and destroys the source copy.
+    Fn G(std::move(F));
+    EXPECT_EQ(Sized<32>::Live, 1);
+    EXPECT_FALSE(F);
+    // reset destroys the held callable immediately.
+    G.reset();
+    EXPECT_EQ(Sized<32>::Live, 0);
+    EXPECT_FALSE(G);
+  }
+  EXPECT_EQ(Sized<32>::Live, 0);
+}
+
+TEST(InlineFunctionTest, DestructionCountsHeap) {
+  Sized<128>::Live = 0;
+  Sized<128>::Destroyed = 0;
+  {
+    Fn F(Sized<128>{});
+    EXPECT_FALSE(F.isInline());
+    EXPECT_EQ(Sized<128>::Live, 1);
+    // A heap move just transfers the pointer: no construct, no destroy.
+    int DestroyedBefore = Sized<128>::Destroyed;
+    Fn G(std::move(F));
+    EXPECT_EQ(Sized<128>::Live, 1);
+    EXPECT_EQ(Sized<128>::Destroyed, DestroyedBefore);
+    EXPECT_EQ(G(), 128);
+  }
+  EXPECT_EQ(Sized<128>::Live, 0);
+}
+
+TEST(InlineFunctionTest, ReassignDestroysOldCallable) {
+  Sized<16>::Live = 0;
+  Fn F(Sized<16>{});
+  EXPECT_EQ(Sized<16>::Live, 1);
+  F = Fn([] { return 5; });
+  EXPECT_EQ(Sized<16>::Live, 0);
+  EXPECT_EQ(F(), 5);
+}
+
+TEST(InlineFunctionTest, TriviallyCopyableCaptureSurvivesMoves) {
+  // The memcpy relocation fast path (Manage == nullptr internally): chase
+  // the value through a chain of moves.
+  struct Flat {
+    int A, B, C, D;
+    int operator()() const { return A + B + C + D; }
+  };
+  static_assert(std::is_trivially_copyable_v<Flat>);
+  Fn F(Flat{1, 2, 3, 4});
+  Fn G(std::move(F));
+  Fn H;
+  H = std::move(G);
+  EXPECT_EQ(H(), 10);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnValues) {
+  InlineFunction<std::string(const std::string &, int), 64> F(
+      [](const std::string &S, int N) {
+        std::string Out;
+        for (int I = 0; I < N; ++I)
+          Out += S;
+        return Out;
+      });
+  EXPECT_EQ(F("ab", 3), "ababab");
+}
+
+TEST(InlineFunctionTest, MutableCallableKeepsState) {
+  InlineFunction<int(), 64> Counter([N = 0]() mutable { return ++N; });
+  EXPECT_EQ(Counter(), 1);
+  EXPECT_EQ(Counter(), 2);
+  InlineFunction<int(), 64> Moved(std::move(Counter));
+  EXPECT_EQ(Moved(), 3);
+}
+
+} // namespace
