@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/ray/Farm.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,9 +73,18 @@ int main(int Argc, char **Argv) {
   FarmResult Parcs = runScooppRayFarm(Job, Config);
   FarmResult Rmi = runRmiRayFarm(Job, Config);
 
+  // The same farm with call aggregation on: render calls to a worker are
+  // packed up to 4 per wire message, trading call latency for framing.
+  scoopp::GrainPolicy Grain;
+  Grain.MaxCallsPerMessage = 4;
+  FarmResult Agg = runScooppRayFarm(Job, Config, Grain);
+
   std::printf("ParC# farm (%d processors): %.1f s  [checksum %s]\n",
               Processors, Parcs.Elapsed.toSecondsF(),
               Parcs.Checksum == Seq.Checksum ? "ok" : "MISMATCH");
+  std::printf("ParC# farm, aggregation x4: %.1f s  [checksum %s]\n",
+              Agg.Elapsed.toSecondsF(),
+              Agg.Checksum == Seq.Checksum ? "ok" : "MISMATCH");
   std::printf("Java RMI farm (%d processors): %.1f s  [checksum %s]\n",
               Processors, Rmi.Elapsed.toSecondsF(),
               Rmi.Checksum == Seq.Checksum ? "ok" : "MISMATCH");
@@ -82,5 +92,9 @@ int main(int Argc, char **Argv) {
               Parcs.Elapsed.toSecondsF() / Rmi.Elapsed.toSecondsF());
 
   writePpm(Job->SceneData, Width, Height, "raytracer_out.ppm");
+  if (!trace::enabled())
+    std::printf("hint: PARCS_TRACE=ray.trace.json %s %d %d %d writes a "
+                "Chrome/Perfetto trace of the farms\n",
+                Argv[0], Width, Height, Processors);
   return 0;
 }

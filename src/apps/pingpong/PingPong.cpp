@@ -11,6 +11,8 @@
 #include "mpi/Mpi.h"
 #include "net/Network.h"
 #include "remoting/Engine.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/Cluster.h"
 
 using namespace parcs;
@@ -57,6 +59,8 @@ vm::VmKind vmFor(remoting::StackKind Stack) {
 
 PingPongResult finish(sim::SimTime Elapsed, size_t PayloadBytes, int Rounds,
                       uint64_t WireBytes) {
+  metrics::Registry::global().counter("pingpong.rounds").add(
+      static_cast<uint64_t>(Rounds));
   PingPongResult Out;
   double OneWaySeconds = Elapsed.toSecondsF() / (2.0 * Rounds);
   Out.OneWayLatencyUs = OneWaySeconds * 1e6;
@@ -96,6 +100,8 @@ parcs::apps::pingpong::runRemotingPingPong(remoting::StackKind Stack,
         (void)co_await Handle.invokeTyped<std::vector<int32_t>>("echo",
                                                                 Payload);
       Elapsed = Sim.now() - Start;
+      trace::complete(0, 0, "pingpong.measured", Start.nanosecondsCount(),
+                      Elapsed.nanosecondsCount());
     }
   };
   Machines.sim().spawn(
@@ -129,6 +135,8 @@ PingPongResult parcs::apps::pingpong::runMpiPingPong(size_t PayloadBytes,
         (void)co_await Comm.recv(1, 0);
       }
       Elapsed = Sim.now() - Start;
+      trace::complete(0, 0, "pingpong.measured", Start.nanosecondsCount(),
+                      Elapsed.nanosecondsCount());
     } else {
       for (int I = 0; I < Rounds + 1; ++I) {
         mpi::RecvResult In = co_await Comm.recv(0, 0);
@@ -178,6 +186,8 @@ PingPongResult parcs::apps::pingpong::runScooppPingPong(size_t PayloadBytes,
         (void)co_await Proxy.invokeSyncTyped<std::vector<int32_t>>("echo",
                                                                    Payload);
       Elapsed = Sim.now() - Start;
+      trace::complete(0, 0, "pingpong.measured", Start.nanosecondsCount(),
+                      Elapsed.nanosecondsCount());
     }
   };
   Machines.sim().spawn(

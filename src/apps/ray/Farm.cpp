@@ -9,7 +9,11 @@
 #include "mpi/Mpi.h"
 #include "net/Network.h"
 #include "sim/Sync.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/Cluster.h"
+
+#include <string>
 
 using namespace parcs;
 using namespace parcs::apps::ray;
@@ -17,6 +21,18 @@ using namespace parcs::apps::ray;
 //===----------------------------------------------------------------------===//
 // Worker
 //===----------------------------------------------------------------------===//
+
+RayWorkerHandler::RayWorkerHandler(vm::Node &Host,
+                                   std::shared_ptr<const RayJob> Job)
+    : Host(Host), Job(std::move(Job)) {
+  if (trace::enabled()) {
+    // One trace lane per worker, numbered in creation order (deterministic
+    // under the single-threaded simulator).
+    static int NextWorker = 0;
+    TraceTid = trace::track(Host.id(),
+                            "ray.worker#" + std::to_string(NextWorker++));
+  }
+}
 
 sim::Task<ErrorOr<remoting::Bytes>>
 RayWorkerHandler::handleCall(std::string_view Method,
@@ -27,6 +43,7 @@ RayWorkerHandler::handleCall(std::string_view Method,
       co_return Error(ErrorCode::MalformedMessage, "render args");
     if (Y0 < 0 || Y1 < Y0 || Y1 > Job->Height)
       co_return Error(ErrorCode::InvalidArgument, "render line range");
+    int64_t BlockStartNs = Host.sim().now().nanosecondsCount();
     for (int32_t Y = Y0; Y < Y1; ++Y) {
       // Real rendering; virtual time charged per counted op, scaled by
       // this node's VM (reference = Sun JVM).
@@ -38,9 +55,16 @@ RayWorkerHandler::handleCall(std::string_view Method,
       ChecksumSum += Scene::lineChecksum(Line.Rgb);
       Rows[Y] = std::move(Line.Rgb);
     }
+    trace::complete(Host.id(), TraceTid, "ray.render_block", BlockStartNs,
+                    Host.sim().now().nanosecondsCount() - BlockStartNs);
+    metrics::Registry &Reg = metrics::Registry::global();
+    Reg.counter("ray.render_blocks").add(1);
+    Reg.counter("ray.lines_rendered").add(static_cast<uint64_t>(Y1 - Y0));
     co_return remoting::Bytes{};
   }
   if (Method == "collect") {
+    trace::instant(Host.id(), TraceTid, "ray.collect",
+                   Host.sim().now().nanosecondsCount());
     serial::OutputArchive Out;
     Out.write(ChecksumSum);
     Out.write(static_cast<uint32_t>(Rows.size()));
@@ -115,6 +139,9 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
                              FarmResult &Out) {
   sim::Simulator &Sim = Runtime.sim();
   sim::SimTime Start = Sim.now();
+  // The master drives everything from node 0; its phases get their own
+  // trace lane there.
+  int MasterTid = trace::track(0, "ray.master");
 
   std::vector<std::unique_ptr<RayWorkerProxy>> Proxies;
   Proxies.reserve(static_cast<size_t>(Workers));
@@ -125,6 +152,10 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
       co_return;
     Proxies.push_back(std::move(Proxy));
   }
+  trace::complete(0, MasterTid, "ray.create_workers",
+                  Start.nanosecondsCount(),
+                  Sim.now().nanosecondsCount() - Start.nanosecondsCount());
+  int64_t FanoutStartNs = Sim.now().nanosecondsCount();
 
   // Fan the line blocks out as asynchronous method calls (the ParC#
   // delegate-style invocations of Fig. 4).  Blocks are issued round-robin
@@ -143,6 +174,9 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
                                     Blocks[W][Round].second);
   for (auto &Proxy : Proxies)
     co_await Proxy->flush();
+  trace::complete(0, MasterTid, "ray.fanout", FanoutStartNs,
+                  Sim.now().nanosecondsCount() - FanoutStartNs);
+  int64_t CollectStartNs = Sim.now().nanosecondsCount();
 
   // Synchronous collection (waits for each worker's renders to finish:
   // parallel objects run one method at a time).
@@ -156,6 +190,8 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
     Out.Checksum += Parsed->first;
     Out.PixelBytes += Parsed->second;
   }
+  trace::complete(0, MasterTid, "ray.collect_results", CollectStartNs,
+                  Sim.now().nanosecondsCount() - CollectStartNs);
   Out.Elapsed = Sim.now() - Start;
 }
 

@@ -59,8 +59,7 @@ struct FarmResult {
 /// parallel class and as an RMI unicast object.
 class RayWorkerHandler : public remoting::CallHandler {
 public:
-  RayWorkerHandler(vm::Node &Host, std::shared_ptr<const RayJob> Job)
-      : Host(Host), Job(std::move(Job)) {}
+  RayWorkerHandler(vm::Node &Host, std::shared_ptr<const RayJob> Job);
 
   sim::Task<ErrorOr<remoting::Bytes>>
   handleCall(std::string_view Method, const remoting::Bytes &Args) override;
@@ -73,6 +72,8 @@ private:
   /// Rendered rows keyed by Y (map keeps collect output in image order).
   std::map<int32_t, std::vector<uint8_t>> Rows;
   uint64_t ChecksumSum = 0;
+  /// This worker's trace lane on its node (0 when tracing is off).
+  int TraceTid = 0;
 };
 
 /// The generated-proxy shape for RayWorkerHandler (ParC# side).

@@ -6,6 +6,8 @@
 
 #include "apps/sieve/Sieve.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/VmKind.h"
 
 using namespace parcs;
@@ -35,6 +37,9 @@ sim::Task<Error> PrimeFilterHandler::forward(std::vector<int32_t> Survivors) {
     if (E)
       co_return E;
     Next = std::move(Proxy);
+    metrics::Registry::global().counter("sieve.filters_created").add(1);
+    trace::instant(Host.id(), 0, "sieve.filter_spawn",
+                   Host.sim().now().nanosecondsCount());
   }
   int32_t Seq = ForwardSeq++;
   co_await static_cast<PrimeFilterProxy &>(*Next).process(Seq, Survivors);
@@ -55,6 +60,7 @@ PrimeFilterHandler::processInOrder(std::vector<int32_t> Numbers) {
     }
     co_return Error();
   }
+  int64_t BatchStartNs = Host.sim().now().nanosecondsCount();
   std::vector<int32_t> Survivors;
   uint64_t BatchTests = 0;
   for (int32_t N : Numbers) {
@@ -81,6 +87,11 @@ PrimeFilterHandler::processInOrder(std::vector<int32_t> Numbers) {
       vm::WorkKind::Integer,
       sim::SimTime::fromSecondsF(Job->NsPerTest * 1e-9 *
                                  static_cast<double>(BatchTests)));
+  trace::complete(Host.id(), 0, "sieve.filter_batch", BatchStartNs,
+                  Host.sim().now().nanosecondsCount() - BatchStartNs);
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("sieve.batches").add(1);
+  Reg.counter("sieve.tests").add(BatchTests);
   if (!Survivors.empty()) {
     Error E = co_await forward(std::move(Survivors));
     if (E)

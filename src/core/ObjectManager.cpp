@@ -7,6 +7,7 @@
 #include "core/ObjectManager.h"
 
 #include "support/Compiler.h"
+#include "support/Metrics.h"
 #include "vm/Calibration.h"
 
 #include <cmath>
@@ -58,6 +59,7 @@ int ObjectManager::loadMetric() const {
 
 sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
   (void)ClassName; // Placement is currently class-independent.
+  metrics::Registry::global().counter("om.placements").add(1);
   int Nodes = Runtime.nodeCount();
   switch (Runtime.config().Placement) {
   case PlacementPolicy::RoundRobin:

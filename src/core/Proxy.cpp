@@ -9,6 +9,8 @@
 #include "core/ImplAdapter.h"
 #include "core/ObjectManager.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/Calibration.h"
 
 #include <algorithm>
@@ -30,6 +32,27 @@ ProxyBase::~ProxyBase() {
 }
 
 vm::Node &ProxyBase::node() { return Runtime.cluster().node(Home); }
+
+void ProxyBase::recordCreateDecision(bool Agglomerated) {
+  metrics::Registry::global()
+      .counter(Agglomerated ? "scoopp.creations_agglomerated"
+                            : "scoopp.creations_parallel")
+      .add(1);
+  if (!trace::enabled())
+    return;
+  // Both cumulative series are sampled on every decision, so the trace
+  // always shows the agglomeration balance even when one side stays flat.
+  int64_t NowNs = node().sim().now().nanosecondsCount();
+  const ScooppStats &S = Runtime.stats();
+  trace::instant(Home, 0,
+                 Agglomerated ? "scoopp.create.agglomerated"
+                              : "scoopp.create.parallel",
+                 NowNs);
+  trace::counter(Home, "scoopp.local_creations", NowNs,
+                 static_cast<int64_t>(S.LocalCreations));
+  trace::counter(Home, "scoopp.remote_creations", NowNs,
+                 static_cast<int64_t>(S.RemoteCreations));
+}
 
 remoting::RemoteHandle ProxyBase::remoteHandle() {
   return remoting::RemoteHandle(Runtime.endpoint(Home), Ref.Node,
@@ -54,6 +77,7 @@ sim::Task<Error> ProxyBase::create(std::string ClassName) {
     Ref = ParallelRef{Home, Made->first};
     Local = Made->second;
     ++Runtime.stats().LocalCreations;
+    recordCreateDecision(/*Agglomerated=*/true);
     co_return Error();
   }
 
@@ -61,6 +85,7 @@ sim::Task<Error> ProxyBase::create(std::string ClassName) {
   // current load distribution policy" (calls c in Fig. 3).
   int Target = co_await Om.placeObject(Class);
   ++Runtime.stats().RemoteCreations;
+  recordCreateDecision(/*Agglomerated=*/false);
   if (Target == Home) {
     // Placement landed on our own node.  The object is created through
     // the local factory path, but it remains its *own grain*: calls keep
@@ -128,6 +153,9 @@ sim::Task<void> ProxyBase::invokeAsync(std::string Method, Bytes Args) {
   if (Buffer.empty())
     PendingOrder.push_back(Method);
   Buffer.push_back(std::move(Args));
+  trace::counter(Home, "scoopp.agg_buffered_calls",
+                 node().sim().now().nanosecondsCount(),
+                 static_cast<int64_t>(pendingCalls()));
   if (static_cast<int>(Buffer.size()) >= Factor) {
     std::vector<Bytes> Calls = std::move(Buffer);
     PendingByMethod.erase(Method);
@@ -203,6 +231,15 @@ sim::Task<void> ProxyBase::shipPacked(std::string Method,
   assert(!Calls.empty() && "shipping an empty aggregate");
   ++Runtime.stats().PackedMessages;
   Runtime.stats().PackedCalls += Calls.size();
+  metrics::Registry::global()
+      .histogram("scoopp.pack_size_calls")
+      .record(static_cast<int64_t>(Calls.size()));
+  if (trace::enabled()) {
+    int64_t NowNs = node().sim().now().nanosecondsCount();
+    trace::instant(Home, 0, "scoopp.agg_flush", NowNs);
+    trace::counter(Home, "scoopp.packed_calls", NowNs,
+                   static_cast<int64_t>(Runtime.stats().PackedCalls));
+  }
   if (Calls.size() == 1) {
     // No point wrapping a single call.
     co_await remoteHandle().invokeOneWay(std::move(Method),
@@ -210,6 +247,9 @@ sim::Task<void> ProxyBase::shipPacked(std::string Method,
     co_return;
   }
   Bytes Payload = encodePackedCalls(Calls);
+  metrics::Registry::global()
+      .histogram("scoopp.packed_msg_bytes")
+      .record(static_cast<int64_t>(Payload.size()));
   co_await remoteHandle().invokeOneWay(PackedMethodPrefix + Method,
                                        std::move(Payload));
 }

@@ -110,6 +110,8 @@ private:
 
   sim::Task<void> shipPacked(std::string Method, std::vector<Bytes> Calls);
   remoting::RemoteHandle remoteHandle();
+  /// Trace/metrics record of one agglomerate-vs-parallel grain decision.
+  void recordCreateDecision(bool Agglomerated);
 
   ScooppRuntime &Runtime;
   int Home;

@@ -9,6 +9,7 @@
 #include "core/Scoopp.h"
 
 #include "support/Logging.h"
+#include "support/Metrics.h"
 
 using namespace parcs;
 using namespace parcs::scoopp;
@@ -80,7 +81,17 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
   }
 }
 
-ScooppRuntime::~ScooppRuntime() = default;
+ScooppRuntime::~ScooppRuntime() {
+  // Fold the SCOOPP decision counters into the end-of-run report.
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("scoopp.local_creations").add(Stats.LocalCreations);
+  Reg.counter("scoopp.remote_creations").add(Stats.RemoteCreations);
+  Reg.counter("scoopp.local_calls").add(Stats.LocalCalls);
+  Reg.counter("scoopp.remote_sync_calls").add(Stats.RemoteSyncCalls);
+  Reg.counter("scoopp.remote_async_calls").add(Stats.RemoteAsyncCalls);
+  Reg.counter("scoopp.packed_messages").add(Stats.PackedMessages);
+  Reg.counter("scoopp.packed_calls").add(Stats.PackedCalls);
+}
 
 RpcEndpoint &ScooppRuntime::endpoint(int Node) {
   assert(Node >= 0 && Node < nodeCount() && "endpoint: bad node id");

@@ -7,9 +7,21 @@
 #include "net/Network.h"
 
 #include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace parcs;
 using namespace parcs::net;
+
+Network::~Network() {
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("net.messages_delivered").add(Delivered);
+  Reg.counter("net.messages_dropped").add(Dropped);
+  Reg.counter("net.payload_bytes").add(PayloadBytes);
+  Reg.counter("net.wire_bytes").add(WireBytes);
+  Reg.counter("net.frames").add(Frames);
+  Reg.gauge("net.peak_in_flight").noteMax(PeakInFlight);
+}
 
 Network::Network(sim::Simulator &Sim, int NodeCount, NetConfig Config)
     : Sim(Sim), Config(Config) {
@@ -84,6 +96,15 @@ sim::Task<void> Network::transfer(Message Msg) {
   Nic &Tx = *Nics[static_cast<size_t>(Msg.Src)];
   Nic &Rx = *Nics[static_cast<size_t>(Msg.Dst)];
 
+  // The async span covers queueing on the source NIC through delivery (or
+  // drop); the in-flight series is the fabric's queue depth over time.
+  trace::asyncBegin(Msg.Src, "net.transfer", Sim.now().nanosecondsCount(),
+                    Msg.Id);
+  ++InFlight;
+  if (InFlight > PeakInFlight)
+    PeakInFlight = InFlight;
+  trace::counter(-1, "net.in_flight", Sim.now().nanosecondsCount(), InFlight);
+
   co_await Tx.TxSlot.acquire();
 
   sim::SimTime Wire = wireTime(Msg.Payload.size());
@@ -113,6 +134,12 @@ sim::Task<void> Network::transfer(Message Msg) {
       Msg.Payload.empty() ? 1 : (Msg.Payload.size() + Mss - 1) / Mss;
   WireBytes += Msg.Payload.size() +
                Packets * static_cast<size_t>(Config.FrameOverheadBytes);
+  Frames += Packets;
+
+  --InFlight;
+  trace::counter(-1, "net.in_flight", Sim.now().nanosecondsCount(), InFlight);
+  trace::asyncEnd(Msg.Src, "net.transfer", Sim.now().nanosecondsCount(),
+                  Msg.Id);
 
   // Fault injection: the message occupied the wire but is lost before
   // delivery.
@@ -120,6 +147,8 @@ sim::Task<void> Network::transfer(Message Msg) {
   if (Config.DropEveryNth > 0 &&
       TransferCount % static_cast<uint64_t>(Config.DropEveryNth) == 0) {
     ++Dropped;
+    trace::instant(Msg.Dst, 0, "net.drop", Sim.now().nanosecondsCount());
+    LogNodeScope Scope(Msg.Dst);
     PARCS_LOG(Debug, "net: dropped msg " << Msg.Id << " (fault injection)");
     co_return;
   }
@@ -127,9 +156,13 @@ sim::Task<void> Network::transfer(Message Msg) {
   ++Delivered;
   PayloadBytes += Msg.Payload.size();
 
-  PARCS_LOG(Debug, "net: delivered msg " << Msg.Id << " " << Msg.Src << "->"
-                                         << Msg.Dst << ":" << Msg.Port << " ("
-                                         << Msg.Payload.size() << "B)");
+  {
+    LogNodeScope Scope(Msg.Dst);
+    PARCS_LOG(Debug, "net: delivered msg " << Msg.Id << " " << Msg.Src << "->"
+                                           << Msg.Dst << ":" << Msg.Port
+                                           << " (" << Msg.Payload.size()
+                                           << "B)");
+  }
   sim::Channel<Message> &Port = bind(Msg.Dst, Msg.Port);
   Port.trySend(std::move(Msg));
 }

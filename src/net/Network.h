@@ -68,6 +68,8 @@ public:
   Network(sim::Simulator &Sim, int NodeCount, NetConfig Config = NetConfig());
   Network(const Network &) = delete;
   Network &operator=(const Network &) = delete;
+  /// Folds the fabric counters into the global metrics registry.
+  ~Network();
 
   sim::Simulator &sim() { return Sim; }
   int nodeCount() const { return static_cast<int>(Nics.size()); }
@@ -96,6 +98,7 @@ public:
   uint64_t payloadBytesDelivered() const { return PayloadBytes; }
   uint64_t wireBytesCarried() const { return WireBytes; }
   uint64_t messagesDropped() const { return Dropped; }
+  uint64_t framesCarried() const { return Frames; }
 
 private:
   struct Nic {
@@ -120,6 +123,12 @@ private:
   uint64_t WireBytes = 0;
   uint64_t Dropped = 0;
   uint64_t TransferCount = 0;
+  /// Ethernet frames carried (packetised segments of non-loopback sends).
+  uint64_t Frames = 0;
+  /// Non-loopback transfers currently occupying the fabric, and the
+  /// high-water mark (queue-depth view of the interconnect).
+  int64_t InFlight = 0;
+  int64_t PeakInFlight = 0;
 };
 
 } // namespace parcs::net

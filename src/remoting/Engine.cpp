@@ -7,6 +7,7 @@
 #include "remoting/Engine.h"
 
 #include "support/Logging.h"
+#include "support/Trace.h"
 
 #include <charconv>
 
@@ -14,6 +15,31 @@ using namespace parcs;
 using namespace parcs::remoting;
 
 namespace {
+
+/// "Mono 1.1.7 (Tcp)" -> "mono_1_1_7_tcp": profile display names become
+/// metric-name segments.
+std::string profileSlug(std::string_view Name) {
+  std::string Slug;
+  Slug.reserve(Name.size());
+  for (char C : Name) {
+    if (C >= 'A' && C <= 'Z')
+      Slug += static_cast<char>(C - 'A' + 'a');
+    else if ((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9'))
+      Slug += C;
+    else if (!Slug.empty() && Slug.back() != '_')
+      Slug += '_';
+  }
+  while (!Slug.empty() && Slug.back() == '_')
+    Slug.pop_back();
+  return Slug;
+}
+
+/// Globally unique async-span id for a call: CallId is only unique per
+/// endpoint, so mix in the issuing (node, port).
+uint64_t callSpanId(int Node, int Port, uint64_t CallId) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(Node + 1)) << 48) ^
+         (static_cast<uint64_t>(static_cast<uint32_t>(Port)) << 32) ^ CallId;
+}
 
 void appendText(Bytes &Out, std::string_view Text) {
   Out.insert(Out.end(), Text.begin(), Text.end());
@@ -65,11 +91,24 @@ RpcEndpoint::RpcEndpoint(vm::Node &Host, net::Network &Net,
                          const StackProfile &Profile, int Port,
                          int DispatchWorkers)
     : Host(Host), Net(Net), Profile(Profile), Port(Port),
-      Pool(Host, DispatchWorkers) {
+      Pool(Host, DispatchWorkers),
+      MetricsPrefix("rpc." + profileSlug(Profile.Name)) {
   assert(!Net.isBound(Host.id(), Port) &&
          "another endpoint is already bound to this node:port");
+  CallLatency = &metrics::Registry::global().histogram(MetricsPrefix +
+                                                       ".call_latency_ns");
   Net.bind(Host.id(), Port);
   Host.sim().spawn(dispatchLoop());
+}
+
+RpcEndpoint::~RpcEndpoint() {
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter(MetricsPrefix + ".calls_issued").add(Stats.CallsIssued);
+  Reg.counter(MetricsPrefix + ".calls_handled").add(Stats.CallsHandled);
+  Reg.counter(MetricsPrefix + ".replies_received").add(Stats.RepliesReceived);
+  Reg.counter(MetricsPrefix + ".oneway_sent").add(Stats.OneWaySent);
+  Reg.counter(MetricsPrefix + ".wire_bytes_sent").add(Stats.WireBytesSent);
+  Reg.counter(MetricsPrefix + ".malformed_dropped").add(Stats.MalformedDropped);
 }
 
 void RpcEndpoint::publish(const std::string &Name,
@@ -199,6 +238,10 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   ++Stats.CallsIssued;
   Stats.WireBytesSent += Wire.size();
 
+  int64_t IssuedNs = Host.sim().now().nanosecondsCount();
+  trace::asyncBegin(Host.id(), "rpc.call", IssuedNs,
+                    callSpanId(Host.id(), Port, CallId));
+
   sim::Promise<ErrorOr<Bytes>> Reply(Host.sim());
   PendingCalls.emplace(CallId, Reply);
 
@@ -222,6 +265,10 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   }
 
   ErrorOr<Bytes> Result = co_await Reply.future();
+  int64_t DoneNs = Host.sim().now().nanosecondsCount();
+  CallLatency->record(DoneNs - IssuedNs);
+  trace::asyncEnd(Host.id(), "rpc.call", DoneNs,
+                  callSpanId(Host.id(), Port, CallId));
   co_return Result;
 }
 
@@ -254,6 +301,7 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
     ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
     if (!Content || Content->empty()) {
       ++Stats.MalformedDropped;
+      LogNodeScope Scope(Host.id());
       PARCS_LOG(Warn, "endpoint " << Host.id() << ":" << Port
                                   << " dropped malformed message");
       continue;
@@ -321,6 +369,11 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content) {
 }
 
 sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
+  // Server-side handling as one complete span on the serving node, and as
+  // the server leg of the call's async pair (same id the client opened --
+  // Perfetto links the legs across node lanes).
+  int64_t ServeStartNs = Host.sim().now().nanosecondsCount();
+
   // Server-side unmarshalling cost for the incoming wire bytes.
   co_await Host.compute(sideCost(Msg.Payload.size()));
 
@@ -355,10 +408,14 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
     Result = co_await (*Target)->handleCall(Method, Args);
 
   if (Flags & FlagOneWay) {
-    if (!Result)
+    if (!Result) {
+      LogNodeScope Scope(Host.id());
       PARCS_LOG(Warn, "one-way call '" << ObjectName << "." << Method
                                        << "' faulted: "
                                        << Result.error().str());
+    }
+    trace::complete(Host.id(), 0, "rpc.serve", ServeStartNs,
+                    Host.sim().now().nanosecondsCount() - ServeStartNs);
     co_return;
   }
 
@@ -376,4 +433,6 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
   Stats.WireBytesSent += Wire.size();
   co_await Host.compute(sideCost(Wire.size()));
   Net.send(Host.id(), ReplyNode, ReplyPort, std::move(Wire));
+  trace::complete(Host.id(), 0, "rpc.serve", ServeStartNs,
+                  Host.sim().now().nanosecondsCount() - ServeStartNs);
 }

@@ -31,6 +31,7 @@
 #include "remoting/CallHandler.h"
 #include "remoting/Profiles.h"
 #include "sim/Sync.h"
+#include "support/Metrics.h"
 #include "vm/Node.h"
 #include "vm/ThreadPool.h"
 
@@ -62,6 +63,9 @@ public:
               int Port, int DispatchWorkers = 0);
   RpcEndpoint(const RpcEndpoint &) = delete;
   RpcEndpoint &operator=(const RpcEndpoint &) = delete;
+  /// Folds the endpoint stats into the global metrics registry under
+  /// "rpc.<profile-slug>.*" (one channel per messaging stack).
+  ~RpcEndpoint();
 
   vm::Node &node() { return Host; }
   int port() const { return Port; }
@@ -153,6 +157,11 @@ private:
   std::set<std::pair<int, int>> Connected;
   uint64_t NextCallId = 1;
   EndpointStats Stats;
+  /// "rpc.<profile-slug>" -- the per-channel metric namespace.
+  std::string MetricsPrefix;
+  /// Round-trip latency of two-way calls, sampled as calls complete
+  /// (registry histograms have stable addresses, so caching is safe).
+  metrics::Histogram *CallLatency = nullptr;
   /// Staging buffer for HTTP-framed content (the header needs the content
   /// length up front); capacity is reused across calls.
   mutable Bytes EnvScratch;

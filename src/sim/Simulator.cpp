@@ -22,6 +22,9 @@
 
 #include "sim/Simulator.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -41,8 +44,16 @@ void parcs::sim::detail::detachedTaskFinished(Simulator &Sim, void *Frame) {
   assert(Erased == 1 && "detached frame was not registered");
 }
 
+/// LogClock callback: virtual time of the simulator passed as context.
+static long long simulatorNowNs(void *Ctx) {
+  return static_cast<const Simulator *>(Ctx)->now().nanosecondsCount();
+}
+
 Simulator::Simulator() : Buckets(NumBuckets), BucketBits(NumBuckets / 64) {
   WindowEndNs = WindowStartNs + (int64_t(NumBuckets) << BucketShift);
+  // The newest simulator becomes the log time source; the previous one is
+  // restored when this simulator is destroyed.
+  PrevLogClock = setLogClock({simulatorNowNs, this});
 }
 
 size_t Simulator::firstOccupiedBucket(size_t From) const {
@@ -54,6 +65,7 @@ size_t Simulator::firstOccupiedBucket(size_t From) const {
 }
 
 Simulator::~Simulator() {
+  setLogClock(PrevLogClock);
   // Destroy coroutines that never finished (e.g. server dispatch loops).
   // Copy first: destroying a frame may cascade into child Task destructors
   // but never into LiveDetached mutation, since children are not detached.
@@ -62,6 +74,17 @@ Simulator::~Simulator() {
   for (void *Frame : Pending)
     std::coroutine_handle<>::from_address(Frame).destroy();
   freeAllNodes();
+  // Fold this run's scheduler counters into the end-of-run report.
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("sim.events").add(EventCount);
+  Reg.counter("sim.callback_events").add(Counters.CallbackEvents);
+  Reg.counter("sim.resume_events").add(Counters.ResumeEvents);
+  Reg.counter("sim.sbo_misses").add(Counters.SboMisses);
+  Reg.counter("sim.nodes_allocated").add(Counters.NodesAllocated);
+  Reg.counter("sim.overflow_inserts").add(Counters.OverflowInserts);
+  Reg.counter("sim.window_advances").add(Counters.WindowAdvances);
+  Reg.gauge("sim.peak_queue_depth")
+      .noteMax(static_cast<int64_t>(Counters.PeakQueueDepth));
 }
 
 void Simulator::EventFifo::grow() {
@@ -284,8 +307,19 @@ bool Simulator::step() {
   assert(Node->AtNs >= Now.nanosecondsCount() && "event queue went backwards");
   Now = SimTime::nanoseconds(Node->AtNs);
   ++EventCount;
+  // The in-register modulus test is all the common path pays; the trace
+  // flag is only consulted on the sampled iterations, out of line.
+  if ((EventCount & 1023) == 0) [[unlikely]]
+    sampleQueueDepth(Node->AtNs);
   execute(Node);
   return true;
+}
+
+/// Passive observation only (never schedules), so the event stream -- and
+/// the determinism golden hash -- is identical with tracing on or off.
+__attribute__((noinline)) void Simulator::sampleQueueDepth(int64_t AtNs) {
+  trace::counter(-1, "sim.queue_depth", AtNs,
+                 static_cast<int64_t>(PendingCount));
 }
 
 uint64_t Simulator::run(uint64_t MaxEvents) {

@@ -44,6 +44,7 @@
 #include "sim/SimTime.h"
 #include "sim/Task.h"
 #include "support/InlineFunction.h"
+#include "support/Logging.h"
 #include "support/Statistics.h"
 
 #include <coroutine>
@@ -193,6 +194,9 @@ private:
   void advanceWindow();
   /// Executes one popped event (shared tail of step()).
   void execute(EventNode *Node);
+  /// Cold path of step()'s periodic queue-depth sampling; out of line so
+  /// the per-event cost stays one in-register test.
+  void sampleQueueDepth(int64_t AtNs);
   void freeAllNodes();
 
   SimTime Now;
@@ -257,6 +261,10 @@ private:
 
   EventNode *FreeList = nullptr;
   SchedulerCounters Counters;
+
+  /// Log clock that was active before this simulator installed itself as
+  /// the time source; restored on destruction (simulators nest in tests).
+  LogClock PrevLogClock;
 
   /// Frames of detached coroutines still alive; destroyed in ~Simulator.
   std::unordered_set<void *> LiveDetached;

@@ -43,12 +43,37 @@ const char *levelName(LogLevel Level) {
   return "?";
 }
 
+LogClock ActiveClock;
+int ActiveNode = -1;
+
 } // namespace
 
 void parcs::setLogLevel(LogLevel Level) { currentLevel() = Level; }
 
 LogLevel parcs::logLevel() { return currentLevel(); }
 
+LogClock parcs::setLogClock(LogClock Clock) {
+  LogClock Previous = ActiveClock;
+  ActiveClock = Clock;
+  return Previous;
+}
+
+int parcs::setLogNode(int Id) {
+  int Previous = ActiveNode;
+  ActiveNode = Id;
+  return Previous;
+}
+
 void parcs::logLine(LogLevel Level, const std::string &Message) {
-  std::fprintf(stderr, "[parcs:%s] %s\n", levelName(Level), Message.c_str());
+  if (!ActiveClock.NowNs) {
+    std::fprintf(stderr, "[parcs:%s] %s\n", levelName(Level), Message.c_str());
+    return;
+  }
+  long long Now = ActiveClock.NowNs(ActiveClock.Ctx);
+  if (ActiveNode >= 0)
+    std::fprintf(stderr, "[parcs:%s t=%lldns n=%d] %s\n", levelName(Level),
+                 Now, ActiveNode, Message.c_str());
+  else
+    std::fprintf(stderr, "[parcs:%s t=%lldns] %s\n", levelName(Level), Now,
+                 Message.c_str());
 }

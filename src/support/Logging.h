@@ -27,7 +27,41 @@ void setLogLevel(LogLevel Level);
 /// Returns the current global log level (initialised from PARCS_LOG).
 LogLevel logLevel();
 
+/// A virtual-time source the logger prefixes lines with while a simulation
+/// is running.  Plain function pointer + context so a Simulator can hand
+/// itself over without allocating.
+struct LogClock {
+  long long (*NowNs)(void *Ctx) = nullptr;
+  void *Ctx = nullptr;
+};
+
+/// Installs \p Clock as the active time source and returns the previous
+/// one, so nested simulators can save/restore it.  A default-constructed
+/// LogClock (null NowNs) disables the time prefix.
+LogClock setLogClock(LogClock Clock);
+
+/// Marks node \p Id as the one currently executing (-1 = none) and returns
+/// the previous value.  Log lines carry "n=<id>" while a node is set.
+int setLogNode(int Id);
+
+/// RAII node marker for a synchronous block that logs.  Scope it tightly
+/// around non-suspending code: a scope held across a co_await would leak
+/// onto whatever coroutine runs next.
+class LogNodeScope {
+public:
+  explicit LogNodeScope(int Id) : Prev(setLogNode(Id)) {}
+  ~LogNodeScope() { setLogNode(Prev); }
+  LogNodeScope(const LogNodeScope &) = delete;
+  LogNodeScope &operator=(const LogNodeScope &) = delete;
+
+private:
+  int Prev;
+};
+
 /// Writes one formatted line to stderr; used by the PARCS_LOG macro.
+/// While a LogClock is installed the line is prefixed with the current
+/// sim-time and, when set, the executing node:
+/// "[parcs:info t=1500ns n=2] message".
 void logLine(LogLevel Level, const std::string &Message);
 
 } // namespace parcs

@@ -1,0 +1,345 @@
+//===- support/Trace.cpp - Deterministic sim-time trace recorder ----------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace parcs::trace {
+
+bool detail::Enabled = false;
+
+namespace {
+
+enum class EventKind : uint8_t {
+  Complete,
+  Instant,
+  Counter,
+  AsyncBegin,
+  AsyncEnd,
+};
+
+/// One recorded event, 32 bytes.  Value is the duration (Complete), the
+/// sample (Counter) or the pairing id (Async*); Name points at a string
+/// literal owned by the call site.
+struct Event {
+  int64_t AtNs;
+  int64_t Value;
+  const char *Name;
+  int32_t Tid;
+  EventKind Kind;
+};
+
+/// Fixed-capacity ring holding one node's events, oldest overwritten.
+struct Ring {
+  std::vector<Event> Buf;
+  size_t Next = 0;     // Slot the next event goes into.
+  uint64_t Total = 0;  // Events ever recorded (Total - size() = dropped).
+};
+
+struct Track {
+  int Node;
+  std::string Name;
+};
+
+class Recorder {
+public:
+  static Recorder &instance() {
+    static Recorder R;
+    return R;
+  }
+
+  void setCapacity(size_t Events) { Cap = Events ? Events : 1; }
+
+  void record(int Node, const Event &E) {
+    Ring &R = ring(Node);
+    R.Buf[R.Next] = E;
+    R.Next = R.Next + 1 == R.Buf.size() ? 0 : R.Next + 1;
+    ++R.Total;
+  }
+
+  int addTrack(int Node, std::string_view Name) {
+    Tracks.push_back({Node, std::string(Name)});
+    return static_cast<int>(Tracks.size());
+  }
+
+  void reset() {
+    Rings.clear();
+    Tracks.clear();
+  }
+
+  std::string exportJson() const;
+
+private:
+  Ring &ring(int Node) {
+    size_t Index = static_cast<size_t>(Node + 1);
+    if (Index >= Rings.size())
+      Rings.resize(Index + 1);
+    Ring &R = Rings[Index];
+    if (R.Buf.empty())
+      R.Buf.resize(Cap);
+    return R;
+  }
+
+  /// Index Node+1, so index 0 / pid 0 is the simulator itself.
+  std::vector<Ring> Rings;
+  /// Tid = index + 1; tid 0 is every node's implicit "main" track.
+  std::vector<Track> Tracks;
+  size_t Cap = 1 << 16;
+};
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event JSON export
+//===----------------------------------------------------------------------===//
+
+void appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
+/// Sim-time ns -> trace-format microseconds with ns precision.
+void appendTs(std::string &Out, int64_t Ns) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%lld.%03lld",
+                static_cast<long long>(Ns / 1000),
+                static_cast<long long>(Ns % 1000));
+  Out += Buf;
+}
+
+void appendEvent(std::string &Out, int Pid, const Event &E, bool &First) {
+  Out += First ? "\n  " : ",\n  ";
+  First = false;
+  Out += "{\"name\": ";
+  appendJsonString(Out, E.Name);
+  char Buf[96];
+  switch (E.Kind) {
+  case EventKind::Complete:
+    std::snprintf(Buf, sizeof(Buf), ", \"ph\": \"X\", \"pid\": %d, \"tid\": %d",
+                  Pid, E.Tid);
+    Out += Buf;
+    Out += ", \"ts\": ";
+    appendTs(Out, E.AtNs);
+    Out += ", \"dur\": ";
+    appendTs(Out, E.Value);
+    break;
+  case EventKind::Instant:
+    std::snprintf(Buf, sizeof(Buf),
+                  ", \"ph\": \"i\", \"s\": \"t\", \"pid\": %d, \"tid\": %d",
+                  Pid, E.Tid);
+    Out += Buf;
+    Out += ", \"ts\": ";
+    appendTs(Out, E.AtNs);
+    break;
+  case EventKind::Counter:
+    std::snprintf(Buf, sizeof(Buf), ", \"ph\": \"C\", \"pid\": %d", Pid);
+    Out += Buf;
+    Out += ", \"ts\": ";
+    appendTs(Out, E.AtNs);
+    std::snprintf(Buf, sizeof(Buf), ", \"args\": {\"value\": %lld}",
+                  static_cast<long long>(E.Value));
+    Out += Buf;
+    break;
+  case EventKind::AsyncBegin:
+  case EventKind::AsyncEnd:
+    std::snprintf(Buf, sizeof(Buf),
+                  ", \"cat\": \"parcs\", \"ph\": \"%c\", \"id\": \"0x%llx\", "
+                  "\"pid\": %d, \"tid\": 0",
+                  E.Kind == EventKind::AsyncBegin ? 'b' : 'e',
+                  static_cast<unsigned long long>(E.Value), Pid);
+    Out += Buf;
+    Out += ", \"ts\": ";
+    appendTs(Out, E.AtNs);
+    break;
+  }
+  Out += '}';
+}
+
+void appendMetadata(std::string &Out, const char *What, int Pid, int Tid,
+                    std::string_view Name, bool &First) {
+  Out += First ? "\n  " : ",\n  ";
+  First = false;
+  char Buf[96];
+  if (Tid < 0)
+    std::snprintf(Buf, sizeof(Buf), "{\"name\": \"%s\", \"ph\": \"M\", "
+                  "\"pid\": %d, \"args\": {\"name\": ", What, Pid);
+  else
+    std::snprintf(Buf, sizeof(Buf), "{\"name\": \"%s\", \"ph\": \"M\", "
+                  "\"pid\": %d, \"tid\": %d, \"args\": {\"name\": ",
+                  What, Pid, Tid);
+  Out += Buf;
+  appendJsonString(Out, Name);
+  Out += "}}";
+}
+
+std::string Recorder::exportJson() const {
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+
+  // Metadata first: process names for every node with a ring, thread
+  // names for tid 0 ("main") and every registered track.
+  for (size_t I = 0; I < Rings.size(); ++I) {
+    if (Rings[I].Total == 0)
+      continue;
+    int Pid = static_cast<int>(I);
+    char NameBuf[32];
+    if (Pid == 0)
+      std::snprintf(NameBuf, sizeof(NameBuf), "sim");
+    else
+      std::snprintf(NameBuf, sizeof(NameBuf), "node %d", Pid - 1);
+    appendMetadata(Out, "process_name", Pid, -1, NameBuf, First);
+    appendMetadata(Out, "thread_name", Pid, 0, "main", First);
+  }
+  for (size_t T = 0; T < Tracks.size(); ++T)
+    appendMetadata(Out, "thread_name", Tracks[T].Node + 1,
+                   static_cast<int>(T) + 1, Tracks[T].Name, First);
+
+  // Events, per node, oldest first.
+  for (size_t I = 0; I < Rings.size(); ++I) {
+    const Ring &R = Rings[I];
+    if (R.Total == 0)
+      continue;
+    int Pid = static_cast<int>(I);
+    uint64_t Dropped = R.Total > R.Buf.size() ? R.Total - R.Buf.size() : 0;
+    if (Dropped) {
+      std::fprintf(stderr,
+                   "[parcs:trace] pid %d ring wrapped, oldest %llu of %llu "
+                   "events dropped\n",
+                   Pid, static_cast<unsigned long long>(Dropped),
+                   static_cast<unsigned long long>(R.Total));
+    }
+    size_t Count = Dropped ? R.Buf.size() : static_cast<size_t>(R.Total);
+    size_t Start = Dropped ? R.Next : 0;
+    for (size_t K = 0; K < Count; ++K) {
+      size_t Slot = Start + K;
+      if (Slot >= R.Buf.size())
+        Slot -= R.Buf.size();
+      appendEvent(Out, Pid, R.Buf[Slot], First);
+    }
+  }
+
+  Out += "\n]}\n";
+  return Out;
+}
+
+/// Reads PARCS_TRACE at static-init time and exports at process shutdown.
+/// Constructed after (and therefore destroyed before) the recorder
+/// singleton, which its constructor touches to pin the order.
+struct EnvTracer {
+  TraceSpec Spec;
+  bool Active = false;
+
+  EnvTracer() {
+    Recorder::instance();
+    if (const char *Env = std::getenv("PARCS_TRACE"))
+      Active = parseTraceSpec(Env, Spec);
+    if (Active) {
+      Recorder::instance().setCapacity(Spec.RingCapacity);
+      detail::Enabled = true;
+    }
+  }
+
+  ~EnvTracer() {
+    if (!Active)
+      return;
+    if (!writeJson(Spec.Path))
+      std::fprintf(stderr, "[parcs:trace] cannot write %s\n",
+                   Spec.Path.c_str());
+  }
+};
+
+EnvTracer TheEnvTracer;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+void detail::recordComplete(int Node, int Tid, const char *Name,
+                            int64_t StartNs, int64_t DurNs) {
+  Recorder::instance().record(
+      Node, {StartNs, DurNs, Name, Tid, EventKind::Complete});
+}
+
+void detail::recordInstant(int Node, int Tid, const char *Name, int64_t AtNs) {
+  Recorder::instance().record(Node,
+                              {AtNs, 0, Name, Tid, EventKind::Instant});
+}
+
+void detail::recordCounter(int Node, const char *Name, int64_t AtNs,
+                           int64_t Value) {
+  Recorder::instance().record(Node,
+                              {AtNs, Value, Name, 0, EventKind::Counter});
+}
+
+void detail::recordAsync(int Node, const char *Name, int64_t AtNs, uint64_t Id,
+                         bool Begin) {
+  Recorder::instance().record(
+      Node, {AtNs, static_cast<int64_t>(Id), Name, 0,
+             Begin ? EventKind::AsyncBegin : EventKind::AsyncEnd});
+}
+
+void setEnabled(bool On) { detail::Enabled = On; }
+
+void setRingCapacity(size_t Events) {
+  Recorder::instance().setCapacity(Events);
+}
+
+int track(int Node, std::string_view Name) {
+  if (!detail::Enabled)
+    return 0;
+  return Recorder::instance().addTrack(Node, Name);
+}
+
+std::string exportJson() { return Recorder::instance().exportJson(); }
+
+bool writeJson(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Body = exportJson();
+  size_t Written = std::fwrite(Body.data(), 1, Body.size(), F);
+  if (Written != Body.size()) {
+    std::fclose(F);
+    return false;
+  }
+  return std::fclose(F) == 0;
+}
+
+void reset() { Recorder::instance().reset(); }
+
+bool parseTraceSpec(std::string_view Spec, TraceSpec &Out) {
+  std::string_view Path = Spec;
+  size_t Cap = TraceSpec{}.RingCapacity;
+  if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
+    Path = Spec.substr(0, Comma);
+    std::string_view Rest = Spec.substr(Comma + 1);
+    constexpr std::string_view Key = "cap=";
+    if (Rest.substr(0, Key.size()) != Key)
+      return false;
+    std::string Digits(Rest.substr(Key.size()));
+    char *End = nullptr;
+    unsigned long long N = std::strtoull(Digits.c_str(), &End, 10);
+    if (Digits.empty() || *End != '\0' || N == 0)
+      return false;
+    Cap = static_cast<size_t>(N);
+  }
+  if (Path.empty())
+    return false;
+  Out.Path = std::string(Path);
+  Out.RingCapacity = Cap;
+  return true;
+}
+
+} // namespace parcs::trace

@@ -1,0 +1,131 @@
+//===- support/Trace.h - Deterministic sim-time trace recorder --*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability subsystem: a deterministic,
+/// sim-time-keyed event recorder with a Chrome trace-event / Perfetto JSON
+/// exporter.  Simulated nodes map to Chrome processes (node N -> pid N+1,
+/// pid 0 is the simulator itself) and registered tracks (tasks, proxies,
+/// workers) map to threads, so a trace opens in Perfetto / chrome://tracing
+/// as one lane per node with named sub-lanes.
+///
+/// Four event shapes cover the instrumented layers:
+///  - complete spans: a named [start, start+dur) interval on a track,
+///  - instants: a point marker on a track,
+///  - counter samples: a named value-over-time series per node,
+///  - async begin/end pairs: intervals that cross nodes/coroutines (RPCs,
+///    network transfers), matched by a caller-chosen 64-bit id.
+///
+/// Recording is off by default and near-free when disabled: every inline
+/// entry point is a single load-and-branch on one global flag -- no
+/// allocation, no virtual call -- so the simulator hot path keeps its
+/// zero-allocation steady state.  When enabled, events go into fixed-size
+/// per-node ring buffers (oldest events are overwritten once a node's ring
+/// fills), and all timestamps are virtual sim-time nanoseconds, so two
+/// identical runs export byte-identical traces.
+///
+/// Enable programmatically (setEnabled / exportJson / writeJson) or with
+///
+///   PARCS_TRACE=<file>[,cap=<events-per-node>]
+///
+/// which enables recording at startup and writes <file> at process exit.
+/// Event and counter names must be string literals (or otherwise outlive
+/// the recorder); they are stored by pointer, not copied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_TRACE_H
+#define PARCS_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parcs::trace {
+
+namespace detail {
+
+/// The one branch every disabled-path call site pays.
+extern bool Enabled;
+
+void recordComplete(int Node, int Tid, const char *Name, int64_t StartNs,
+                    int64_t DurNs);
+void recordInstant(int Node, int Tid, const char *Name, int64_t AtNs);
+void recordCounter(int Node, const char *Name, int64_t AtNs, int64_t Value);
+void recordAsync(int Node, const char *Name, int64_t AtNs, uint64_t Id,
+                 bool Begin);
+
+} // namespace detail
+
+inline bool enabled() { return detail::Enabled; }
+
+/// Turns recording on or off.  Turning it on does not clear previously
+/// recorded events; call reset() for a fresh trace.
+void setEnabled(bool On);
+
+/// Sets the per-node ring capacity (events).  Takes effect for rings
+/// created afterwards; existing rings keep their size.
+void setRingCapacity(size_t Events);
+
+/// Registers a named thread-track under node \p Node (-1 = the simulator
+/// process) and returns its tid.  Returns 0 (the node's "main" track) when
+/// tracing is disabled, so call sites may register unconditionally.
+int track(int Node, std::string_view Name);
+
+/// A [StartNs, StartNs+DurNs) span on \p Tid of node \p Node.
+inline void complete(int Node, int Tid, const char *Name, int64_t StartNs,
+                     int64_t DurNs) {
+  if (detail::Enabled)
+    detail::recordComplete(Node, Tid, Name, StartNs, DurNs);
+}
+
+/// A point marker.
+inline void instant(int Node, int Tid, const char *Name, int64_t AtNs) {
+  if (detail::Enabled)
+    detail::recordInstant(Node, Tid, Name, AtNs);
+}
+
+/// One sample of the per-node counter series \p Name.
+inline void counter(int Node, const char *Name, int64_t AtNs, int64_t Value) {
+  if (detail::Enabled)
+    detail::recordCounter(Node, Name, AtNs, Value);
+}
+
+/// Async interval endpoints, matched by (\p Name, \p Id).  Begin and end
+/// may land on different nodes (the pair renders on the begin side).
+inline void asyncBegin(int Node, const char *Name, int64_t AtNs, uint64_t Id) {
+  if (detail::Enabled)
+    detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/true);
+}
+inline void asyncEnd(int Node, const char *Name, int64_t AtNs, uint64_t Id) {
+  if (detail::Enabled)
+    detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/false);
+}
+
+/// Renders everything recorded so far as Chrome trace-event JSON
+/// ({"traceEvents":[...]}).  Deterministic: depends only on the recorded
+/// events, never on wall-clock time.
+std::string exportJson();
+
+/// exportJson() to a file; returns false on I/O error.
+bool writeJson(const std::string &Path);
+
+/// Discards all recorded events and tracks (keeps the enabled flag).
+void reset();
+
+/// How a trace should be captured (parsed from PARCS_TRACE).
+struct TraceSpec {
+  std::string Path;
+  size_t RingCapacity = 1 << 16;
+};
+
+/// Parses "path[,cap=N]".  Returns false (leaving \p Out untouched) for an
+/// empty path, a malformed option, or a zero capacity.
+bool parseTraceSpec(std::string_view Spec, TraceSpec &Out);
+
+} // namespace parcs::trace
+
+#endif // PARCS_SUPPORT_TRACE_H

@@ -6,6 +6,9 @@
 
 #include "vm/ThreadPool.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 using namespace parcs;
 using namespace parcs::vm;
 
@@ -19,10 +22,23 @@ ThreadPool::ThreadPool(Node &Host, int MaxWorkers)
     Host.sim().spawn(workerLoop());
 }
 
+ThreadPool::~ThreadPool() {
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("pool.items_posted").add(Posted);
+  Reg.gauge("pool.peak_queue_depth")
+      .noteMax(static_cast<int64_t>(PeakQueue));
+}
+
 void ThreadPool::post(WorkItem Work) {
   ++Posted;
   Pending.add(1);
   Queue.trySend(std::move(Work));
+  size_t Depth = Queue.size();
+  if (Depth > PeakQueue)
+    PeakQueue = Depth;
+  trace::counter(Host.id(), "pool.queue_depth",
+                 Host.sim().now().nanosecondsCount(),
+                 static_cast<int64_t>(Depth));
 }
 
 sim::Task<void> ThreadPool::workerLoop() {

@@ -39,6 +39,8 @@ public:
   explicit ThreadPool(Node &Host, int MaxWorkers = 0);
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
+  /// Folds pool counters into the global metrics registry.
+  ~ThreadPool();
 
   /// Enqueues a work item.  Callable from event context (non-suspending).
   void post(WorkItem Work);
@@ -50,6 +52,8 @@ public:
   size_t queueDepth() const { return Queue.size(); }
   /// Items posted over the pool's lifetime.
   uint64_t posted() const { return Posted; }
+  /// High-water mark of the backlog (items queued behind busy workers).
+  uint64_t peakQueueDepth() const { return PeakQueue; }
 
 private:
   sim::Task<void> workerLoop();
@@ -59,6 +63,7 @@ private:
   sim::Channel<WorkItem> Queue;
   sim::WaitGroup Pending;
   uint64_t Posted = 0;
+  uint64_t PeakQueue = 0;
 };
 
 } // namespace parcs::vm

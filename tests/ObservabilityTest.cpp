@@ -1,0 +1,592 @@
+//===- tests/ObservabilityTest.cpp - Trace + metrics layer ----------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the observability subsystem end to end: histogram percentile edge
+// cases, metric registry reports, env-knob spec parsing, the log-prefix
+// hooks, and -- the load-bearing part -- that the trace recorder is
+// deterministic (two identical runs export byte-identical JSON) and that
+// the exported Chrome trace-event JSON parses with well-formed node/task
+// ids from at least two simulated nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Network.h"
+#include "remoting/Engine.h"
+#include "remoting/Profiles.h"
+#include "serial/Archive.h"
+#include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+#include "vm/Cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace parcs;
+using serial::Bytes;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null).
+// Just enough to validate exported traces and reports; throws nothing --
+// parse failures surface as a null Value plus Ok=false.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+
+  const JsonValue *field(const std::string &Name) const {
+    auto It = Obj.find(Name);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out) {
+    bool Ok = value(Out);
+    skipWs();
+    return Ok && Pos == Text.size();
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool value(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{')
+      return object(Out);
+    if (C == '[')
+      return array(Out);
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return string(Out.Str);
+    }
+    if (C == 't') {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    return number(Out);
+  }
+
+  bool string(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out.push_back(E);
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        default:
+          return false; // No \u in our exports.
+        }
+      } else {
+        Out.push_back(C);
+      }
+    }
+    return Pos < Text.size() && Text[Pos++] == '"';
+  }
+
+  bool number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::stod(std::string(Text.substr(Start, Pos - Start)));
+    return true;
+  }
+
+  bool array(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    if (!consume('['))
+      return false;
+    skipWs();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      JsonValue Elem;
+      if (!value(Elem))
+        return false;
+      Out.Arr.push_back(std::move(Elem));
+      if (consume(','))
+        continue;
+      return consume(']');
+    }
+  }
+
+  bool object(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    if (!consume('{'))
+      return false;
+    skipWs();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!string(Key) || !consume(':'))
+        return false;
+      JsonValue Val;
+      if (!value(Val))
+        return false;
+      Out.Obj.emplace(std::move(Key), std::move(Val));
+      if (consume(','))
+        continue;
+      return consume('}');
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Histogram edge cases.
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, EmptyReportsZero) {
+  metrics::Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(0), 0.0);
+  EXPECT_EQ(H.percentile(50), 0.0);
+  EXPECT_EQ(H.percentile(100), 0.0);
+  EXPECT_EQ(H.overflowCount(), 0u);
+}
+
+TEST(HistogramTest, SingleSampleIsExactEverywhere) {
+  metrics::Histogram H;
+  H.record(777);
+  for (double P : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0})
+    EXPECT_EQ(H.percentile(P), 777.0) << "P" << P;
+  EXPECT_EQ(H.summary().min(), 777.0);
+  EXPECT_EQ(H.summary().max(), 777.0);
+}
+
+TEST(HistogramTest, ZeroAndNegativeSamples) {
+  metrics::Histogram H;
+  H.record(0);
+  H.record(-5); // Clamps to 0.
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.percentile(50), 0.0);
+  EXPECT_EQ(H.percentile(100), 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketClampsToObservedMax) {
+  metrics::Histogram H;
+  int64_t Huge = int64_t(1) << 50; // Far past the last finite bucket.
+  H.record(Huge);
+  H.record(Huge + 3);
+  EXPECT_EQ(H.overflowCount(), 2u);
+  // Interpolation inside the open-ended bucket must never report beyond
+  // (or below) what was actually observed.
+  EXPECT_GE(H.percentile(99), double(Huge));
+  EXPECT_LE(H.percentile(99), double(Huge + 3));
+  EXPECT_EQ(H.percentile(100), double(Huge + 3));
+}
+
+TEST(HistogramTest, PercentilesAreMonotonicAndBracketed) {
+  metrics::Histogram H;
+  for (int64_t I = 1; I <= 1000; ++I)
+    H.record(I * 100);
+  double Last = 0;
+  for (double P : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double V = H.percentile(P);
+    EXPECT_GE(V, Last) << "P" << P;
+    EXPECT_GE(V, 100.0);
+    EXPECT_LE(V, 100000.0);
+    Last = V;
+  }
+  // p50 of a uniform 100..100000 spread lands mid-range (bucketed, so only
+  // roughly).
+  EXPECT_NEAR(H.percentile(50), 50000.0, 20000.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry and reports.
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistryTest, FindOrCreateAndReport) {
+  metrics::Registry Reg;
+  Reg.counter("a.calls").add(3);
+  Reg.counter("a.calls").add(2);
+  Reg.gauge("a.depth").noteMax(7);
+  Reg.gauge("a.depth").noteMax(4); // Lower: ignored.
+  Reg.histogram("a.lat_ns").record(1000);
+  EXPECT_EQ(Reg.size(), 3u);
+  EXPECT_EQ(Reg.counter("a.calls").value(), 5u);
+  EXPECT_EQ(Reg.gauge("a.depth").value(), 7);
+
+  std::string Text = Reg.textReport();
+  EXPECT_NE(Text.find("a.calls"), std::string::npos);
+  EXPECT_NE(Text.find("5"), std::string::npos);
+  EXPECT_NE(Text.find("a.depth"), std::string::npos);
+  EXPECT_NE(Text.find("a.lat_ns"), std::string::npos);
+
+  Reg.reset();
+  EXPECT_EQ(Reg.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, JsonReportParses) {
+  metrics::Registry Reg;
+  Reg.counter("x.count").add(42);
+  Reg.gauge("x.level").set(-3);
+  metrics::Histogram &H = Reg.histogram("x.lat");
+  H.record(10);
+  H.record(20);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Reg.jsonReport()).parse(Root));
+  ASSERT_EQ(Root.K, JsonValue::Kind::Object);
+
+  const JsonValue *Counters = Root.field("counters");
+  ASSERT_NE(Counters, nullptr);
+  const JsonValue *Count = Counters->field("x.count");
+  ASSERT_NE(Count, nullptr);
+  EXPECT_EQ(Count->Num, 42.0);
+
+  const JsonValue *Gauges = Root.field("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  const JsonValue *Level = Gauges->field("x.level");
+  ASSERT_NE(Level, nullptr);
+  EXPECT_EQ(Level->Num, -3.0);
+
+  const JsonValue *Hists = Root.field("histograms");
+  ASSERT_NE(Hists, nullptr);
+  const JsonValue *Lat = Hists->field("x.lat");
+  ASSERT_NE(Lat, nullptr);
+  const JsonValue *N = Lat->field("n");
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->Num, 2.0);
+  EXPECT_NE(Lat->field("p50"), nullptr);
+  EXPECT_NE(Lat->field("max"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Env-knob spec parsing.
+//===----------------------------------------------------------------------===//
+
+TEST(SpecParsingTest, MetricsSpec) {
+  metrics::ReportSpec S;
+  ASSERT_TRUE(metrics::parseMetricsSpec("run.metrics.json", S));
+  EXPECT_EQ(S.Path, "run.metrics.json");
+  EXPECT_TRUE(S.Json);
+
+  ASSERT_TRUE(metrics::parseMetricsSpec("run.txt", S));
+  EXPECT_EQ(S.Path, "run.txt");
+  EXPECT_FALSE(S.Json);
+
+  ASSERT_TRUE(metrics::parseMetricsSpec("plain,format=json", S));
+  EXPECT_EQ(S.Path, "plain");
+  EXPECT_TRUE(S.Json);
+
+  ASSERT_TRUE(metrics::parseMetricsSpec("data.json,format=text", S));
+  EXPECT_FALSE(S.Json);
+
+  EXPECT_FALSE(metrics::parseMetricsSpec("", S));
+  EXPECT_FALSE(metrics::parseMetricsSpec("x,format=xml", S));
+}
+
+TEST(SpecParsingTest, TraceSpec) {
+  trace::TraceSpec S;
+  ASSERT_TRUE(trace::parseTraceSpec("out.trace.json", S));
+  EXPECT_EQ(S.Path, "out.trace.json");
+  EXPECT_EQ(S.RingCapacity, size_t(1) << 16);
+
+  ASSERT_TRUE(trace::parseTraceSpec("t.json,cap=1024", S));
+  EXPECT_EQ(S.Path, "t.json");
+  EXPECT_EQ(S.RingCapacity, 1024u);
+
+  EXPECT_FALSE(trace::parseTraceSpec("", S));
+  EXPECT_FALSE(trace::parseTraceSpec("t.json,cap=0", S));
+  EXPECT_FALSE(trace::parseTraceSpec("t.json,cap=abc", S));
+  EXPECT_FALSE(trace::parseTraceSpec("t.json,bogus=1", S));
+}
+
+//===----------------------------------------------------------------------===//
+// Log-prefix hooks (output formatting is visual; here we pin the
+// save/restore contracts the Simulator and call sites rely on).
+//===----------------------------------------------------------------------===//
+
+TEST(LogContextTest, ClockAndNodeSaveRestore) {
+  LogClock Prev = setLogClock(LogClock{});
+  // Installing returns the previous clock; restoring round-trips.
+  LogClock Mine;
+  Mine.NowNs = [](void *) -> long long { return 42; };
+  LogClock BeforeMine = setLogClock(Mine);
+  EXPECT_EQ(BeforeMine.NowNs, nullptr);
+  LogClock Restored = setLogClock(BeforeMine);
+  EXPECT_EQ(Restored.NowNs, Mine.NowNs);
+
+  EXPECT_EQ(setLogNode(3), -1);
+  {
+    LogNodeScope Scope(5);
+    EXPECT_EQ(setLogNode(5), 5); // Peek: set returns previous.
+  }
+  EXPECT_EQ(setLogNode(-1), 3); // Scope restored the outer node.
+  setLogClock(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder: determinism and exported-JSON shape.
+//===----------------------------------------------------------------------===//
+
+class EchoServer : public remoting::CallHandler {
+public:
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view,
+                                       const Bytes &Args) override {
+    co_return Args;
+  }
+};
+
+/// A small two-node RPC workload; every layer it crosses (kernel, network,
+/// remoting) is instrumented, so with tracing on it produces spans on both
+/// node pids plus counter samples.
+void runTracedWorkload() {
+  vm::Cluster Machines(2, vm::VmKind::MonoVm117);
+  net::Network Net(Machines.sim(), 2);
+  remoting::RpcEndpoint Client(
+      Machines.node(0), Net,
+      remoting::stackProfile(remoting::StackKind::MonoRemotingTcp117), 1050);
+  remoting::RpcEndpoint Server(
+      Machines.node(1), Net,
+      remoting::stackProfile(remoting::StackKind::MonoRemotingTcp117), 1050);
+  Server.publish("echo", std::make_shared<EchoServer>());
+
+  struct Driver {
+    static sim::Task<void> run(remoting::RpcEndpoint &Ep) {
+      int WorkerTid = trace::track(0, "driver");
+      for (int I = 0; I < 6; ++I) {
+        int64_t Start = Ep.node().sim().now().nanosecondsCount();
+        Bytes Args = serial::encodeValues(std::string(size_t(16 + I), 'q'));
+        ErrorOr<Bytes> Reply = co_await Ep.call(1, 1050, "echo", "ping", Args);
+        EXPECT_TRUE(Reply);
+        trace::complete(0, WorkerTid, "driver.round", Start,
+                        Ep.node().sim().now().nanosecondsCount() - Start);
+      }
+    }
+  };
+  Machines.sim().spawn(Driver::run(Client));
+  Machines.sim().run();
+}
+
+/// RAII guard: every trace test leaves the global recorder exactly as it
+/// found it (disabled + empty) so test order cannot matter.
+struct TraceSession {
+  TraceSession() {
+    trace::reset();
+    trace::setEnabled(true);
+  }
+  ~TraceSession() {
+    trace::setEnabled(false);
+    trace::reset();
+  }
+};
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  trace::setEnabled(false);
+  trace::reset();
+  trace::complete(0, 0, "ignored", 0, 10);
+  trace::instant(1, 0, "ignored", 5);
+  trace::counter(-1, "ignored", 5, 1);
+  EXPECT_EQ(trace::track(0, "ignored"), 0);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(trace::exportJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_TRUE(Events->Arr.empty());
+}
+
+TEST(TraceTest, TwoIdenticalRunsExportIdenticalJson) {
+  TraceSession Session;
+  runTracedWorkload();
+  std::string First = trace::exportJson();
+
+  trace::reset();
+  runTracedWorkload();
+  std::string Second = trace::exportJson();
+
+  EXPECT_FALSE(First.empty());
+  // Byte-identical: virtual timestamps only, no wall-clock anywhere.
+  EXPECT_EQ(First, Second);
+}
+
+TEST(TraceTest, ExportIsWellFormedChromeJson) {
+  TraceSession Session;
+  runTracedWorkload();
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(trace::exportJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->K, JsonValue::Kind::Array);
+  ASSERT_FALSE(Events->Arr.empty());
+
+  std::set<int> SpanPids;
+  std::set<std::string> Phases;
+  bool SawCounter = false, SawMetadata = false;
+  for (const JsonValue &Ev : Events->Arr) {
+    ASSERT_EQ(Ev.K, JsonValue::Kind::Object);
+    const JsonValue *Ph = Ev.field("ph");
+    const JsonValue *Pid = Ev.field("pid");
+    const JsonValue *Name = Ev.field("name");
+    ASSERT_NE(Ph, nullptr);
+    ASSERT_NE(Pid, nullptr);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_GE(Pid->Num, 0.0);
+    EXPECT_EQ(Pid->Num, double(int(Pid->Num))) << "pid must be integral";
+    Phases.insert(Ph->Str);
+    if (Ph->Str == "M") {
+      SawMetadata = true;
+      continue; // Metadata has args.name, not ts.
+    }
+    if (Ph->Str == "X" || Ph->Str == "i") {
+      const JsonValue *Tid = Ev.field("tid");
+      ASSERT_NE(Tid, nullptr);
+      EXPECT_GE(Tid->Num, 0.0);
+    }
+    ASSERT_NE(Ev.field("ts"), nullptr);
+    if (Ph->Str == "X") {
+      EXPECT_NE(Ev.field("dur"), nullptr);
+      SpanPids.insert(int(Pid->Num));
+    }
+    if (Ph->Str == "C")
+      SawCounter = true;
+  }
+  // Spans from both simulated nodes: client rounds on pid 1 (node 0),
+  // rpc.serve on pid 2 (node 1).
+  EXPECT_GE(SpanPids.size(), 2u) << "expected spans from >= 2 node pids";
+  EXPECT_TRUE(SawCounter) << "expected counter samples (net.in_flight)";
+  EXPECT_TRUE(SawMetadata) << "expected process/thread name metadata";
+  EXPECT_TRUE(Phases.count("b") && Phases.count("e"))
+      << "expected async begin/end pairs (rpc.call / net.transfer)";
+}
+
+TEST(TraceTest, NamedTracksGetDistinctTids) {
+  TraceSession Session;
+  int T1 = trace::track(0, "lane-one");
+  int T2 = trace::track(0, "lane-two");
+  EXPECT_GT(T1, 0);
+  EXPECT_GT(T2, 0);
+  EXPECT_NE(T1, T2);
+  trace::complete(0, T1, "on-one", 100, 50);
+  trace::complete(0, T2, "on-two", 100, 50);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(trace::exportJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  std::set<int> Tids;
+  int NamedTracks = 0;
+  for (const JsonValue &Ev : Events->Arr) {
+    const JsonValue *Ph = Ev.field("ph");
+    ASSERT_NE(Ph, nullptr);
+    if (Ph->Str == "X") {
+      const JsonValue *Tid = Ev.field("tid");
+      ASSERT_NE(Tid, nullptr);
+      Tids.insert(int(Tid->Num));
+    }
+    if (Ph->Str == "M" && Ev.field("name")->Str == "thread_name")
+      ++NamedTracks;
+  }
+  EXPECT_EQ(Tids.size(), 2u);
+  EXPECT_GE(NamedTracks, 2);
+}
+
+TEST(TraceTest, RingOverwritesOldestAndKeepsExportValid) {
+  trace::reset();
+  trace::setRingCapacity(8);
+  trace::setEnabled(true);
+  for (int I = 0; I < 40; ++I)
+    trace::instant(0, 0, "tick", I * 10);
+  std::string Json = trace::exportJson();
+  trace::setEnabled(false);
+  trace::reset();
+  trace::setRingCapacity(size_t(1) << 16); // Restore the default.
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Json).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  int Instants = 0;
+  double FirstTs = -1;
+  for (const JsonValue &Ev : Events->Arr)
+    if (Ev.field("ph")->Str == "i") {
+      if (Instants == 0)
+        FirstTs = Ev.field("ts")->Num;
+      ++Instants;
+    }
+  // Only the 8 newest survive, oldest-first: 32*10ns..39*10ns.
+  EXPECT_EQ(Instants, 8);
+  EXPECT_EQ(FirstTs, 0.320); // 320 ns as microseconds.
+}
+
+} // namespace
