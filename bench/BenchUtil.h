@@ -13,11 +13,58 @@
 #ifndef PARCS_BENCH_BENCHUTIL_H
 #define PARCS_BENCH_BENCHUTIL_H
 
+#include "prof/Prof.h"
+#include "support/Trace.h"
+
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace parcs::bench {
+
+/// True when --critical-path was passed: the bench should re-run one
+/// representative configuration with tracing on and print the causal
+/// critical-path report (see criticalPathReport).
+inline bool wantCriticalPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--critical-path") == 0)
+      return true;
+  return false;
+}
+
+/// RAII: turns the global trace recorder on over one traced re-run,
+/// restoring the disabled+empty state afterwards so the bench's normal
+/// (untraced, deterministic) measurements are unaffected.
+struct TracedRunScope {
+  TracedRunScope() {
+    trace::reset();
+    trace::setEnabled(true);
+  }
+  ~TracedRunScope() {
+    trace::setEnabled(false);
+    trace::reset();
+  }
+};
+
+/// Analyzes the events recorded so far (inside a TracedRunScope) and
+/// prints the parcs-prof report inline.  Returns false (and says why)
+/// when the trace held no causal-context events.
+inline bool criticalPathReport(const char *Label, size_t MaxSegments = 30) {
+  ErrorOr<prof::TraceData> Trace = prof::loadTrace(trace::exportJson());
+  if (!Trace) {
+    std::printf("critical-path: %s\n", Trace.error().str().c_str());
+    return false;
+  }
+  if (Trace->Nodes.empty()) {
+    std::printf("critical-path: trace has no causal-context events\n");
+    return false;
+  }
+  prof::Analysis A = prof::analyze(*Trace);
+  std::printf("\n---- critical path: %s ----\n%s", Label,
+              prof::textReport(A, MaxSegments).c_str());
+  return true;
+}
 
 /// Prints a banner naming the experiment and the paper artefact.
 inline void banner(const char *Id, const char *Title) {

@@ -19,7 +19,7 @@ using namespace parcs;
 using namespace parcs::apps::pingpong;
 using namespace parcs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   banner("E3 (in-text)", "one-way small-message latency");
   int Rounds = 100;
   size_t Size = 4; // One int, as in the paper's ping-pong.
@@ -40,5 +40,15 @@ int main() {
   row({"Java RMI", fmt(Rmi, 1), "520"});
   row({"Java nio", fmt(Nio, 1), "~Mono"});
   std::printf("\nexpected shape: MPI < Mono ~ Java nio < Java RMI\n");
+
+  if (wantCriticalPath(Argc, Argv)) {
+    // Traced re-run of the Mono ping-pong: the report splits the 273 us
+    // per-round budget into serialize / queue / wire / dispatch legs.
+    TracedRunScope Traced;
+    (void)runRemotingPingPong(remoting::StackKind::MonoRemotingTcp117, Size,
+                              Rounds);
+    if (!criticalPathReport("Mono Remoting ping-pong"))
+      return 1;
+  }
   return 0;
 }

@@ -31,11 +31,27 @@ namespace parcs::scoopp {
 /// real method name.
 inline constexpr const char *PackedMethodPrefix = "#packed:";
 
-/// Encodes N argument buffers into one packed-call payload.
-Bytes encodePackedCalls(const std::vector<Bytes> &Calls);
+/// One buffered invocation inside an aggregated message: the encoded
+/// arguments plus the causal id minted at the original invokeAsync (0 on
+/// untraced runs).  Aggregation must not collapse causality -- each packed
+/// call keeps its own context so the profiler can attribute each execution
+/// to the proxy call that caused it.
+struct BufferedCall {
+  Bytes Args;
+  uint64_t Ctx = 0;
+  bool operator==(const BufferedCall &) const = default;
+};
+
+/// Set in the packed-call count word when any call carries a causal
+/// context; without it the payload is the legacy ctx-free byte format, so
+/// untraced wire bytes are unchanged.
+inline constexpr uint32_t PackedCtxFlag = 0x80000000u;
+
+/// Encodes N buffered invocations into one packed-call payload.
+Bytes encodePackedCalls(const std::vector<BufferedCall> &Calls);
 
 /// Decodes a packed-call payload.
-ErrorOr<std::vector<Bytes>> decodePackedCalls(const Bytes &Payload);
+ErrorOr<std::vector<BufferedCall>> decodePackedCalls(const Bytes &Payload);
 
 /// The dispatch wrapper installed around every IO.
 class ImplAdapter : public CallHandler {
@@ -54,8 +70,10 @@ public:
                                        const Bytes &Args) override;
 
 private:
-  /// Runs one real call on the inner IO, timing it for the OM.
-  sim::Task<ErrorOr<Bytes>> timedCall(std::string Method, Bytes Args);
+  /// Runs one real call on the inner IO, timing it for the OM and emitting
+  /// a scoopp.execute span parented at \p ParentCtx on traced runs.
+  sim::Task<ErrorOr<Bytes>> timedCall(std::string Method, Bytes Args,
+                                      uint64_t ParentCtx);
 
   ObjectManager &Om;
   std::string ClassName;

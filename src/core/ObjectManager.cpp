@@ -8,6 +8,7 @@
 
 #include "support/Compiler.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/Calibration.h"
 
 #include <cmath>
@@ -97,9 +98,20 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
 sim::Task<ErrorOr<Bytes>> ObjectManager::handleCall(std::string_view Method,
                                                     const Bytes &Args) {
   (void)Args;
+  // Runs before any suspension (Task is lazy), so the dispatcher's
+  // handoff slot is still ours to claim.
+  uint64_t DispatchCtx = trace::takeHandoff();
   if (Method == "getLoad") {
+    sim::Simulator &Sim = Runtime.cluster().node(NodeId).sim();
+    int64_t StartNs = Sim.now().nanosecondsCount();
     co_await Runtime.cluster().node(NodeId).compute(
         sim::SimTime::microseconds(2));
+    if (trace::enabled()) {
+      uint64_t LoadCtx = trace::mintCausalId();
+      trace::completeCtx(NodeId, 0, "om.get_load", StartNs,
+                         Sim.now().nanosecondsCount() - StartNs, LoadCtx,
+                         DispatchCtx);
+    }
     co_return serial::encodeValues(static_cast<int32_t>(loadMetric()));
   }
   co_return Error(ErrorCode::UnknownMethod, std::string(Method));

@@ -101,9 +101,13 @@ sim::Task<Error> ProxyBase::create(std::string ClassName) {
   }
   // Request remote creation through the target node's factory, like
   // Fig. 5's rf.PrimeServer().
+  uint64_t CreateCtx = trace::mintCausalId();
+  if (CreateCtx)
+    trace::instantCtx(Home, 0, "scoopp.create",
+                      node().sim().now().nanosecondsCount(), CreateCtx, 0);
   ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).call(
       Target, Runtime.config().Port, ScooppRuntime::FactoryName, "create",
-      serial::encodeValues(Class));
+      serial::encodeValues(Class), sim::SimTime(), CreateCtx);
   if (!Raw)
     co_return Raw.error();
   std::string Name;
@@ -126,12 +130,21 @@ void ProxyBase::bind(std::string ClassName, ParallelRef ExistingRef) {
 
 sim::Task<void> ProxyBase::invokeAsync(std::string Method, Bytes Args) {
   assert(Ref.valid() && "invoking through an uncreated proxy");
+  // Root of this invocation's causal chain: every downstream span
+  // (aggregation, wire, dispatch, execution) parents back to InvokeCtx.
+  // 0 when tracing is off, which makes all the plumbing below vanish.
+  uint64_t InvokeCtx = trace::mintCausalId();
+  if (InvokeCtx)
+    trace::instantCtx(Home, 0, "scoopp.invoke",
+                      node().sim().now().nanosecondsCount(), InvokeCtx, 0);
   if (Local) {
     // Intra-grain: "its subsequent (asynchronous parallel) method
     // invocations are actually executed synchronously and serially"
     // (call b in Fig. 3).
     co_await node().compute(calib::ProxyLocalCallCost);
     ++Runtime.stats().LocalCalls;
+    if (InvokeCtx)
+      trace::handoff(InvokeCtx);
     ErrorOr<Bytes> Result = co_await Local->handleCall(Method, Args);
     if (!Result)
       PARCS_LOG(Warn, "local async call '" << Class << "." << Method
@@ -144,20 +157,21 @@ sim::Task<void> ProxyBase::invokeAsync(std::string Method, Bytes Args) {
   ++Runtime.stats().RemoteAsyncCalls;
   int Factor = Runtime.om(Home).aggregationFactor(Class);
   if (Factor <= 1) {
-    co_await remoteHandle().invokeOneWay(std::move(Method), std::move(Args));
+    co_await remoteHandle().invokeOneWay(std::move(Method), std::move(Args),
+                                         InvokeCtx);
     co_return;
   }
   // Method call aggregation: "(delay and) combine a series of
   // asynchronous method calls into a single aggregate call message".
-  std::vector<Bytes> &Buffer = PendingByMethod[Method];
+  std::vector<BufferedCall> &Buffer = PendingByMethod[Method];
   if (Buffer.empty())
     PendingOrder.push_back(Method);
-  Buffer.push_back(std::move(Args));
+  Buffer.push_back(BufferedCall{std::move(Args), InvokeCtx});
   trace::counter(Home, "scoopp.agg_buffered_calls",
                  node().sim().now().nanosecondsCount(),
                  static_cast<int64_t>(pendingCalls()));
   if (static_cast<int>(Buffer.size()) >= Factor) {
-    std::vector<Bytes> Calls = std::move(Buffer);
+    std::vector<BufferedCall> Calls = std::move(Buffer);
     PendingByMethod.erase(Method);
     PendingOrder.erase(
         std::find(PendingOrder.begin(), PendingOrder.end(), Method));
@@ -171,16 +185,22 @@ sim::Task<ErrorOr<Bytes>> ProxyBase::invokeSync(std::string Method,
   // Program order: everything buffered must leave before a synchronous
   // call observes state.
   co_await flush();
+  uint64_t InvokeCtx = trace::mintCausalId();
+  if (InvokeCtx)
+    trace::instantCtx(Home, 0, "scoopp.invoke",
+                      node().sim().now().nanosecondsCount(), InvokeCtx, 0);
   if (Local) {
     co_await node().compute(calib::ProxyLocalCallCost);
     ++Runtime.stats().LocalCalls;
+    if (InvokeCtx)
+      trace::handoff(InvokeCtx);
     ErrorOr<Bytes> Result = co_await Local->handleCall(Method, Args);
     co_return Result;
   }
   co_await node().compute(calib::ProxyRemoteCallCost);
   ++Runtime.stats().RemoteSyncCalls;
-  ErrorOr<Bytes> Result =
-      co_await remoteHandle().invoke(std::move(Method), std::move(Args));
+  ErrorOr<Bytes> Result = co_await remoteHandle().invoke(
+      std::move(Method), std::move(Args), InvokeCtx);
   co_return Result;
 }
 
@@ -190,7 +210,7 @@ sim::Task<void> ProxyBase::flush() {
     PendingOrder.erase(PendingOrder.begin());
     auto It = PendingByMethod.find(Method);
     assert(It != PendingByMethod.end() && "order/buffer mismatch");
-    std::vector<Bytes> Calls = std::move(It->second);
+    std::vector<BufferedCall> Calls = std::move(It->second);
     PendingByMethod.erase(It);
     co_await shipPacked(std::move(Method), std::move(Calls));
   }
@@ -227,7 +247,7 @@ size_t ProxyBase::pendingCalls() const {
 }
 
 sim::Task<void> ProxyBase::shipPacked(std::string Method,
-                                      std::vector<Bytes> Calls) {
+                                      std::vector<BufferedCall> Calls) {
   assert(!Calls.empty() && "shipping an empty aggregate");
   ++Runtime.stats().PackedMessages;
   Runtime.stats().PackedCalls += Calls.size();
@@ -243,13 +263,18 @@ sim::Task<void> ProxyBase::shipPacked(std::string Method,
   if (Calls.size() == 1) {
     // No point wrapping a single call.
     co_await remoteHandle().invokeOneWay(std::move(Method),
-                                         std::move(Calls.front()));
+                                         std::move(Calls.front().Args),
+                                         Calls.front().Ctx);
     co_return;
   }
+  // The aggregate message itself is parented at the last buffered call
+  // (the one whose arrival triggered shipping); each inner call still
+  // carries its own context inside the payload.
+  uint64_t ShipCtx = Calls.back().Ctx;
   Bytes Payload = encodePackedCalls(Calls);
   metrics::Registry::global()
       .histogram("scoopp.packed_msg_bytes")
       .record(static_cast<int64_t>(Payload.size()));
   co_await remoteHandle().invokeOneWay(PackedMethodPrefix + Method,
-                                       std::move(Payload));
+                                       std::move(Payload), ShipCtx);
 }

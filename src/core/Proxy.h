@@ -27,6 +27,7 @@
 #ifndef PARCS_CORE_PROXY_H
 #define PARCS_CORE_PROXY_H
 
+#include "core/ImplAdapter.h"
 #include "core/Scoopp.h"
 
 #include <map>
@@ -108,7 +109,8 @@ private:
     co_return Value;
   }
 
-  sim::Task<void> shipPacked(std::string Method, std::vector<Bytes> Calls);
+  sim::Task<void> shipPacked(std::string Method,
+                             std::vector<BufferedCall> Calls);
   remoting::RemoteHandle remoteHandle();
   /// Trace/metrics record of one agglomerate-vs-parallel grain decision.
   void recordCreateDecision(bool Agglomerated);
@@ -120,7 +122,9 @@ private:
   /// Non-null when the IO is local (direct dispatch path).
   std::shared_ptr<CallHandler> Local;
   /// Aggregation buffers, one per method, in insertion order per method.
-  std::map<std::string, std::vector<Bytes>> PendingByMethod;
+  /// Each buffered call keeps the causal id minted at its invokeAsync, so
+  /// aggregation never collapses causality.
+  std::map<std::string, std::vector<BufferedCall>> PendingByMethod;
   /// Methods in first-buffered order, so flush preserves program order
   /// across methods.
   std::vector<std::string> PendingOrder;

@@ -10,6 +10,7 @@
 
 #include "support/Logging.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace parcs;
 using namespace parcs::scoopp;
@@ -26,16 +27,27 @@ public:
 
   sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
                                        const Bytes &Args) override {
+    // Runs before any suspension, while the dispatcher's handoff slot is
+    // still ours (Task is lazy).
+    uint64_t DispatchCtx = trace::takeHandoff();
     if (Method == "create") {
       std::string ClassName;
       if (!serial::decodeValues(Args, ClassName))
         co_return Error(ErrorCode::MalformedMessage, "create args");
+      sim::Simulator &Sim = Runtime.cluster().node(NodeId).sim();
+      int64_t StartNs = Sim.now().nanosecondsCount();
       // Object construction cost on the hosting node.
       co_await Runtime.cluster().node(NodeId).computeWork(
           vm::WorkKind::Allocation, sim::SimTime::microseconds(10));
       auto Made = Runtime.instantiateImpl(NodeId, ClassName);
       if (!Made)
         co_return Made.error();
+      if (trace::enabled()) {
+        uint64_t CreateCtx = trace::mintCausalId();
+        trace::completeCtx(NodeId, 0, "scoopp.factory_create", StartNs,
+                           Sim.now().nanosecondsCount() - StartNs, CreateCtx,
+                           DispatchCtx);
+      }
       co_return serial::encodeValues(Made->first);
     }
     if (Method == "destroy") {

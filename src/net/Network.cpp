@@ -65,7 +65,8 @@ sim::SimTime Network::firstPacketTime(size_t PayloadBytes) const {
                     static_cast<size_t>(Config.FrameOverheadBytes));
 }
 
-void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) {
+void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload,
+                   uint64_t TraceCtx) {
   assert(Src >= 0 && Src < nodeCount() && "send: bad source node");
   assert(Dst >= 0 && Dst < nodeCount() && "send: bad destination node");
   assert(isBound(Dst, Port) && "send: destination port not bound");
@@ -74,6 +75,9 @@ void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) {
   Msg.Dst = Dst;
   Msg.Port = Port;
   Msg.Id = NextMessageId++;
+  // Loopback skips the fabric, so the sender's context passes through
+  // unchanged; transfer() replaces it with the net.wire node's id.
+  Msg.TraceCtx = TraceCtx;
   Msg.Payload = std::move(Payload);
   if (Src == Dst) {
     // Loopback: no wire, but keep it asynchronous (one event-queue hop) so
@@ -98,17 +102,26 @@ sim::Task<void> Network::transfer(Message Msg) {
 
   // The async span covers queueing on the source NIC through delivery (or
   // drop); the in-flight series is the fabric's queue depth over time.
-  trace::asyncBegin(Msg.Src, "net.transfer", Sim.now().nanosecondsCount(),
-                    Msg.Id);
+  int64_t EnqueueNs = Sim.now().nanosecondsCount();
+  trace::asyncBegin(Msg.Src, "net.transfer", EnqueueNs, Msg.Id);
   ++InFlight;
   if (InFlight > PeakInFlight)
     PeakInFlight = InFlight;
-  trace::counter(-1, "net.in_flight", Sim.now().nanosecondsCount(), InFlight);
+  trace::counter(-1, "net.in_flight", EnqueueNs, InFlight);
 
   co_await Tx.TxSlot.acquire();
 
   sim::SimTime Wire = wireTime(Msg.Payload.size());
   sim::SimTime TxStart = Sim.now();
+
+  // DAG leg 1: time queued behind earlier messages on this NIC.
+  uint64_t QueueCtx = 0;
+  if (trace::enabled()) {
+    QueueCtx = trace::mintCausalId();
+    trace::completeCtx(Msg.Src, 0, "net.queue", EnqueueNs,
+                       TxStart.nanosecondsCount() - EnqueueNs, QueueCtx,
+                       Msg.TraceCtx);
+  }
 
   // Reserve the receiver's downlink now (cut-through: the first packet
   // reaches the receiver one packet time + switch latency after transmit
@@ -137,9 +150,18 @@ sim::Task<void> Network::transfer(Message Msg) {
   Frames += Packets;
 
   --InFlight;
-  trace::counter(-1, "net.in_flight", Sim.now().nanosecondsCount(), InFlight);
-  trace::asyncEnd(Msg.Src, "net.transfer", Sim.now().nanosecondsCount(),
-                  Msg.Id);
+  int64_t DoneNs = Sim.now().nanosecondsCount();
+  trace::counter(-1, "net.in_flight", DoneNs, InFlight);
+  trace::asyncEnd(Msg.Src, "net.transfer", DoneNs, Msg.Id);
+
+  // DAG leg 2: transmit start through last-packet drain at the receiver.
+  // Delivery below hands the wire node's id to the dispatcher.
+  if (trace::enabled()) {
+    uint64_t WireCtx = trace::mintCausalId();
+    trace::completeCtx(Msg.Src, 0, "net.wire", TxStart.nanosecondsCount(),
+                       DoneNs - TxStart.nanosecondsCount(), WireCtx, QueueCtx);
+    Msg.TraceCtx = WireCtx;
+  }
 
   // Fault injection: the message occupied the wire but is lost before
   // delivery.

@@ -47,6 +47,11 @@ struct Message {
   int Dst = -1;
   int Port = -1;
   uint64_t Id = 0;
+  /// Causal id (trace::CausalContext::Id) of the latest fabric-level DAG
+  /// node for this message: the sender's context on submission, the
+  /// net.wire span's id on delivery.  0 when tracing is off -- the field
+  /// is a POD rider, never an allocation.
+  uint64_t TraceCtx = 0;
   std::vector<uint8_t> Payload;
 };
 
@@ -83,8 +88,11 @@ public:
   /// Queues \p Payload for transmission from \p Src to (\p Dst, \p Port).
   /// Non-suspending; the transfer proceeds in virtual time and the message
   /// appears on the destination channel when the last packet arrives.
-  /// The destination port must already be bound.
-  void send(int Src, int Dst, int Port, std::vector<uint8_t> Payload);
+  /// The destination port must already be bound.  \p TraceCtx is the
+  /// sender's causal id; the fabric chains net.queue/net.wire DAG nodes
+  /// under it and delivers the final id in Message::TraceCtx.
+  void send(int Src, int Dst, int Port, std::vector<uint8_t> Payload,
+            uint64_t TraceCtx = 0);
 
   /// Time the wire is occupied by \p PayloadBytes (packetised, with
   /// framing).

@@ -221,12 +221,19 @@ sim::Task<void> RpcEndpoint::ensureConnected(int DstNode, int DstPort) {
 sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
                                             std::string ObjectName,
                                             std::string Method, Bytes Args,
-                                            sim::SimTime Timeout) {
+                                            sim::SimTime Timeout,
+                                            uint64_t ParentCtx) {
   co_await ensureConnected(DstNode, DstPort);
   uint64_t CallId = NextCallId++;
+  // The round trip's causal identity: minted here, carried in the body's
+  // optional context header, restored server-side.  0 (and absent from
+  // the wire) when tracing is off.
+  uint64_t CallCtx = trace::mintCausalId();
   serial::OutputArchive Body;
   Body.write(CallId);
-  Body.write(static_cast<uint8_t>(0));
+  Body.write(static_cast<uint8_t>(CallCtx ? FlagHasContext : 0));
+  if (CallCtx)
+    serial::encodeCausalContext(Body, CallCtx, ParentCtx);
   Body.write(static_cast<int32_t>(Host.id()));
   Body.write(static_cast<int32_t>(Port));
   Body.write(ObjectName);
@@ -239,15 +246,23 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   Stats.WireBytesSent += Wire.size();
 
   int64_t IssuedNs = Host.sim().now().nanosecondsCount();
-  trace::asyncBegin(Host.id(), "rpc.call", IssuedNs,
-                    callSpanId(Host.id(), Port, CallId));
+  trace::asyncBeginCtx(Host.id(), "rpc.call", IssuedNs,
+                       callSpanId(Host.id(), Port, CallId), CallCtx,
+                       ParentCtx);
 
   sim::Promise<ErrorOr<Bytes>> Reply(Host.sim());
-  PendingCalls.emplace(CallId, Reply);
+  PendingCalls.emplace(CallId, PendingCall{Reply, CallCtx});
 
   // Client-side marshalling + channel sink cost, then hand to the NIC.
   co_await Host.compute(sideCost(Wire.size()));
-  Net.send(Host.id(), DstNode, DstPort, std::move(Wire));
+  uint64_t SendCtx = 0;
+  if (CallCtx) {
+    SendCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.send", IssuedNs,
+                       Host.sim().now().nanosecondsCount() - IssuedNs,
+                       SendCtx, CallCtx);
+  }
+  Net.send(Host.id(), DstNode, DstPort, std::move(Wire), SendCtx);
 
   if (Timeout > sim::SimTime()) {
     // Arm the deadline: if the reply has not resolved the promise by
@@ -257,7 +272,7 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
       auto It = PendingCalls.find(CallId);
       if (It == PendingCalls.end())
         return;
-      sim::Promise<ErrorOr<Bytes>> Timed = It->second;
+      sim::Promise<ErrorOr<Bytes>> Timed = It->second.Reply;
       PendingCalls.erase(It);
       Timed.set(Error(ErrorCode::TimedOut,
                       "no reply within the call deadline"));
@@ -267,19 +282,24 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   ErrorOr<Bytes> Result = co_await Reply.future();
   int64_t DoneNs = Host.sim().now().nanosecondsCount();
   CallLatency->record(DoneNs - IssuedNs);
-  trace::asyncEnd(Host.id(), "rpc.call", DoneNs,
-                  callSpanId(Host.id(), Port, CallId));
+  trace::asyncEndCtx(Host.id(), "rpc.call", DoneNs,
+                     callSpanId(Host.id(), Port, CallId), CallCtx, ParentCtx);
   co_return Result;
 }
 
 sim::Task<void> RpcEndpoint::callOneWay(int DstNode, int DstPort,
                                         std::string ObjectName,
-                                        std::string Method, Bytes Args) {
+                                        std::string Method, Bytes Args,
+                                        uint64_t ParentCtx) {
   co_await ensureConnected(DstNode, DstPort);
   uint64_t CallId = NextCallId++;
+  uint64_t CallCtx = trace::mintCausalId();
   serial::OutputArchive Body;
   Body.write(CallId);
-  Body.write(static_cast<uint8_t>(FlagOneWay));
+  Body.write(static_cast<uint8_t>(FlagOneWay |
+                                  (CallCtx ? FlagHasContext : 0)));
+  if (CallCtx)
+    serial::encodeCausalContext(Body, CallCtx, ParentCtx);
   Body.write(static_cast<int32_t>(Host.id()));
   Body.write(static_cast<int32_t>(Port));
   Body.write(ObjectName);
@@ -290,8 +310,17 @@ sim::Task<void> RpcEndpoint::callOneWay(int DstNode, int DstPort,
   Bytes Wire = frame(KindCall, Method, Body.bytes(), /*Response=*/false);
   ++Stats.OneWaySent;
   Stats.WireBytesSent += Wire.size();
+  int64_t IssuedNs = Host.sim().now().nanosecondsCount();
+  trace::instantCtx(Host.id(), 0, "rpc.oneway", IssuedNs, CallCtx, ParentCtx);
   co_await Host.compute(sideCost(Wire.size()));
-  Net.send(Host.id(), DstNode, DstPort, std::move(Wire));
+  uint64_t SendCtx = 0;
+  if (CallCtx) {
+    SendCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.send", IssuedNs,
+                       Host.sim().now().nanosecondsCount() - IssuedNs,
+                       SendCtx, CallCtx);
+  }
+  Net.send(Host.id(), DstNode, DstPort, std::move(Wire), SendCtx);
 }
 
 sim::Task<void> RpcEndpoint::dispatchLoop() {
@@ -310,8 +339,9 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
     if (Kind == KindReturn) {
       // Replies are decoded on the I/O thread: charge the receive cost,
       // then resolve the pending call.
+      int64_t RecvNs = Host.sim().now().nanosecondsCount();
       co_await Host.compute(sideCost(Msg.Payload.size()));
-      handleReturn(*Content);
+      handleReturn(*Content, RecvNs, Msg.TraceCtx);
       continue;
     }
     if (Kind == KindCall) {
@@ -319,8 +349,21 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
       // this is where Mono's small pool throttles overlap.
       ++Stats.CallsHandled;
       auto Self = this;
-      Pool.post([Self, Owned = std::move(Msg)]() mutable -> sim::Task<void> {
-        return Self->handleCall(std::move(Owned));
+      if (!trace::enabled()) {
+        // Untraced shape: [this + Message] fits the pool's inline work
+        // item exactly; keep it that way (the traced shape below adds the
+        // receive timestamp and may spill to the heap, which only traced
+        // runs pay).
+        Pool.post([Self,
+                   Owned = std::move(Msg)]() mutable -> sim::Task<void> {
+          return Self->handleCall(std::move(Owned), 0);
+        });
+        continue;
+      }
+      int64_t RecvNs = Host.sim().now().nanosecondsCount();
+      Pool.post([Self, RecvNs,
+                 Owned = std::move(Msg)]() mutable -> sim::Task<void> {
+        return Self->handleCall(std::move(Owned), RecvNs);
       });
       continue;
     }
@@ -328,7 +371,8 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
   }
 }
 
-void RpcEndpoint::handleReturn(std::span<const uint8_t> Content) {
+void RpcEndpoint::handleReturn(std::span<const uint8_t> Content,
+                               int64_t RecvNs, uint64_t WireCtx) {
   ErrorOr<serial::Envelope> Env = serial::decodeEnvelope(
       Profile.Format, Content.data() + 1, Content.size() - 1);
   if (!Env) {
@@ -347,9 +391,20 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content) {
     ++Stats.MalformedDropped;
     return;
   }
-  sim::Promise<ErrorOr<Bytes>> Reply = It->second;
+  sim::Promise<ErrorOr<Bytes>> Reply = It->second.Reply;
+  uint64_t CallCtx = It->second.Ctx;
   PendingCalls.erase(It);
   ++Stats.RepliesReceived;
+  if (trace::enabled()) {
+    // Reply-side deserialize leg, chained off the reply's wire node; the
+    // rpc.link instant grafts it onto the round trip's DAG node so the
+    // chain closes client -> server -> client.
+    int64_t NowNs = Host.sim().now().nanosecondsCount();
+    uint64_t ReplyCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.reply_recv", RecvNs,
+                       NowNs - RecvNs, ReplyCtx, WireCtx);
+    trace::instantCtx(Host.id(), 0, "rpc.link", NowNs, CallCtx, ReplyCtx);
+  }
   if (Status == StatusOk) {
     Bytes Result;
     if (!Body.readRemaining(Result)) {
@@ -368,7 +423,7 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content) {
   Reply.set(Error(static_cast<ErrorCode>(Code), Message));
 }
 
-sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
+sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
   // Server-side handling as one complete span on the serving node, and as
   // the server leg of the call's async pair (same id the client opened --
   // Perfetto links the legs across node lanes).
@@ -393,19 +448,57 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
   std::string ObjectName, Method;
   uint32_t ArgsSize = 0;
   Bytes Args;
-  if (!Body.read(CallId) || !Body.read(Flags) || !Body.read(ReplyNode) ||
-      !Body.read(ReplyPort) || !Body.read(ObjectName) || !Body.read(Method) ||
-      !Body.read(ArgsSize) || !Body.readRaw(Args, ArgsSize)) {
+  if (!Body.read(CallId) || !Body.read(Flags)) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+  // Restore the caller's causal identity from the wire header.
+  uint64_t WireCtx = 0, WireParent = 0;
+  if ((Flags & FlagHasContext) &&
+      !serial::decodeCausalContext(Body, WireCtx, WireParent)) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+  if (!Body.read(ReplyNode) || !Body.read(ReplyPort) ||
+      !Body.read(ObjectName) || !Body.read(Method) || !Body.read(ArgsSize) ||
+      !Body.readRaw(Args, ArgsSize)) {
     ++Stats.MalformedDropped;
     co_return;
   }
 
+  // DAG legs on the serving node: time queued between the wire and this
+  // handler (the dispatch pool's backlog), then the unmarshal work above.
+  // The serve umbrella's declared parent is the restored wire context (the
+  // cross-node edge); rpc.link grafts the local timing chain onto it.
+  uint64_t ServeCtx = 0;
+  if (trace::enabled()) {
+    int64_t NowNs = Host.sim().now().nanosecondsCount();
+    uint64_t QueueCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.dispatch_queue", RecvNs,
+                       ServeStartNs - RecvNs, QueueCtx, Msg.TraceCtx);
+    uint64_t UnmarshalCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.unmarshal", ServeStartNs,
+                       NowNs - ServeStartNs, UnmarshalCtx, QueueCtx);
+    ServeCtx = trace::mintCausalId();
+    trace::instantCtx(Host.id(), 0, "rpc.link", NowNs, ServeCtx,
+                      UnmarshalCtx);
+  }
+
   ErrorOr<Bytes> Result(Bytes{});
   ErrorOr<std::shared_ptr<CallHandler>> Target = resolveTarget(ObjectName);
-  if (!Target)
+  if (!Target) {
     Result = Target.error();
-  else
+  } else {
+    // Hand the serve context to the callee: its body up to the first
+    // suspension runs synchronously inside this co_await (lazy tasks), so
+    // the one-slot hand-off cannot be observed by anything else first.
+    // Cleared afterwards in case the target does not claim it.
+    if (ServeCtx)
+      trace::handoff(ServeCtx);
     Result = co_await (*Target)->handleCall(Method, Args);
+    if (ServeCtx)
+      trace::handoff(0);
+  }
 
   if (Flags & FlagOneWay) {
     if (!Result) {
@@ -414,11 +507,13 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
                                        << "' faulted: "
                                        << Result.error().str());
     }
-    trace::complete(Host.id(), 0, "rpc.serve", ServeStartNs,
-                    Host.sim().now().nanosecondsCount() - ServeStartNs);
+    trace::completeCtx(Host.id(), 0, "rpc.serve", ServeStartNs,
+                       Host.sim().now().nanosecondsCount() - ServeStartNs,
+                       ServeCtx, WireCtx);
     co_return;
   }
 
+  int64_t ReplyStartNs = Host.sim().now().nanosecondsCount();
   serial::OutputArchive Out;
   Out.write(CallId);
   if (Result) {
@@ -432,7 +527,15 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg) {
   Bytes Wire = frame(KindReturn, "ret", Out.bytes(), /*Response=*/true);
   Stats.WireBytesSent += Wire.size();
   co_await Host.compute(sideCost(Wire.size()));
-  Net.send(Host.id(), ReplyNode, ReplyPort, std::move(Wire));
-  trace::complete(Host.id(), 0, "rpc.serve", ServeStartNs,
-                  Host.sim().now().nanosecondsCount() - ServeStartNs);
+  uint64_t ReplySendCtx = 0;
+  if (ServeCtx) {
+    ReplySendCtx = trace::mintCausalId();
+    trace::completeCtx(Host.id(), 0, "rpc.send", ReplyStartNs,
+                       Host.sim().now().nanosecondsCount() - ReplyStartNs,
+                       ReplySendCtx, ServeCtx);
+  }
+  Net.send(Host.id(), ReplyNode, ReplyPort, std::move(Wire), ReplySendCtx);
+  trace::completeCtx(Host.id(), 0, "rpc.serve", ServeStartNs,
+                     Host.sim().now().nanosecondsCount() - ServeStartNs,
+                     ServeCtx, WireCtx);
 }

@@ -103,20 +103,29 @@ public:
   /// wait: if no reply arrives in time the call completes with
   /// ErrorCode::TimedOut (a late reply is then dropped), which is how
   /// callers survive simulated packet loss.
+  /// \p ParentCtx is the caller's causal id (trace::mintCausalId); the
+  /// call mints its own context, parents it there, and carries it on the
+  /// wire so the server restores the chain.  0 (the untraced default)
+  /// keeps the body byte-identical to an uninstrumented build.
   sim::Task<ErrorOr<Bytes>> call(int DstNode, int DstPort,
                                  std::string ObjectName, std::string Method,
                                  Bytes Args,
-                                 sim::SimTime Timeout = sim::SimTime());
+                                 sim::SimTime Timeout = sim::SimTime(),
+                                 uint64_t ParentCtx = 0);
 
   /// One-way (asynchronous, no result) call: returns once the message has
   /// been handed to the NIC; remote faults are dropped, as with .Net
   /// one-way delegate invocations.
   sim::Task<void> callOneWay(int DstNode, int DstPort, std::string ObjectName,
-                             std::string Method, Bytes Args);
+                             std::string Method, Bytes Args,
+                             uint64_t ParentCtx = 0);
 
 private:
   enum MsgKind : uint8_t { KindCall = 0xC1, KindReturn = 0xC2 };
-  enum CallFlags : uint8_t { FlagOneWay = 0x01 };
+  /// FlagHasContext marks a body whose flags byte is followed by the
+  /// causal-context header (serial::encodeCausalContext) -- present only
+  /// on traced runs, so untraced wire bytes are unchanged.
+  enum CallFlags : uint8_t { FlagOneWay = 0x01, FlagHasContext = 0x02 };
   enum ReturnStatus : uint8_t { StatusOk = 0, StatusFault = 1 };
 
   struct Registration {
@@ -140,9 +149,19 @@ private:
   /// copied.  The view is valid as long as \p Wire is.
   ErrorOr<std::span<const uint8_t>> unframe(const Bytes &Wire) const;
 
+  /// One two-way call awaiting its reply: the promise plus the causal id
+  /// minted at issue (so the reply links back into the DAG).
+  struct PendingCall {
+    sim::Promise<ErrorOr<Bytes>> Reply;
+    uint64_t Ctx = 0;
+  };
+
   sim::Task<void> dispatchLoop();
-  sim::Task<void> handleCall(net::Message Msg);
-  void handleReturn(std::span<const uint8_t> Content);
+  /// \p RecvNs is when the dispatch loop pulled the message off the wire
+  /// (the rpc.dispatch_queue span start; 0 on untraced runs).
+  sim::Task<void> handleCall(net::Message Msg, int64_t RecvNs);
+  void handleReturn(std::span<const uint8_t> Content, int64_t RecvNs,
+                    uint64_t WireCtx);
 
   ErrorOr<std::shared_ptr<CallHandler>> resolveTarget(const std::string &Name);
 
@@ -152,7 +171,7 @@ private:
   int Port;
   vm::ThreadPool Pool;
   std::map<std::string, Registration> Published;
-  std::unordered_map<uint64_t, sim::Promise<ErrorOr<Bytes>>> PendingCalls;
+  std::unordered_map<uint64_t, PendingCall> PendingCalls;
   /// Destinations we already hold a connection to.
   std::set<std::pair<int, int>> Connected;
   uint64_t NextCallId = 1;

@@ -54,18 +54,22 @@ public:
   int dstNode() const { return DstNode; }
   const std::string &name() const { return Name; }
 
-  /// Raw two-way invocation with pre-encoded arguments.
-  sim::Task<ErrorOr<Bytes>> invoke(std::string Method, Bytes Args) {
+  /// Raw two-way invocation with pre-encoded arguments.  \p ParentCtx is
+  /// the caller's causal id, threaded through to the engine (0 = untraced
+  /// or root).
+  sim::Task<ErrorOr<Bytes>> invoke(std::string Method, Bytes Args,
+                                   uint64_t ParentCtx = 0) {
     assert(Local && "invoking through an empty handle");
     return Local->call(DstNode, DstPort, Name, std::move(Method),
-                       std::move(Args));
+                       std::move(Args), sim::SimTime(), ParentCtx);
   }
 
   /// Raw one-way invocation.
-  sim::Task<void> invokeOneWay(std::string Method, Bytes Args) {
+  sim::Task<void> invokeOneWay(std::string Method, Bytes Args,
+                               uint64_t ParentCtx = 0) {
     assert(Local && "invoking through an empty handle");
     return Local->callOneWay(DstNode, DstPort, Name, std::move(Method),
-                             std::move(Args));
+                             std::move(Args), ParentCtx);
   }
 
   /// Typed two-way call: encodes \p CallArgs, decodes a Ret.  Use

@@ -326,3 +326,14 @@ ErrorOr<Envelope> parcs::serial::decodeEnvelope(WireFormat Format,
   }
   PARCS_UNREACHABLE("unhandled WireFormat");
 }
+
+void parcs::serial::encodeCausalContext(OutputArchive &Out, uint64_t Ctx,
+                                        uint64_t Parent) {
+  Out.write(Ctx);
+  Out.write(Parent);
+}
+
+bool parcs::serial::decodeCausalContext(InputArchive &In, uint64_t &Ctx,
+                                        uint64_t &Parent) {
+  return In.read(Ctx) && In.read(Parent);
+}

@@ -67,6 +67,14 @@ ErrorOr<Envelope> decodeEnvelope(WireFormat Format, const Bytes &Wire);
 ErrorOr<Envelope> decodeEnvelope(WireFormat Format, const uint8_t *Data,
                                  size_t Size);
 
+/// Optional causal-context header an RPC body carries right after its
+/// flags byte when tracing is on (the traceparent analogue of W3C trace
+/// context): the causal id of the call and the id of the operation that
+/// caused it.  Raw u64s so serial stays independent of the trace layer.
+void encodeCausalContext(OutputArchive &Out, uint64_t Ctx, uint64_t Parent);
+/// Reads the header back; false on a truncated buffer.
+bool decodeCausalContext(InputArchive &In, uint64_t &Ctx, uint64_t &Parent);
+
 /// Base64 used by the SOAP formatter (exposed for tests).
 std::string base64Encode(const Bytes &Data);
 /// Appends the encoding to \p Out (the SOAP envelope hot path).

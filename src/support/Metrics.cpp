@@ -52,7 +52,7 @@ void Histogram::record(int64_t Value) {
 double Histogram::percentile(double P) const {
   size_t N = Stats.count();
   if (N == 0)
-    return 0.0;
+    return EmptyPercentile;
   P = std::clamp(P, 0.0, 100.0);
   // Rank in [0, N-1], same convention as SampleSet::percentile.
   double Rank = P / 100.0 * static_cast<double>(N - 1);
@@ -85,6 +85,8 @@ double Histogram::percentile(double P) const {
 }
 
 std::string Histogram::str() const {
+  if (Stats.count() == 0)
+    return "n=0 (no samples)";
   char Buf[192];
   std::snprintf(Buf, sizeof(Buf),
                 "n=%zu mean=%.1f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
@@ -97,28 +99,36 @@ std::string Histogram::str() const {
 // Spec parsing
 //===----------------------------------------------------------------------===//
 
-bool parseMetricsSpec(std::string_view Spec, ReportSpec &Out) {
+bool parseMetricsSpec(std::string_view Spec, ReportSpec &Out,
+                      std::string *BadToken) {
+  auto Fail = [&](std::string_view Token) {
+    if (BadToken)
+      *BadToken = std::string(Token);
+    return false;
+  };
   std::string_view Path = Spec;
   std::string_view Format;
+  std::string_view FormatToken;
   if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
     Path = Spec.substr(0, Comma);
     std::string_view Rest = Spec.substr(Comma + 1);
     constexpr std::string_view Key = "format=";
     if (Rest.substr(0, Key.size()) != Key)
-      return false;
+      return Fail(Rest);
     Format = Rest.substr(Key.size());
+    FormatToken = Rest;
   }
   if (Path.empty())
-    return false;
+    return Fail("<empty path>");
   bool Json;
-  if (Format.empty())
+  if (Format.empty() && FormatToken.empty())
     Json = Path.size() >= 5 && Path.substr(Path.size() - 5) == ".json";
   else if (Format == "json")
     Json = true;
   else if (Format == "text")
     Json = false;
   else
-    return false;
+    return Fail(FormatToken);
   Out.Path = std::string(Path);
   Out.Json = Json;
   return true;
@@ -139,8 +149,15 @@ struct EnvReporter {
 
   EnvReporter() {
     Registry::global(); // Ensure the registry outlives this reporter.
-    if (const char *Env = std::getenv("PARCS_METRICS"))
-      Active = parseMetricsSpec(Env, Spec);
+    if (const char *Env = std::getenv("PARCS_METRICS")) {
+      std::string BadToken;
+      Active = parseMetricsSpec(Env, Spec, &BadToken);
+      if (!Active)
+        std::fprintf(stderr,
+                     "[parcs:metrics] ignoring malformed PARCS_METRICS "
+                     "\"%s\": bad token \"%s\"\n",
+                     Env, BadToken.c_str());
+    }
   }
 
   ~EnvReporter() {

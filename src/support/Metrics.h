@@ -75,14 +75,20 @@ private:
 /// (1..MaxShift) holds [2^(B-1), 2^B); values >= 2^MaxShift land in one
 /// overflow bucket.  The exact summary (count, mean, min, max) comes from
 /// an embedded RunningStats; percentiles are interpolated within a bucket
-/// and clamped to the observed [min, max], so an empty histogram reports
-/// 0, a single sample reports itself exactly, and overflow samples never
-/// report beyond the true maximum.
+/// and clamped to the observed [min, max], so a single sample reports
+/// itself exactly and overflow samples never report beyond the true
+/// maximum.  An empty histogram has no percentiles: percentile() returns
+/// the EmptyPercentile sentinel (-1, impossible for real samples, which
+/// clamp to >= 0).
 class Histogram {
 public:
   /// Last finite bucket bound is 2^MaxShift ns (~18 minutes).
   static constexpr int MaxShift = 40;
   static constexpr int NumBuckets = MaxShift + 2; // 0-bucket + overflow.
+
+  /// What percentile() reports when no samples were recorded.  Negative
+  /// on purpose: samples clamp to >= 0, so it cannot collide with data.
+  static constexpr double EmptyPercentile = -1.0;
 
   /// Records one sample; negative values clamp to 0.
   void record(int64_t Value);
@@ -91,7 +97,7 @@ public:
   const RunningStats &summary() const { return Stats; }
   uint64_t overflowCount() const { return Buckets[NumBuckets - 1]; }
 
-  /// The \p P-th percentile (0..100); 0 when empty.
+  /// The \p P-th percentile (0..100); EmptyPercentile when empty.
   double percentile(double P) const;
 
   /// One-line "n=.. mean=.. p50=.. p90=.. p99=.. max=.." rendering.
@@ -110,8 +116,10 @@ struct ReportSpec {
 
 /// Parses "path[,format=text|json]".  The format defaults from the path
 /// extension (".json" selects JSON).  Returns false (leaving \p Out
-/// untouched) for an empty path or an unknown format value.
-bool parseMetricsSpec(std::string_view Spec, ReportSpec &Out);
+/// untouched) for an empty path or an unknown format value; when
+/// \p BadToken is non-null it receives the offending token.
+bool parseMetricsSpec(std::string_view Spec, ReportSpec &Out,
+                      std::string *BadToken = nullptr);
 
 /// Named metrics, ordered by name.  Instantiable for tests; production
 /// code uses the process-wide global() instance.

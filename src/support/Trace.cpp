@@ -9,11 +9,14 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <vector>
 
 namespace parcs::trace {
 
 bool detail::Enabled = false;
+uint64_t detail::LastCausalId = 0;
+uint64_t detail::HandoffCtx = 0;
 
 namespace {
 
@@ -25,12 +28,15 @@ enum class EventKind : uint8_t {
   AsyncEnd,
 };
 
-/// One recorded event, 32 bytes.  Value is the duration (Complete), the
-/// sample (Counter) or the pairing id (Async*); Name points at a string
-/// literal owned by the call site.
+/// One recorded event, 48 bytes.  Value is the duration (Complete), the
+/// sample (Counter) or the pairing id (Async*); Ctx/Parent are the causal
+/// identity (0 = none); Name points at a string literal owned by the call
+/// site.
 struct Event {
   int64_t AtNs;
   int64_t Value;
+  uint64_t Ctx;
+  uint64_t Parent;
   const char *Name;
   int32_t Tid;
   EventKind Kind;
@@ -117,7 +123,37 @@ void appendTs(std::string &Out, int64_t Ns) {
   Out += Buf;
 }
 
-void appendEvent(std::string &Out, int Pid, const Event &E, bool &First) {
+/// Emits the ", \"args\": {...}" clause shared by all shapes: causal
+/// identity when present, plus the truncation marker for async halves
+/// whose partner was overwritten at ring wrap.
+void appendArgs(std::string &Out, const Event &E, bool Truncated) {
+  if (E.Ctx == 0 && !Truncated)
+    return;
+  Out += ", \"args\": {";
+  bool Need = false;
+  char Buf[96];
+  if (E.Ctx != 0) {
+    // Parent 0 means "root": omitted, so analyzers can key on presence.
+    if (E.Parent != 0)
+      std::snprintf(Buf, sizeof(Buf), "\"ctx\": %llu, \"parent\": %llu",
+                    static_cast<unsigned long long>(E.Ctx),
+                    static_cast<unsigned long long>(E.Parent));
+    else
+      std::snprintf(Buf, sizeof(Buf), "\"ctx\": %llu",
+                    static_cast<unsigned long long>(E.Ctx));
+    Out += Buf;
+    Need = true;
+  }
+  if (Truncated) {
+    if (Need)
+      Out += ", ";
+    Out += "\"truncated\": true";
+  }
+  Out += '}';
+}
+
+void appendEvent(std::string &Out, int Pid, const Event &E, bool Truncated,
+                 bool &First) {
   Out += First ? "\n  " : ",\n  ";
   First = false;
   Out += "{\"name\": ";
@@ -132,6 +168,7 @@ void appendEvent(std::string &Out, int Pid, const Event &E, bool &First) {
     appendTs(Out, E.AtNs);
     Out += ", \"dur\": ";
     appendTs(Out, E.Value);
+    appendArgs(Out, E, Truncated);
     break;
   case EventKind::Instant:
     std::snprintf(Buf, sizeof(Buf),
@@ -140,6 +177,7 @@ void appendEvent(std::string &Out, int Pid, const Event &E, bool &First) {
     Out += Buf;
     Out += ", \"ts\": ";
     appendTs(Out, E.AtNs);
+    appendArgs(Out, E, Truncated);
     break;
   case EventKind::Counter:
     std::snprintf(Buf, sizeof(Buf), ", \"ph\": \"C\", \"pid\": %d", Pid);
@@ -152,14 +190,17 @@ void appendEvent(std::string &Out, int Pid, const Event &E, bool &First) {
     break;
   case EventKind::AsyncBegin:
   case EventKind::AsyncEnd:
+    // The id is scoped to the pid: per-node id generators may collide
+    // across nodes, and Chrome matches async pairs on (cat, id) alone.
     std::snprintf(Buf, sizeof(Buf),
-                  ", \"cat\": \"parcs\", \"ph\": \"%c\", \"id\": \"0x%llx\", "
-                  "\"pid\": %d, \"tid\": 0",
-                  E.Kind == EventKind::AsyncBegin ? 'b' : 'e',
+                  ", \"cat\": \"parcs\", \"ph\": \"%c\", "
+                  "\"id\": \"p%d-0x%llx\", \"pid\": %d, \"tid\": 0",
+                  E.Kind == EventKind::AsyncBegin ? 'b' : 'e', Pid,
                   static_cast<unsigned long long>(E.Value), Pid);
     Out += Buf;
     Out += ", \"ts\": ";
     appendTs(Out, E.AtNs);
+    appendArgs(Out, E, Truncated);
     break;
   }
   Out += '}';
@@ -220,11 +261,36 @@ std::string Recorder::exportJson() const {
     }
     size_t Count = Dropped ? R.Buf.size() : static_cast<size_t>(R.Total);
     size_t Start = Dropped ? R.Next : 0;
+
+    // Pre-pass: pair up surviving async begins/ends by (name, id).  An
+    // end whose begin was overwritten -- or a begin whose end was -- would
+    // render as an open-ended interval; mark both cases truncated.
+    std::vector<bool> Truncated(Count, false);
+    std::map<std::pair<const char *, uint64_t>, std::vector<size_t>> Open;
     for (size_t K = 0; K < Count; ++K) {
       size_t Slot = Start + K;
       if (Slot >= R.Buf.size())
         Slot -= R.Buf.size();
-      appendEvent(Out, Pid, R.Buf[Slot], First);
+      const Event &E = R.Buf[Slot];
+      if (E.Kind == EventKind::AsyncBegin) {
+        Open[{E.Name, static_cast<uint64_t>(E.Value)}].push_back(K);
+      } else if (E.Kind == EventKind::AsyncEnd) {
+        auto It = Open.find({E.Name, static_cast<uint64_t>(E.Value)});
+        if (It != Open.end() && !It->second.empty())
+          It->second.pop_back();
+        else
+          Truncated[K] = true;
+      }
+    }
+    for (const auto &[Key, Begins] : Open)
+      for (size_t K : Begins)
+        Truncated[K] = true;
+
+    for (size_t K = 0; K < Count; ++K) {
+      size_t Slot = Start + K;
+      if (Slot >= R.Buf.size())
+        Slot -= R.Buf.size();
+      appendEvent(Out, Pid, R.Buf[Slot], Truncated[K], First);
     }
   }
 
@@ -241,8 +307,15 @@ struct EnvTracer {
 
   EnvTracer() {
     Recorder::instance();
-    if (const char *Env = std::getenv("PARCS_TRACE"))
-      Active = parseTraceSpec(Env, Spec);
+    if (const char *Env = std::getenv("PARCS_TRACE")) {
+      std::string BadToken;
+      Active = parseTraceSpec(Env, Spec, &BadToken);
+      if (!Active)
+        std::fprintf(stderr,
+                     "[parcs:trace] ignoring malformed PARCS_TRACE \"%s\": "
+                     "bad token \"%s\"\n",
+                     Env, BadToken.c_str());
+    }
     if (Active) {
       Recorder::instance().setCapacity(Spec.RingCapacity);
       detail::Enabled = true;
@@ -267,26 +340,28 @@ EnvTracer TheEnvTracer;
 //===----------------------------------------------------------------------===//
 
 void detail::recordComplete(int Node, int Tid, const char *Name,
-                            int64_t StartNs, int64_t DurNs) {
+                            int64_t StartNs, int64_t DurNs, uint64_t Ctx,
+                            uint64_t Parent) {
   Recorder::instance().record(
-      Node, {StartNs, DurNs, Name, Tid, EventKind::Complete});
+      Node, {StartNs, DurNs, Ctx, Parent, Name, Tid, EventKind::Complete});
 }
 
-void detail::recordInstant(int Node, int Tid, const char *Name, int64_t AtNs) {
-  Recorder::instance().record(Node,
-                              {AtNs, 0, Name, Tid, EventKind::Instant});
+void detail::recordInstant(int Node, int Tid, const char *Name, int64_t AtNs,
+                           uint64_t Ctx, uint64_t Parent) {
+  Recorder::instance().record(
+      Node, {AtNs, 0, Ctx, Parent, Name, Tid, EventKind::Instant});
 }
 
 void detail::recordCounter(int Node, const char *Name, int64_t AtNs,
                            int64_t Value) {
-  Recorder::instance().record(Node,
-                              {AtNs, Value, Name, 0, EventKind::Counter});
+  Recorder::instance().record(
+      Node, {AtNs, Value, 0, 0, Name, 0, EventKind::Counter});
 }
 
 void detail::recordAsync(int Node, const char *Name, int64_t AtNs, uint64_t Id,
-                         bool Begin) {
+                         bool Begin, uint64_t Ctx, uint64_t Parent) {
   Recorder::instance().record(
-      Node, {AtNs, static_cast<int64_t>(Id), Name, 0,
+      Node, {AtNs, static_cast<int64_t>(Id), Ctx, Parent, Name, 0,
              Begin ? EventKind::AsyncBegin : EventKind::AsyncEnd});
 }
 
@@ -317,9 +392,19 @@ bool writeJson(const std::string &Path) {
   return std::fclose(F) == 0;
 }
 
-void reset() { Recorder::instance().reset(); }
+void reset() {
+  Recorder::instance().reset();
+  detail::LastCausalId = 0;
+  detail::HandoffCtx = 0;
+}
 
-bool parseTraceSpec(std::string_view Spec, TraceSpec &Out) {
+bool parseTraceSpec(std::string_view Spec, TraceSpec &Out,
+                    std::string *BadToken) {
+  auto Fail = [&](std::string_view Token) {
+    if (BadToken)
+      *BadToken = std::string(Token);
+    return false;
+  };
   std::string_view Path = Spec;
   size_t Cap = TraceSpec{}.RingCapacity;
   if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
@@ -327,16 +412,16 @@ bool parseTraceSpec(std::string_view Spec, TraceSpec &Out) {
     std::string_view Rest = Spec.substr(Comma + 1);
     constexpr std::string_view Key = "cap=";
     if (Rest.substr(0, Key.size()) != Key)
-      return false;
+      return Fail(Rest);
     std::string Digits(Rest.substr(Key.size()));
     char *End = nullptr;
     unsigned long long N = std::strtoull(Digits.c_str(), &End, 10);
     if (Digits.empty() || *End != '\0' || N == 0)
-      return false;
+      return Fail(Rest);
     Cap = static_cast<size_t>(N);
   }
   if (Path.empty())
-    return false;
+    return Fail("<empty path>");
   Out.Path = std::string(Path);
   Out.RingCapacity = Cap;
   return true;

@@ -212,13 +212,18 @@ private:
 // Histogram edge cases.
 //===----------------------------------------------------------------------===//
 
-TEST(HistogramTest, EmptyReportsZero) {
+TEST(HistogramTest, EmptyReportsSentinel) {
   metrics::Histogram H;
   EXPECT_EQ(H.count(), 0u);
-  EXPECT_EQ(H.percentile(0), 0.0);
-  EXPECT_EQ(H.percentile(50), 0.0);
-  EXPECT_EQ(H.percentile(100), 0.0);
+  // No samples: every percentile is the documented sentinel, never a
+  // fabricated 0.0 (which is a legal sample value).
+  EXPECT_EQ(H.percentile(0), metrics::Histogram::EmptyPercentile);
+  EXPECT_EQ(H.percentile(50), metrics::Histogram::EmptyPercentile);
+  EXPECT_EQ(H.percentile(100), metrics::Histogram::EmptyPercentile);
+  EXPECT_LT(metrics::Histogram::EmptyPercentile, 0.0)
+      << "sentinel must be outside the clamped sample range";
   EXPECT_EQ(H.overflowCount(), 0u);
+  EXPECT_NE(H.str().find("no samples"), std::string::npos);
 }
 
 TEST(HistogramTest, SingleSampleIsExactEverywhere) {
@@ -354,6 +359,19 @@ TEST(SpecParsingTest, MetricsSpec) {
   EXPECT_FALSE(metrics::parseMetricsSpec("x,format=xml", S));
 }
 
+TEST(SpecParsingTest, MetricsSpecNamesBadToken) {
+  metrics::ReportSpec S;
+  std::string Bad;
+  EXPECT_FALSE(metrics::parseMetricsSpec("x,format=xml", S, &Bad));
+  EXPECT_EQ(Bad, "format=xml");
+  EXPECT_FALSE(metrics::parseMetricsSpec("", S, &Bad));
+  EXPECT_EQ(Bad, "<empty path>");
+  // A good spec must leave the out-param untouched.
+  Bad = "sentinel";
+  EXPECT_TRUE(metrics::parseMetricsSpec("run.json", S, &Bad));
+  EXPECT_EQ(Bad, "sentinel");
+}
+
 TEST(SpecParsingTest, TraceSpec) {
   trace::TraceSpec S;
   ASSERT_TRUE(trace::parseTraceSpec("out.trace.json", S));
@@ -368,6 +386,17 @@ TEST(SpecParsingTest, TraceSpec) {
   EXPECT_FALSE(trace::parseTraceSpec("t.json,cap=0", S));
   EXPECT_FALSE(trace::parseTraceSpec("t.json,cap=abc", S));
   EXPECT_FALSE(trace::parseTraceSpec("t.json,bogus=1", S));
+}
+
+TEST(SpecParsingTest, TraceSpecNamesBadToken) {
+  trace::TraceSpec S;
+  std::string Bad;
+  EXPECT_FALSE(trace::parseTraceSpec("t.json,cap=abc", S, &Bad));
+  EXPECT_EQ(Bad, "cap=abc");
+  EXPECT_FALSE(trace::parseTraceSpec("t.json,bogus=1", S, &Bad));
+  EXPECT_EQ(Bad, "bogus=1");
+  EXPECT_FALSE(trace::parseTraceSpec("", S, &Bad));
+  EXPECT_EQ(Bad, "<empty path>");
 }
 
 //===----------------------------------------------------------------------===//
@@ -587,6 +616,121 @@ TEST(TraceTest, RingOverwritesOldestAndKeepsExportValid) {
   // Only the 8 newest survive, oldest-first: 32*10ns..39*10ns.
   EXPECT_EQ(Instants, 8);
   EXPECT_EQ(FirstTs, 0.320); // 320 ns as microseconds.
+}
+
+TEST(TraceTest, RingWrapMidSpanMarksTruncated) {
+  trace::reset();
+  trace::setRingCapacity(8);
+  trace::setEnabled(true);
+  // The begin is evicted by the wrap; its end survives.  The exporter must
+  // mark the surviving half as truncated instead of letting a viewer show
+  // a span of unknown extent.
+  trace::asyncBegin(0, "span.lost_begin", 100, 1);
+  for (int I = 0; I < 10; ++I)
+    trace::instant(0, 0, "filler", 200 + I * 10);
+  trace::asyncEnd(0, "span.lost_begin", 400, 1);
+  // A fully-inside pair for contrast: must NOT be marked.
+  trace::asyncBegin(0, "span.whole", 500, 2);
+  trace::asyncEnd(0, "span.whole", 510, 2);
+  std::string Json = trace::exportJson();
+  trace::setEnabled(false);
+  trace::reset();
+  trace::setRingCapacity(size_t(1) << 16);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Json).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  int TruncatedEnds = 0, CleanPairs = 0;
+  for (const JsonValue &Ev : Events->Arr) {
+    const JsonValue *Ph = Ev.field("ph");
+    if (Ph->Str != "b" && Ph->Str != "e")
+      continue;
+    const JsonValue *Args = Ev.field("args");
+    bool Truncated = Args && Args->field("truncated") &&
+                     Args->field("truncated")->B;
+    if (Ev.field("name")->Str == "span.lost_begin") {
+      EXPECT_EQ(Ph->Str, "e") << "the begin should have been evicted";
+      EXPECT_TRUE(Truncated);
+      ++TruncatedEnds;
+    }
+    if (Ev.field("name")->Str == "span.whole") {
+      EXPECT_FALSE(Truncated);
+      ++CleanPairs;
+    }
+  }
+  EXPECT_EQ(TruncatedEnds, 1);
+  EXPECT_EQ(CleanPairs, 2);
+}
+
+TEST(TraceTest, CrossNodeAsyncIdsDoNotMerge) {
+  TraceSession Session;
+  // Two nodes using the same local async id for unrelated spans: the
+  // export must scope ids by pid so a viewer (or parcs-prof) never joins
+  // them into one span.
+  trace::asyncBegin(0, "work", 100, 42);
+  trace::asyncBegin(1, "work", 110, 42);
+  trace::asyncEnd(0, "work", 200, 42);
+  trace::asyncEnd(1, "work", 300, 42);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(trace::exportJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  std::set<std::string> Ids;
+  std::map<std::string, std::set<double>> PidsById;
+  for (const JsonValue &Ev : Events->Arr) {
+    const JsonValue *Ph = Ev.field("ph");
+    if (Ph->Str != "b" && Ph->Str != "e")
+      continue;
+    const JsonValue *Id = Ev.field("id");
+    ASSERT_NE(Id, nullptr);
+    ASSERT_EQ(Id->K, JsonValue::Kind::String);
+    Ids.insert(Id->Str);
+    PidsById[Id->Str].insert(Ev.field("pid")->Num);
+  }
+  EXPECT_EQ(Ids.size(), 2u) << "same local id on two nodes must stay distinct";
+  for (const auto &[Id, Pids] : PidsById)
+    EXPECT_EQ(Pids.size(), 1u) << "exported id " << Id << " spans pids";
+}
+
+TEST(TraceTest, CausalContextRidesInArgs) {
+  TraceSession Session;
+  uint64_t Parent = trace::mintCausalId();
+  uint64_t Child = trace::mintCausalId();
+  ASSERT_NE(Parent, 0u);
+  ASSERT_NE(Child, Parent);
+  trace::completeCtx(0, 0, "step", 100, 50, Child, Parent);
+  trace::instantCtx(0, 0, "mark", 160, Child, 0);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(trace::exportJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  int CtxEvents = 0;
+  for (const JsonValue &Ev : Events->Arr) {
+    const JsonValue *Args = Ev.field("args");
+    if (!Args || !Args->field("ctx"))
+      continue;
+    ++CtxEvents;
+    if (Ev.field("name")->Str == "step") {
+      EXPECT_EQ(Args->field("ctx")->Num, double(Child));
+      ASSERT_NE(Args->field("parent"), nullptr);
+      EXPECT_EQ(Args->field("parent")->Num, double(Parent));
+    }
+    if (Ev.field("name")->Str == "mark") {
+      EXPECT_EQ(Args->field("ctx")->Num, double(Child));
+      EXPECT_EQ(Args->field("parent"), nullptr) << "parent 0 is omitted";
+    }
+  }
+  EXPECT_EQ(CtxEvents, 2);
+}
+
+TEST(TraceTest, HandoffSlotIsOneShot) {
+  TraceSession Session;
+  trace::handoff(77);
+  EXPECT_EQ(trace::takeHandoff(), 77u);
+  EXPECT_EQ(trace::takeHandoff(), 0u) << "take must clear the slot";
 }
 
 } // namespace

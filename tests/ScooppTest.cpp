@@ -379,21 +379,47 @@ TEST(ScooppAggregationTest, ExplicitFlushShipsRemainder) {
 //===----------------------------------------------------------------------===//
 
 TEST(PackedCallsTest, RoundTrip) {
-  std::vector<Bytes> Calls = {{1, 2, 3}, {}, {9}};
+  std::vector<BufferedCall> Calls = {{Bytes{1, 2, 3}, 0},
+                                     {Bytes{}, 0},
+                                     {Bytes{9}, 0}};
   auto Back = decodePackedCalls(encodePackedCalls(Calls));
   ASSERT_TRUE(Back.hasValue());
   EXPECT_EQ(*Back, Calls);
 }
 
+TEST(PackedCallsTest, RoundTripWithContexts) {
+  // Mixed: some calls carry a causal id, some don't.
+  std::vector<BufferedCall> Calls = {{Bytes{1, 2, 3}, 41},
+                                     {Bytes{}, 0},
+                                     {Bytes{9}, 1'000'000'007}};
+  Bytes Encoded = encodePackedCalls(Calls);
+  auto Back = decodePackedCalls(Encoded);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Calls);
+  // The ctx-free encoding of the same arguments is strictly smaller --
+  // untraced runs keep the legacy byte format.
+  std::vector<BufferedCall> NoCtx = Calls;
+  for (BufferedCall &Call : NoCtx)
+    Call.Ctx = 0;
+  EXPECT_LT(encodePackedCalls(NoCtx).size(), Encoded.size());
+}
+
 TEST(PackedCallsTest, RejectsTruncated) {
-  std::vector<Bytes> Calls = {{1, 2, 3, 4, 5}};
+  std::vector<BufferedCall> Calls = {{Bytes{1, 2, 3, 4, 5}, 0}};
+  Bytes Encoded = encodePackedCalls(Calls);
+  Encoded.pop_back();
+  EXPECT_FALSE(decodePackedCalls(Encoded).hasValue());
+}
+
+TEST(PackedCallsTest, RejectsTruncatedContext) {
+  std::vector<BufferedCall> Calls = {{Bytes{1}, 7}};
   Bytes Encoded = encodePackedCalls(Calls);
   Encoded.pop_back();
   EXPECT_FALSE(decodePackedCalls(Encoded).hasValue());
 }
 
 TEST(PackedCallsTest, RejectsTrailingGarbage) {
-  Bytes Encoded = encodePackedCalls({{1}});
+  Bytes Encoded = encodePackedCalls({{Bytes{1}, 0}});
   Encoded.push_back(0xff);
   EXPECT_FALSE(decodePackedCalls(Encoded).hasValue());
 }
