@@ -16,12 +16,34 @@
 #include "prof/Prof.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace parcs::bench {
+
+/// The one blessed wall-clock in the tree (this header is on the
+/// determinism-wall-clock allowlist).  Benchmarks measure real elapsed time
+/// through it; everything else runs on virtual sim time, so wall time can
+/// never leak into simulated behaviour or exported artefacts.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction (or the last restart()).
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  void restart() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// True when --critical-path was passed: the bench should re-run one
 /// representative configuration with tracing on and print the causal

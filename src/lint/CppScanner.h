@@ -1,0 +1,105 @@
+//===- lint/CppScanner.h - Token scanner for C++ sources --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free token scanner for C++ sources, the front end of
+/// parcs-lint.  It follows the tokenizer architecture of parcgen/Lexer.*
+/// (single forward pass, explicit position/line tracking, trivia handled in
+/// one place) but differs in two ways the linter needs:
+///
+///  - comments are *surfaced*, not skipped: suppression directives
+///    (`// parcs-lint: allow(<rule>)`) and hot-region markers
+///    (`// PARCS_HOT_BEGIN` / `// PARCS_HOT_END`) live in comments;
+///  - it is deliberately lossy where a compiler front end cannot be:
+///    preprocessor directives collapse into one token, template brackets are
+///    plain punctuation, and no name lookup exists.  Rules are written as
+///    token-pattern heuristics on top (see LintRules in Lint.cpp).
+///
+/// The scanner never fails: unterminated constructs produce a token that
+/// runs to end of input, so the linter degrades gracefully on odd code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_LINT_CPPSCANNER_H
+#define PARCS_LINT_CPPSCANNER_H
+
+#include <string_view>
+#include <vector>
+
+namespace parcs::lint {
+
+enum class TokKind {
+  Identifier, ///< Identifiers and keywords alike (no keyword table needed).
+  Number,     ///< pp-number: 0x1f, 1'000, 1.5e-3, ...
+  String,     ///< "..." including raw strings; text keeps the quotes.
+  CharLit,    ///< '...'
+  Punct,      ///< One operator/punctuator ("::", "->", "(", "&", ...).
+  Directive,  ///< A whole preprocessor line (continuations folded in).
+  EndOfFile,
+};
+
+/// One scanned token.  \c Text views into the source buffer, which must
+/// outlive the token stream.
+struct CppToken {
+  TokKind Kind = TokKind::EndOfFile;
+  std::string_view Text;
+  int Line = 1;
+  int Col = 1;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Identifier && Text == S;
+  }
+  bool isPunct(std::string_view S) const {
+    return Kind == TokKind::Punct && Text == S;
+  }
+};
+
+/// One comment, surfaced separately from the token stream.
+struct CppComment {
+  std::string_view Text; ///< Without the // or /* */ markers, trimmed.
+  int Line = 1;          ///< Line the comment starts on.
+  int Col = 1;           ///< Column of the comment marker.
+  bool Block = false;    ///< True for /* */ comments.
+};
+
+/// Scans a whole buffer.  Tokens end with one EndOfFile entry; comments are
+/// collected in source order.
+class CppScanner {
+public:
+  explicit CppScanner(std::string_view Source) : Source(Source) {}
+
+  void scanAll(std::vector<CppToken> &Tokens,
+               std::vector<CppComment> &Comments);
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAhead(size_t N = 1) const {
+    return Pos + N < Source.size() ? Source[Pos + N] : '\0';
+  }
+  char advance();
+  /// Consumes whitespace and comments (appending to \p Comments); stops at
+  /// the first token character.
+  void skipTrivia(std::vector<CppComment> &Comments);
+  CppToken lexOne();
+  CppToken makeToken(TokKind Kind, size_t Begin, int Line, int Col) const;
+
+  void lexStringBody(char Quote);
+  void lexRawString();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  /// True until the first token of the current line is produced; a '#' seen
+  /// here starts a preprocessor directive.
+  bool AtLineStart = true;
+};
+
+} // namespace parcs::lint
+
+#endif // PARCS_LINT_CPPSCANNER_H

@@ -1,0 +1,920 @@
+//===- lint/Lint.cpp - Rule engine, suppressions, baseline, reports -------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "lint/CppScanner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace parcs;
+using namespace parcs::lint;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string_view trimView(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t' ||
+                        S.back() == '\r'))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool matchesAnyPrefix(std::string_view Path,
+                      const std::vector<std::string> &Prefixes) {
+  for (const std::string &P : Prefixes)
+    if (startsWith(Path, P))
+      return true;
+  return false;
+}
+
+bool isExactMatch(std::string_view Path,
+                  const std::vector<std::string> &Files) {
+  for (const std::string &F : Files)
+    if (Path == F)
+      return true;
+  return false;
+}
+
+/// A parsed PARCS_HOT region (inclusive line range; the marker comment lines
+/// themselves are inside the region, which is harmless -- they are comments).
+struct HotRegion {
+  int BeginLine = 0;
+  int EndLine = 0;
+  std::string Name;
+};
+
+/// Everything the rules need about one file, computed once.
+struct FileCtx {
+  std::string RelPath;
+  const LintConfig *Config = nullptr;
+  std::vector<CppToken> Toks;
+  std::vector<CppComment> Comments;
+  /// Line -> rules suppressed on that line via `// parcs-lint: allow(...)`.
+  std::map<int, std::set<std::string>> Suppressed;
+  std::vector<HotRegion> HotRegions;
+  std::vector<Finding> Findings;
+
+  const CppToken &tok(size_t I) const {
+    return I < Toks.size() ? Toks[I] : Toks.back(); // back() is EndOfFile
+  }
+
+  bool inHotRegion(int Line) const {
+    for (const HotRegion &R : HotRegions)
+      if (Line >= R.BeginLine && Line <= R.EndLine)
+        return true;
+    return false;
+  }
+
+  void report(const char *Rule, int Line, int Col, std::string Message) {
+    Finding F;
+    F.Rule = Rule;
+    F.File = RelPath;
+    F.Line = Line;
+    F.Col = Col;
+    F.Message = std::move(Message);
+    Findings.push_back(std::move(F));
+  }
+
+  void report(const char *Rule, const CppToken &At, std::string Message) {
+    report(Rule, At.Line, At.Col, std::move(Message));
+  }
+};
+
+/// True when no token starts on \p Line before column \p Col (i.e. a comment
+/// at (Line, Col) stands alone on its line and its directives apply to the
+/// *next* line).
+bool commentAloneOnLine(const FileCtx &Ctx, int Line, int Col) {
+  for (const CppToken &T : Ctx.Toks) {
+    if (T.Line > Line)
+      break; // Tokens are in source order.
+    if (T.Line == Line && T.Col < Col)
+      return false;
+  }
+  return true;
+}
+
+/// Line of the first token after \p Line -- the line a standalone directive
+/// comment applies to.  Skipping over intervening comment-only lines lets a
+/// justification span several comment lines.
+int nextCodeLine(const FileCtx &Ctx, int Line) {
+  for (const CppToken &T : Ctx.Toks)
+    if (T.Line > Line && !T.is(TokKind::EndOfFile))
+      return T.Line;
+  return Line + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Directive parsing: suppressions and PARCS_HOT regions
+//===----------------------------------------------------------------------===//
+
+void parseDirectives(FileCtx &Ctx) {
+  std::vector<std::pair<int, std::string>> OpenRegions; // (line, name)
+  for (const CppComment &C : Ctx.Comments) {
+    std::string_view T = C.Text;
+
+    if (startsWith(T, "parcs-lint:")) {
+      std::string_view Rest = trimView(T.substr(std::string_view("parcs-lint:").size()));
+      if (!startsWith(Rest, "allow(")) {
+        Ctx.report(rules::HotPathRegion, C.Line, C.Col,
+                   "malformed parcs-lint directive (expected "
+                   "'parcs-lint: allow(<rule>[, <rule>...])')");
+        continue;
+      }
+      size_t Close = Rest.find(')');
+      if (Close == std::string_view::npos) {
+        Ctx.report(rules::HotPathRegion, C.Line, C.Col,
+                   "unterminated parcs-lint allow(...) directive");
+        continue;
+      }
+      std::string_view List = Rest.substr(6, Close - 6);
+      int Target = commentAloneOnLine(Ctx, C.Line, C.Col)
+                       ? nextCodeLine(Ctx, C.Line)
+                       : C.Line;
+      while (!List.empty()) {
+        size_t Comma = List.find(',');
+        std::string_view Rule = trimView(List.substr(0, Comma));
+        if (!Rule.empty())
+          Ctx.Suppressed[Target].insert(std::string(Rule));
+        if (Comma == std::string_view::npos)
+          break;
+        List.remove_prefix(Comma + 1);
+      }
+      continue;
+    }
+
+    if (startsWith(T, "PARCS_HOT_BEGIN")) {
+      std::string Name;
+      std::string_view Rest = T.substr(std::string_view("PARCS_HOT_BEGIN").size());
+      if (startsWith(Rest, "(")) {
+        size_t Close = Rest.find(')');
+        if (Close != std::string_view::npos)
+          Name = std::string(trimView(Rest.substr(1, Close - 1)));
+      }
+      OpenRegions.emplace_back(C.Line, std::move(Name));
+      continue;
+    }
+
+    if (startsWith(T, "PARCS_HOT_END")) {
+      if (OpenRegions.empty()) {
+        Ctx.report(rules::HotPathRegion, C.Line, C.Col,
+                   "PARCS_HOT_END without a matching PARCS_HOT_BEGIN");
+        continue;
+      }
+      HotRegion R;
+      R.BeginLine = OpenRegions.back().first;
+      R.Name = std::move(OpenRegions.back().second);
+      R.EndLine = C.Line;
+      OpenRegions.pop_back();
+      Ctx.HotRegions.push_back(std::move(R));
+      continue;
+    }
+  }
+
+  for (const auto &[Line, Name] : OpenRegions)
+    Ctx.report(rules::HotPathRegion, Line, 1,
+               "PARCS_HOT_BEGIN" + (Name.empty() ? std::string() : "(" + Name + ")") +
+                   " is never closed with PARCS_HOT_END");
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: determinism-wall-clock
+//===----------------------------------------------------------------------===//
+
+/// Clock/randomness *types*: any mention is a finding (declaring a variable
+/// of such a type is already a determinism bug in waiting).
+constexpr std::string_view BannedClockTypes[] = {
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "random_device",
+};
+
+/// Clock/randomness *functions*: flagged when called (identifier directly
+/// followed by '('), either unqualified or std-qualified.  Member calls
+/// (`sim.time()`) are someone else's API and stay legal.
+constexpr std::string_view BannedClockCalls[] = {
+    "time",   "rand",          "srand",
+    "clock",  "gettimeofday",  "clock_gettime",
+    "timespec_get",
+};
+
+/// True when Toks[I] looks like a call of a banned *free* function: next
+/// token is '(' and the name is not a member access; `std::` qualification
+/// is banned, any other qualifier (`mylib::time`) is not ours to judge.
+bool isFreeFunctionCall(const FileCtx &Ctx, size_t I) {
+  if (!Ctx.tok(I + 1).isPunct("("))
+    return false;
+  if (I == 0)
+    return true;
+  const CppToken &Prev = Ctx.tok(I - 1);
+  if (Prev.isPunct(".") || Prev.isPunct("->"))
+    return false;
+  if (Prev.isPunct("::"))
+    return I >= 2 && Ctx.tok(I - 2).isIdent("std");
+  return true;
+}
+
+void checkWallClock(FileCtx &Ctx) {
+  if (isExactMatch(Ctx.RelPath, Ctx.Config->WallClockAllowedFiles))
+    return;
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    if (!T.is(TokKind::Identifier))
+      continue;
+    for (std::string_view Banned : BannedClockTypes) {
+      if (T.Text == Banned) {
+        Ctx.report(rules::WallClock, T,
+                   "'" + std::string(Banned) +
+                       "' breaks run-to-run determinism; use the simulation "
+                       "clock, or bench::WallTimer / support::Random from the "
+                       "allowlisted facades");
+        break;
+      }
+    }
+    for (std::string_view Banned : BannedClockCalls) {
+      if (T.Text == Banned && isFreeFunctionCall(Ctx, I)) {
+        Ctx.report(rules::WallClock, T,
+                   "call to '" + std::string(Banned) +
+                       "' reads ambient time/randomness and breaks "
+                       "determinism; use the simulation clock or "
+                       "support::Random");
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: determinism-unordered-iteration
+//===----------------------------------------------------------------------===//
+
+constexpr std::string_view UnorderedContainers[] = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+/// Given Toks[I] == '<', returns the index one past the matching '>'.  The
+/// scanner emits '>>' as one token, which closes two levels.
+size_t skipTemplateArgs(const FileCtx &Ctx, size_t I) {
+  int Depth = 0;
+  for (; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    if (T.isPunct("<"))
+      ++Depth;
+    else if (T.isPunct(">"))
+      --Depth;
+    else if (T.isPunct(">>"))
+      Depth -= 2;
+    else if (T.isPunct(";") || T.is(TokKind::EndOfFile))
+      return I; // Malformed / not a template after all; bail.
+    if (Depth <= 0)
+      return I + 1;
+  }
+  return I;
+}
+
+void checkUnorderedIteration(FileCtx &Ctx) {
+  if (!matchesAnyPrefix(Ctx.RelPath, Ctx.Config->UnorderedExportPrefixes))
+    return;
+
+  // Pass 1: names declared with an unordered container type anywhere in the
+  // file (locals, members, params).  Purely syntactic: a `using` alias of an
+  // unordered container is not traced through.
+  std::set<std::string, std::less<>> UnorderedVars;
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    bool IsContainer = false;
+    for (std::string_view C : UnorderedContainers)
+      IsContainer = IsContainer || T.isIdent(C);
+    if (!IsContainer || !Ctx.tok(I + 1).isPunct("<"))
+      continue;
+    size_t J = skipTemplateArgs(Ctx, I + 1);
+    while (Ctx.tok(J).isPunct("&") || Ctx.tok(J).isPunct("*"))
+      ++J;
+    if (Ctx.tok(J).is(TokKind::Identifier))
+      UnorderedVars.insert(std::string(Ctx.tok(J).Text));
+  }
+  if (UnorderedVars.empty())
+    return;
+
+  auto IsUnorderedVar = [&](const CppToken &T) {
+    return T.is(TokKind::Identifier) && UnorderedVars.count(T.Text) != 0;
+  };
+
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+
+    // Range-for whose range expression mentions an unordered container.
+    if (T.isIdent("for") && Ctx.tok(I + 1).isPunct("(")) {
+      int Depth = 0;
+      bool SawColon = false;
+      for (size_t J = I + 1; J < Ctx.Toks.size(); ++J) {
+        const CppToken &U = Ctx.Toks[J];
+        if (U.isPunct("("))
+          ++Depth;
+        else if (U.isPunct(")")) {
+          if (--Depth == 0)
+            break;
+        } else if (Depth == 1 && U.isPunct(":"))
+          SawColon = true;
+        else if (SawColon && Depth >= 1 && IsUnorderedVar(U)) {
+          Ctx.report(rules::UnorderedIteration, U,
+                     "range-for over unordered container '" +
+                         std::string(U.Text) +
+                         "' in export-producing code: iteration order is "
+                         "hash-dependent; copy to a vector and sort first");
+          break;
+        }
+      }
+    }
+
+    // Explicit iteration: Var.begin() / Var.cbegin() (also via ->).
+    if (IsUnorderedVar(T) &&
+        (Ctx.tok(I + 1).isPunct(".") || Ctx.tok(I + 1).isPunct("->")) &&
+        (Ctx.tok(I + 2).isIdent("begin") || Ctx.tok(I + 2).isIdent("cbegin")) &&
+        Ctx.tok(I + 3).isPunct("(")) {
+      Ctx.report(rules::UnorderedIteration, T,
+                 "iteration over unordered container '" + std::string(T.Text) +
+                     "' in export-producing code: iteration order is "
+                     "hash-dependent; copy to a vector and sort first");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: hot-path-alloc
+//===----------------------------------------------------------------------===//
+
+void checkHotPathAlloc(FileCtx &Ctx) {
+  if (Ctx.HotRegions.empty())
+    return;
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    if (!T.is(TokKind::Identifier) || !Ctx.inHotRegion(T.Line))
+      continue;
+
+    if (T.Text == "new") {
+      // `operator new` declarations are not allocations.
+      if (I > 0 && Ctx.tok(I - 1).isIdent("operator"))
+        continue;
+      Ctx.report(rules::HotPathAlloc, T,
+                 "'new' inside a PARCS_HOT region; hot paths must recycle "
+                 "(free list / preallocated pool)");
+      continue;
+    }
+    if (T.Text == "make_shared" || T.Text == "make_unique") {
+      Ctx.report(rules::HotPathAlloc, T,
+                 "'" + std::string(T.Text) +
+                     "' allocates inside a PARCS_HOT region");
+      continue;
+    }
+    if (T.Text == "function" && I >= 2 && Ctx.tok(I - 1).isPunct("::") &&
+        Ctx.tok(I - 2).isIdent("std")) {
+      Ctx.report(rules::HotPathAlloc, T,
+                 "std::function inside a PARCS_HOT region may heap-allocate "
+                 "on construction; use support::InlineFunction");
+      continue;
+    }
+    if (T.Text == "string" && I >= 2 && Ctx.tok(I - 1).isPunct("::") &&
+        Ctx.tok(I - 2).isIdent("std") &&
+        (Ctx.tok(I + 1).isPunct("(") || Ctx.tok(I + 1).isPunct("{"))) {
+      Ctx.report(rules::HotPathAlloc, T,
+                 "std::string temporary inside a PARCS_HOT region; use "
+                 "std::string_view or a preallocated buffer");
+      continue;
+    }
+    if (T.Text == "to_string" && Ctx.tok(I + 1).isPunct("(")) {
+      Ctx.report(rules::HotPathAlloc, T,
+                 "std::to_string allocates inside a PARCS_HOT region");
+      continue;
+    }
+    if ((T.Text == "malloc" || T.Text == "calloc" || T.Text == "realloc" ||
+         T.Text == "strdup") &&
+        Ctx.tok(I + 1).isPunct("(")) {
+      Ctx.report(rules::HotPathAlloc, T,
+                 "'" + std::string(T.Text) +
+                     "' inside a PARCS_HOT region");
+      continue;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: suspension-ref
+//===----------------------------------------------------------------------===//
+
+/// Tokens that may legally sit between the ')' of a parameter list and the
+/// '{' of the function body (cv/ref qualifiers, noexcept, trailing return
+/// types, attributes are collapsed into these kinds).
+bool isFunctionTailToken(const CppToken &T) {
+  if (T.is(TokKind::Identifier))
+    return true; // const, noexcept, override, final, type names...
+  return T.isPunct("::") || T.isPunct("<") || T.isPunct(">") ||
+         T.isPunct(">>") || T.isPunct(",") || T.isPunct("*") ||
+         T.isPunct("&") || T.isPunct("&&") || T.isPunct("->");
+}
+
+/// True when the '{' at Toks[I] opens a function (or lambda) body: walking
+/// back over tail tokens reaches the ')' of a parameter list within a small
+/// window.
+bool opensFunctionBody(const FileCtx &Ctx, size_t I) {
+  constexpr size_t MaxLookback = 32;
+  size_t Steps = 0;
+  while (I > 0 && Steps++ < MaxLookback) {
+    const CppToken &P = Ctx.tok(--I);
+    if (P.isPunct(")"))
+      return true;
+    if (!isFunctionTailToken(P))
+      return false;
+  }
+  return false;
+}
+
+/// Calls that suspend the enclosing coroutine (or hand control to the
+/// scheduler, after which other activities may run and invalidate
+/// references into shared state).
+bool isSuspensionPoint(const FileCtx &Ctx, size_t I) {
+  const CppToken &T = Ctx.Toks[I];
+  if (!T.is(TokKind::Identifier))
+    return false;
+  if (T.Text == "co_await" || T.Text == "co_yield")
+    return true;
+  if ((T.Text == "await" || T.Text == "yield" || T.Text == "scheduleResume" ||
+       T.Text == "suspend") &&
+      Ctx.tok(I + 1).isPunct("(")) {
+    // Member spellings (obj.yield()) count too; only std:: qualification of
+    // an unrelated function would be a false hit, and none of these live in
+    // std with these call shapes in this codebase.
+    return true;
+  }
+  return false;
+}
+
+struct RiskyDecl {
+  std::string Name;
+  int Depth = 0;        ///< Brace depth at declaration (for scope pop).
+  size_t DeclIndex = 0; ///< Token index of the declared name.
+  int Line = 0;
+  std::string What;     ///< "reference", "string_view", ...
+  bool Suspended = false;
+  bool Reported = false;
+};
+
+void scanFunctionBody(FileCtx &Ctx, size_t &I) {
+  // Toks[I] is the '{' opening the body.
+  int Depth = 0;
+  std::vector<RiskyDecl> Decls;
+
+  auto declare = [&](size_t NameIdx, const char *What) {
+    const CppToken &Name = Ctx.tok(NameIdx);
+    // Shadowing: the innermost declaration wins for subsequent uses.
+    RiskyDecl D;
+    D.Name = std::string(Name.Text);
+    D.Depth = Depth;
+    D.DeclIndex = NameIdx;
+    D.Line = Name.Line;
+    D.What = What;
+    Decls.push_back(std::move(D));
+  };
+
+  for (; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    if (T.is(TokKind::EndOfFile))
+      return;
+    if (T.isPunct("{")) {
+      ++Depth;
+      continue;
+    }
+    if (T.isPunct("}")) {
+      if (--Depth == 0)
+        return; // End of function body.
+      for (size_t D = Decls.size(); D-- > 0;)
+        if (Decls[D].Depth > Depth)
+          Decls.erase(Decls.begin() + static_cast<long>(D));
+      continue;
+    }
+
+    // Suspension point: everything risky declared so far is now suspect.
+    if (isSuspensionPoint(Ctx, I)) {
+      for (RiskyDecl &D : Decls)
+        D.Suspended = true;
+      continue;
+    }
+
+    // --- Declaration patterns -------------------------------------------
+
+    // `T &Name = ...` / `auto &&Name = ...` / `for (auto &Name : ...)`.
+    if ((T.isPunct("&") || T.isPunct("&&")) && I > 0) {
+      const CppToken &Prev = Ctx.tok(I - 1);
+      const CppToken &Name = Ctx.tok(I + 1);
+      const CppToken &After = Ctx.tok(I + 2);
+      if ((Prev.is(TokKind::Identifier) || Prev.isPunct(">")) &&
+          Name.is(TokKind::Identifier) &&
+          (After.isPunct("=") || After.isPunct(":"))) {
+        declare(I + 1, "reference");
+        I += 1; // Skip the name so it is not seen as a use.
+        continue;
+      }
+    }
+
+    // `string_view Name ...` (std::string_view / any *_view alias spelled
+    // literally).
+    if (T.isIdent("string_view") && Ctx.tok(I + 1).is(TokKind::Identifier)) {
+      const CppToken &After = Ctx.tok(I + 2);
+      if (After.isPunct("=") || After.isPunct(";") || After.isPunct("{") ||
+          After.isPunct("(") || After.isPunct(":")) {
+        declare(I + 1, "string_view");
+        I += 1;
+        continue;
+      }
+    }
+
+    // `span<...> Name`.
+    if (T.isIdent("span") && Ctx.tok(I + 1).isPunct("<")) {
+      size_t J = skipTemplateArgs(Ctx, I + 1);
+      if (Ctx.tok(J).is(TokKind::Identifier)) {
+        declare(J, "span");
+        I = J;
+        continue;
+      }
+    }
+
+    // `X::iterator Name` / `const_iterator Name`.
+    if ((T.isIdent("iterator") || T.isIdent("const_iterator")) &&
+        Ctx.tok(I + 1).is(TokKind::Identifier)) {
+      declare(I + 1, "iterator");
+      I += 1;
+      continue;
+    }
+
+    // `auto Name = <expr containing .begin()/.end()/.find(>;`.
+    if (T.isIdent("auto") && Ctx.tok(I + 1).is(TokKind::Identifier) &&
+        Ctx.tok(I + 2).isPunct("=")) {
+      constexpr size_t MaxExprTokens = 64;
+      for (size_t J = I + 3; J < I + 3 + MaxExprTokens && J < Ctx.Toks.size();
+           ++J) {
+        const CppToken &E = Ctx.Toks[J];
+        if (E.isPunct(";") || E.is(TokKind::EndOfFile))
+          break;
+        bool MemberAccess = Ctx.tok(J - 1).isPunct(".") ||
+                            Ctx.tok(J - 1).isPunct("->");
+        if (MemberAccess &&
+            (E.isIdent("begin") || E.isIdent("end") || E.isIdent("cbegin") ||
+             E.isIdent("cend") || E.isIdent("rbegin") || E.isIdent("rend") ||
+             E.isIdent("find")) &&
+            Ctx.tok(J + 1).isPunct("(")) {
+          declare(I + 1, "iterator");
+          I += 1;
+          break;
+        }
+      }
+      // Fall through: if not declared as risky, the name token is harmless.
+      continue;
+    }
+
+    // --- Use of a suspended risky local ---------------------------------
+    if (T.is(TokKind::Identifier)) {
+      for (size_t D = Decls.size(); D-- > 0;) {
+        RiskyDecl &Decl = Decls[D];
+        if (Decl.Name != T.Text || I == Decl.DeclIndex)
+          continue;
+        if (Decl.Suspended && !Decl.Reported) {
+          Decl.Reported = true;
+          // A suppression on the declaration line covers every later use:
+          // "this local refers to storage that is stable across
+          // suspensions" is a property of the declaration.
+          auto DeclSupp = Ctx.Suppressed.find(Decl.Line);
+          if (DeclSupp != Ctx.Suppressed.end() &&
+              DeclSupp->second.count(rules::SuspensionRef) != 0)
+            break;
+          char Buf[32];
+          std::snprintf(Buf, sizeof(Buf), "%d", Decl.Line);
+          Ctx.report(rules::SuspensionRef, T,
+                     Decl.What + " '" + Decl.Name + "' (declared line " +
+                         Buf +
+                         ") used after a suspension point; the storage it "
+                         "refers to may have moved or been freed while "
+                         "suspended");
+        }
+        break; // Innermost match decides.
+      }
+    }
+  }
+}
+
+void checkSuspensionRef(FileCtx &Ctx) {
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    if (Ctx.Toks[I].isPunct("{") && opensFunctionBody(Ctx, I))
+      scanFunctionBody(Ctx, I); // Advances I past the body.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: nonreentrant-call
+//===----------------------------------------------------------------------===//
+
+constexpr std::string_view NonreentrantFns[] = {
+    "strtok",
+    "gmtime",
+    "localtime",
+    "setenv",
+};
+
+void checkNonreentrant(FileCtx &Ctx) {
+  if (!matchesAnyPrefix(Ctx.RelPath, Ctx.Config->NonreentrantPrefixes))
+    return;
+  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
+    const CppToken &T = Ctx.Toks[I];
+    if (!T.is(TokKind::Identifier))
+      continue;
+    for (std::string_view Banned : NonreentrantFns) {
+      if (T.Text == Banned && isFreeFunctionCall(Ctx, I)) {
+        Ctx.report(rules::NonreentrantCall, T,
+                   "'" + std::string(Banned) +
+                       "' is non-reentrant (hidden static state) and unsafe "
+                       "with the thread pool; use a reentrant alternative");
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> &parcs::lint::allRules() {
+  static const std::vector<std::string> Rules = {
+      rules::WallClock,        rules::UnorderedIteration,
+      rules::HotPathAlloc,     rules::SuspensionRef,
+      rules::NonreentrantCall, rules::HotPathRegion,
+  };
+  return Rules;
+}
+
+bool Finding::operator<(const Finding &O) const {
+  if (File != O.File)
+    return File < O.File;
+  if (Line != O.Line)
+    return Line < O.Line;
+  if (Col != O.Col)
+    return Col < O.Col;
+  if (Rule != O.Rule)
+    return Rule < O.Rule;
+  return Message < O.Message;
+}
+
+bool Finding::operator==(const Finding &O) const {
+  return Rule == O.Rule && File == O.File && Line == O.Line && Col == O.Col &&
+         Message == O.Message;
+}
+
+std::vector<Finding> parcs::lint::lintSource(std::string_view RelPath,
+                                             std::string_view Source,
+                                             const LintConfig &Config) {
+  FileCtx Ctx;
+  Ctx.RelPath = std::string(RelPath);
+  Ctx.Config = &Config;
+  CppScanner Scanner(Source);
+  Scanner.scanAll(Ctx.Toks, Ctx.Comments);
+
+  parseDirectives(Ctx);
+
+  auto Enabled = [&](const char *Rule) {
+    return Config.DisabledRules.count(Rule) == 0;
+  };
+  if (Enabled(rules::WallClock))
+    checkWallClock(Ctx);
+  if (Enabled(rules::UnorderedIteration))
+    checkUnorderedIteration(Ctx);
+  if (Enabled(rules::HotPathAlloc))
+    checkHotPathAlloc(Ctx);
+  if (Enabled(rules::SuspensionRef))
+    checkSuspensionRef(Ctx);
+  if (Enabled(rules::NonreentrantCall))
+    checkNonreentrant(Ctx);
+  if (!Enabled(rules::HotPathRegion)) {
+    Ctx.Findings.erase(
+        std::remove_if(Ctx.Findings.begin(), Ctx.Findings.end(),
+                       [](const Finding &F) {
+                         return F.Rule == rules::HotPathRegion;
+                       }),
+        Ctx.Findings.end());
+  }
+
+  // Apply inline suppressions.
+  std::vector<Finding> Kept;
+  Kept.reserve(Ctx.Findings.size());
+  for (Finding &F : Ctx.Findings) {
+    auto It = Ctx.Suppressed.find(F.Line);
+    if (It != Ctx.Suppressed.end() && It->second.count(F.Rule) != 0)
+      continue;
+    Kept.push_back(std::move(F));
+  }
+  std::sort(Kept.begin(), Kept.end());
+  return Kept;
+}
+
+bool parcs::lint::lintFile(const std::string &AbsPath, std::string_view RelPath,
+                           const LintConfig &Config,
+                           std::vector<Finding> &FindingsOut,
+                           std::string &ErrorOut) {
+  std::ifstream In(AbsPath, std::ios::binary);
+  if (!In) {
+    ErrorOut = "cannot open '" + AbsPath + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+  std::vector<Finding> Found = lintSource(RelPath, Source, Config);
+  FindingsOut.insert(FindingsOut.end(), Found.begin(), Found.end());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline
+//===----------------------------------------------------------------------===//
+
+bool Baseline::Key::operator<(const Key &O) const {
+  if (File != O.File)
+    return File < O.File;
+  if (Line != O.Line)
+    return Line < O.Line;
+  return Rule < O.Rule;
+}
+
+Baseline Baseline::parse(std::string_view Text,
+                         std::vector<std::string> &Errors) {
+  Baseline B;
+  int LineNo = 0;
+  while (!Text.empty()) {
+    size_t Eol = Text.find('\n');
+    std::string_view Line = trimView(Text.substr(0, Eol));
+    Text.remove_prefix(Eol == std::string_view::npos ? Text.size() : Eol + 1);
+    ++LineNo;
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    size_t P1 = Line.find('|');
+    size_t P2 = P1 == std::string_view::npos ? std::string_view::npos
+                                             : Line.find('|', P1 + 1);
+    if (P2 == std::string_view::npos) {
+      Errors.push_back("baseline line " + std::to_string(LineNo) +
+                       ": expected '<rule>|<file>|<line>'");
+      continue;
+    }
+    Key K;
+    K.Rule = std::string(trimView(Line.substr(0, P1)));
+    K.File = std::string(trimView(Line.substr(P1 + 1, P2 - P1 - 1)));
+    std::string_view Num = trimView(Line.substr(P2 + 1));
+    K.Line = 0;
+    for (char C : Num) {
+      if (C < '0' || C > '9') {
+        K.Line = -1;
+        break;
+      }
+      K.Line = K.Line * 10 + (C - '0');
+    }
+    if (K.Rule.empty() || K.File.empty() || K.Line <= 0) {
+      Errors.push_back("baseline line " + std::to_string(LineNo) +
+                       ": expected '<rule>|<file>|<line>'");
+      continue;
+    }
+    B.Entries.insert(std::move(K));
+  }
+  return B;
+}
+
+std::string Baseline::write(const std::vector<Finding> &Findings) {
+  std::vector<Finding> Sorted = Findings;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out;
+  Out += "# parcs-lint baseline: grandfathered findings.\n";
+  Out += "# Format: <rule>|<file>|<line>.  Keep the one-line justification\n";
+  Out += "# comment above each entry up to date; entries are line-exact on\n";
+  Out += "# purpose, so moving grandfathered code forces a re-audit.\n";
+  for (const Finding &F : Sorted) {
+    Out += "\n# JUSTIFY: " + F.Message + "\n";
+    Out += F.Rule + "|" + F.File + "|" + std::to_string(F.Line) + "\n";
+  }
+  return Out;
+}
+
+bool Baseline::contains(const Finding &F) const {
+  Key K;
+  K.Rule = F.Rule;
+  K.File = F.File;
+  K.Line = F.Line;
+  return Entries.count(K) != 0;
+}
+
+void Baseline::add(const Finding &F) {
+  Key K;
+  K.Rule = F.Rule;
+  K.File = F.File;
+  K.Line = F.Line;
+  Entries.insert(std::move(K));
+}
+
+std::vector<Finding> parcs::lint::applyBaseline(
+    const std::vector<Finding> &Findings, const Baseline &B) {
+  std::vector<Finding> Kept;
+  Kept.reserve(Findings.size());
+  for (const Finding &F : Findings)
+    if (!B.contains(F))
+      Kept.push_back(F);
+  return Kept;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporters
+//===----------------------------------------------------------------------===//
+
+std::string parcs::lint::renderText(std::vector<Finding> Findings) {
+  std::sort(Findings.begin(), Findings.end());
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += F.File + ":" + std::to_string(F.Line) + ":" +
+           std::to_string(F.Col) + ": warning: [" + F.Rule + "] " + F.Message +
+           "\n";
+  }
+  if (Findings.empty())
+    Out += "parcs-lint: no findings\n";
+  else
+    Out += "parcs-lint: " + std::to_string(Findings.size()) + " finding" +
+           (Findings.size() == 1 ? "" : "s") + "\n";
+  return Out;
+}
+
+static void jsonEscape(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+std::string parcs::lint::renderJson(std::vector<Finding> Findings) {
+  std::sort(Findings.begin(), Findings.end());
+  std::string Out;
+  Out += "{\n  \"findings\": [";
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "    {\"rule\": \"";
+    jsonEscape(Out, F.Rule);
+    Out += "\", \"file\": \"";
+    jsonEscape(Out, F.File);
+    Out += "\", \"line\": " + std::to_string(F.Line);
+    Out += ", \"col\": " + std::to_string(F.Col);
+    Out += ", \"message\": \"";
+    jsonEscape(Out, F.Message);
+    Out += "\"}";
+  }
+  Out += Findings.empty() ? "]" : "\n  ]";
+  Out += ",\n  \"count\": " + std::to_string(Findings.size()) + "\n}\n";
+  return Out;
+}

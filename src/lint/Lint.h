@@ -1,0 +1,164 @@
+//===- lint/Lint.h - Determinism & hot-path invariant checker ---*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parcs-lint: a static analyzer that encodes this repository's two core
+/// invariants -- bit-for-bit deterministic runs and an allocation-free
+/// simulation hot path -- as machine-checked rules.  The test suite can
+/// only catch violations probabilistically (a stray wall-clock read changes
+/// the golden hash on *some* machines, an unordered-map export reorders on
+/// *some* standard libraries); the linter rejects them structurally.
+///
+/// Rules (see docs/static-analysis.md for the contract and examples):
+///   determinism-wall-clock        no wall clocks / ambient randomness
+///   determinism-unordered-iteration  no unordered-container iteration in
+///                                 export-producing code
+///   hot-path-alloc                no allocation inside PARCS_HOT regions
+///   suspension-ref                no reference/view/iterator locals used
+///                                 across a coroutine suspension
+///   nonreentrant-call             no non-reentrant libc calls in src/
+///   hot-path-region               PARCS_HOT_BEGIN/END pairing is sound
+///
+/// Findings are suppressed inline with
+///   // parcs-lint: allow(<rule>[, <rule>...]): <justification>
+/// on the offending line (or on the line above when the comment stands
+/// alone), or grandfathered through a committed baseline file.  The
+/// library is filesystem-free except for lintFile(); the CLI in
+/// tools/parcs_lint owns directory walking, so every rule is unit-testable
+/// on in-memory sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_LINT_LINT_H
+#define PARCS_LINT_LINT_H
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcs::lint {
+
+/// Stable rule identifiers (these strings appear in suppressions, baselines
+/// and reports; renaming one is a breaking change).
+namespace rules {
+inline constexpr const char *WallClock = "determinism-wall-clock";
+inline constexpr const char *UnorderedIteration =
+    "determinism-unordered-iteration";
+inline constexpr const char *HotPathAlloc = "hot-path-alloc";
+inline constexpr const char *SuspensionRef = "suspension-ref";
+inline constexpr const char *NonreentrantCall = "nonreentrant-call";
+/// Meta-rule: malformed PARCS_HOT region annotations (unclosed/unopened).
+inline constexpr const char *HotPathRegion = "hot-path-region";
+} // namespace rules
+
+/// All checkable rule names, in report order.
+const std::vector<std::string> &allRules();
+
+/// One finding.  File paths are repo-relative with '/' separators; Line and
+/// Col are 1-based.
+struct Finding {
+  std::string Rule;
+  std::string File;
+  int Line = 0;
+  int Col = 0;
+  std::string Message;
+
+  /// Stable ordering for reports: (file, line, col, rule, message).
+  bool operator<(const Finding &O) const;
+  bool operator==(const Finding &O) const;
+};
+
+/// Policy knobs.  Defaults encode this repository's layout; tests override
+/// them to exercise rules in isolation.
+struct LintConfig {
+  /// Files exempt from determinism-wall-clock (repo-relative paths).  These
+  /// are the two blessed wall-time/randomness facades.
+  std::vector<std::string> WallClockAllowedFiles = {
+      "bench/BenchUtil.h",
+      "src/support/Random.h",
+  };
+  /// Path prefixes whose files produce exports (traces, metrics, profiles,
+  /// wire bytes): unordered-container iteration order leaks into output
+  /// there, so it is flagged.
+  std::vector<std::string> UnorderedExportPrefixes = {
+      "src/support/Trace.",
+      "src/support/Metrics.",
+      "src/prof/",
+      "src/serial/",
+  };
+  /// Path prefixes where non-reentrant libc calls are banned.
+  std::vector<std::string> NonreentrantPrefixes = {"src/"};
+  /// Rules disabled wholesale (by name).  Empty by default.
+  std::set<std::string> DisabledRules;
+};
+
+/// Lints one in-memory source.  \p RelPath selects per-path rule policy and
+/// is copied into findings.  Inline suppressions are applied; baseline
+/// filtering is the caller's job (applyBaseline).
+std::vector<Finding> lintSource(std::string_view RelPath,
+                                std::string_view Source,
+                                const LintConfig &Config);
+
+/// Reads and lints one file.  Returns false (with \p ErrorOut set) when the
+/// file cannot be read.
+bool lintFile(const std::string &AbsPath, std::string_view RelPath,
+              const LintConfig &Config, std::vector<Finding> &FindingsOut,
+              std::string &ErrorOut);
+
+//===----------------------------------------------------------------------===//
+// Baseline
+//===----------------------------------------------------------------------===//
+
+/// Grandfathered findings.  Text format, one entry per line:
+///   <rule>|<file>|<line>
+/// '#' starts a comment; every entry must be preceded by a justification
+/// comment when written by writeBaseline.  Line numbers make entries
+/// brittle on purpose: moving grandfathered code forces a re-audit.
+class Baseline {
+public:
+  /// Parses baseline text.  Unparseable lines are reported in \p Errors
+  /// (the caller decides whether that is fatal).
+  static Baseline parse(std::string_view Text,
+                        std::vector<std::string> &Errors);
+
+  /// Serialises \p Findings as a fresh baseline, sorted, each entry
+  /// preceded by a justification stub comment carrying the message.
+  static std::string write(const std::vector<Finding> &Findings);
+
+  bool contains(const Finding &F) const;
+  size_t size() const { return Entries.size(); }
+  void add(const Finding &F);
+
+private:
+  struct Key {
+    std::string Rule;
+    std::string File;
+    int Line = 0;
+    bool operator<(const Key &O) const;
+  };
+  std::set<Key> Entries;
+};
+
+/// Removes findings present in \p B; returns the survivors (order kept).
+std::vector<Finding> applyBaseline(const std::vector<Finding> &Findings,
+                                   const Baseline &B);
+
+//===----------------------------------------------------------------------===//
+// Reporters
+//===----------------------------------------------------------------------===//
+
+/// "file:line:col: warning: [rule] message" lines plus a summary line.
+/// Findings are emitted in sorted order.
+std::string renderText(std::vector<Finding> Findings);
+
+/// Deterministic JSON: sorted findings, fixed key order, no whitespace
+/// variation -- byte-identical across runs on identical input.
+std::string renderJson(std::vector<Finding> Findings);
+
+} // namespace parcs::lint
+
+#endif // PARCS_LINT_LINT_H

@@ -15,7 +15,7 @@
 ///                   '{' method* '}' ';'?
 ///   method      ::= ('async' | 'sync')? type IDENT '(' params? ')' ';'
 ///   params      ::= param (',' param)*
-///   param       ::= type IDENT
+///   param       ::= 'ref'? type IDENT
 ///   type        ::= base-type ('[' ']')?
 ///   base-type   ::= 'void' | 'bool' | 'int' | 'long' | 'double'
 ///                 | 'string' | 'ref' '<' IDENT '>'
@@ -70,6 +70,10 @@ enum class MethodKind { Async, Sync };
 struct ParamDecl {
   TypeNode Type;
   std::string Name;
+  /// True for 'ref type name': C#-style by-ref intent.  ParC# marshals
+  /// every argument by copy, so sema flags the modifier (error on async
+  /// methods, warning on sync ones); codegen ignores it.
+  bool ByRef = false;
   SourceLocation Loc;
 };
 

@@ -18,6 +18,8 @@ std::string methodSignature(const MethodDecl &Method) {
   for (size_t I = 0; I < Method.Params.size(); ++I) {
     if (I)
       Sig += ", ";
+    if (Method.Params[I].ByRef)
+      Sig += "ref ";
     Sig += Method.Params[I].Type.str();
   }
   Sig += ")";
@@ -55,8 +57,8 @@ std::string parcs::pcc::dumpAst(const ModuleDecl &Module) {
          << "' '" << methodSignature(Method) << "' <" << Method.Loc.str()
          << ">\n";
       for (const ParamDecl &Param : Method.Params)
-        Os << "      ParamDecl '" << Param.Name << "' '" << Param.Type.str()
-           << "'\n";
+        Os << "      ParamDecl '" << Param.Name << "' '"
+           << (Param.ByRef ? "ref " : "") << Param.Type.str() << "'\n";
     }
   }
   return Os.str();

@@ -217,7 +217,18 @@ std::optional<MethodDecl> Parser::parseMethod() {
     do {
       ParamDecl Param;
       Param.Loc = Current.Loc;
-      std::optional<TypeNode> Type = parseType();
+      // 'ref' here is either the by-ref modifier ('ref int x') or the start
+      // of a ref<...> type ('ref<Worker> w'); only the next token tells.
+      bool ConsumedRef = false;
+      if (check(TokenKind::KwRef)) {
+        consume();
+        ConsumedRef = true;
+        if (!check(TokenKind::Less)) {
+          Param.ByRef = true;
+          ConsumedRef = false;
+        }
+      }
+      std::optional<TypeNode> Type = parseType(/*AfterRef=*/ConsumedRef);
       if (!Type)
         return std::nullopt;
       Param.Type = *Type;
@@ -236,9 +247,32 @@ std::optional<MethodDecl> Parser::parseMethod() {
   return Method;
 }
 
-std::optional<TypeNode> Parser::parseType() {
+std::optional<TypeNode> Parser::parseType(bool AfterRef) {
   TypeNode Type;
   Type.Loc = Current.Loc;
+  if (AfterRef) {
+    // The caller consumed 'ref' and saw '<': finish the ref<...> type.
+    Type.Kind = TypeKind::Ref;
+    if (!expect(TokenKind::Less, "after 'ref'"))
+      return std::nullopt;
+    std::optional<Token> Target =
+        expect(TokenKind::Identifier, "in ref<> target");
+    if (!Target)
+      return std::nullopt;
+    Type.RefClass = Target->Text;
+    if (!expect(TokenKind::Greater, "to close ref<>"))
+      return std::nullopt;
+    if (accept(TokenKind::LBracket)) {
+      if (!expect(TokenKind::RBracket, "to close the array type"))
+        return std::nullopt;
+      Type.IsArray = true;
+      if (check(TokenKind::LBracket)) {
+        Diags.error(Current.Loc, "nested array types are not supported");
+        return std::nullopt;
+      }
+    }
+    return Type;
+  }
   switch (Current.Kind) {
   case TokenKind::KwVoid:
     Type.Kind = TypeKind::Void;

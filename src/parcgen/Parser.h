@@ -44,7 +44,10 @@ private:
   std::optional<FieldDecl> parseField();
   std::optional<ClassDecl> parseParallelClass();
   std::optional<MethodDecl> parseMethod();
-  std::optional<TypeNode> parseType();
+  /// \p AfterRef: the caller already consumed a 'ref' token that turned out
+  /// to start a ref<...> type (one-token lookahead cannot distinguish the
+  /// by-ref parameter modifier from the type until it sees '<').
+  std::optional<TypeNode> parseType(bool AfterRef = false);
 
   Lexer Lex;
   DiagnosticEngine &Diags;

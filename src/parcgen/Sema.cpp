@@ -78,6 +78,34 @@ void checkPassiveClass(const ClassDecl &Class, const Scope &Names,
   }
 }
 
+/// C#-style 'ref' parameters: ParC# marshals every argument by copy (the
+/// paper's model moves data between parallel objects by value), so a by-ref
+/// parameter can never behave like one.  On an asynchronous method the call
+/// returns before the callee even runs -- the caller can never observe the
+/// mutation, so it is an error.  On a synchronous method the caller at least
+/// waits, so the intent is expressible another way (return the value) and we
+/// only warn.
+void checkByRefParam(const MethodDecl &Method, const ParamDecl &Param,
+                     DiagnosticEngine &Diags) {
+  if (!Param.ByRef)
+    return;
+  if (Method.Kind == MethodKind::Async)
+    Diags.error(Param.Loc,
+                "by-ref parameter '" + Param.Name +
+                    "' on asynchronous method '" + Method.Name +
+                    "': arguments are copied and the call returns "
+                    "immediately, so the callee's mutations are lost; "
+                    "pass by value, or make the method sync and return "
+                    "the updated value");
+  else
+    Diags.warning(Param.Loc,
+                  "by-ref parameter '" + Param.Name +
+                      "' on synchronous method '" + Method.Name +
+                      "' is marshalled by copy; the caller will not "
+                      "observe mutations -- return the updated value "
+                      "instead");
+}
+
 void checkMethod(const MethodDecl &Method, const Scope &Names,
                  DiagnosticEngine &Diags) {
   if (Method.ReturnType.isPassive())
@@ -103,10 +131,17 @@ void checkMethod(const MethodDecl &Method, const Scope &Names,
   std::set<std::string> ParamNames;
   for (const ParamDecl &Param : Method.Params) {
     checkType(Param.Type, Names, /*IsReturn=*/false, Diags);
+    checkByRefParam(Method, Param, Diags);
     if (!ParamNames.insert(Param.Name).second)
       Diags.error(Param.Loc, "duplicate parameter name '" + Param.Name +
                                  "' in method '" + Method.Name + "'");
   }
+}
+
+/// Records every class name a type mentions, for the unused-passive check.
+void noteTypeUse(const TypeNode &Type, std::set<std::string> &Used) {
+  if (!Type.RefClass.empty())
+    Used.insert(Type.RefClass);
 }
 
 } // namespace
@@ -168,5 +203,28 @@ bool parcs::pcc::analyzeModule(const ModuleDecl &Module,
       checkMethod(Method, Names, Diags);
     }
   }
+
+  // Pass 3: a passive class nothing refers to is dead weight -- it cannot
+  // participate in any call, so it is almost always a leftover or a typo in
+  // the type that was meant to use it.
+  std::set<std::string> Used;
+  for (const ClassDecl &Class : Module.Classes) {
+    if (!Class.Base.empty())
+      Used.insert(Class.Base);
+    for (const MethodDecl &Method : Class.Methods) {
+      noteTypeUse(Method.ReturnType, Used);
+      for (const ParamDecl &Param : Method.Params)
+        noteTypeUse(Param.Type, Used);
+    }
+    for (const FieldDecl &Field : Class.Fields)
+      noteTypeUse(Field.Type, Used);
+  }
+  for (const ClassDecl &Class : Module.Classes)
+    if (Class.IsPassive && !Used.count(Class.Name))
+      Diags.warning(Class.Loc,
+                    "passive class '" + Class.Name +
+                        "' is never used by any method, field or base in "
+                        "this module");
+
   return Diags.errorCount() == ErrorsBefore;
 }

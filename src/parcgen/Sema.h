@@ -16,7 +16,12 @@
 ///  - parameter and return types must be copyable passive data or
 ///    parallel-object references (ref<T> of a *declared* parallel class);
 ///  - class names are unique; base classes must be declared (parallel or
-///    extern) before use; methods are unique per class.
+///    extern) before use; methods are unique per class;
+///  - C#-style 'ref' parameters cannot work in a copy-marshalling model:
+///    on an async method the mutation is unobservable (error), on a sync
+///    method the value should be returned instead (warning);
+///  - a passive class no method, field or base ever mentions is dead and
+///    flagged with a warning.
 ///
 //===----------------------------------------------------------------------===//
 

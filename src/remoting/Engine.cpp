@@ -140,6 +140,9 @@ sim::SimTime RpcEndpoint::sideCost(size_t WireBytes) const {
                                     static_cast<double>(WireBytes));
 }
 
+// PARCS_HOT_BEGIN(wire-framing): once per RPC in each direction; framing
+// emits into reserved/reused buffers and unframing aliases the wire bytes.
+
 Bytes RpcEndpoint::frame(MsgKind Kind, std::string_view EnvelopeName,
                          const Bytes &Body, bool Response) const {
   if (!Profile.HttpFraming) {
@@ -189,6 +192,8 @@ ErrorOr<std::span<const uint8_t>> RpcEndpoint::unframe(const Bytes &Wire) const 
     return Error(ErrorCode::MalformedMessage, "http framing: short body");
   return std::span<const uint8_t>(Wire.data() + BodyStart, Length);
 }
+
+// PARCS_HOT_END
 
 ErrorOr<std::shared_ptr<CallHandler>>
 RpcEndpoint::resolveTarget(const std::string &Name) {
@@ -324,9 +329,13 @@ sim::Task<void> RpcEndpoint::callOneWay(int DstNode, int DstPort,
 }
 
 sim::Task<void> RpcEndpoint::dispatchLoop() {
+  // parcs-lint: allow(suspension-ref): the channel lives in Network's bind
+  // map, which is stable for the simulation's lifetime.
   sim::Channel<net::Message> &Inbox = Net.bind(Host.id(), Port);
   for (;;) {
     net::Message Msg = co_await Inbox.recv();
+    // parcs-lint: allow(suspension-ref): Content aliases Msg.Payload, which
+    // this frame owns and does not touch across the compute suspension.
     ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
     if (!Content || Content->empty()) {
       ++Stats.MalformedDropped;

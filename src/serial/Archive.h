@@ -27,6 +27,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -72,9 +73,16 @@ public:
     write(Bits);
   }
 
-  void write(const std::string &Value) {
+  void write(const std::string &Value) { write(std::string_view(Value)); }
+
+  /// Byte-identical to write(const std::string &) -- lets the envelope
+  /// encoders write names without materialising a std::string temporary.
+  /// Inserts via raw pointers: char iterators here trip a GCC 12
+  /// -Wstringop-overflow false positive when inlined into encodeValues.
+  void write(std::string_view Value) {
     write(static_cast<uint32_t>(Value.size()));
-    Buffer.insert(Buffer.end(), Value.begin(), Value.end());
+    const auto *Data = reinterpret_cast<const uint8_t *>(Value.data());
+    Buffer.insert(Buffer.end(), Data, Data + Value.size());
   }
 
   template <typename T> void write(const std::vector<T> &Values) {

@@ -34,6 +34,8 @@ const char *parcs::serial::wireFormatName(WireFormat Format) {
 static const char Base64Alphabet[] =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
+// PARCS_HOT_BEGIN(base64-encode): runs once per SOAP-framed message body.
+
 /// Core encoder appending to any container with push_back(char)/reserve
 /// (std::string for the public helper, Bytes for the envelope hot path).
 template <typename Container>
@@ -75,6 +77,8 @@ std::string parcs::serial::base64Encode(const Bytes &Data) {
 void parcs::serial::base64EncodeInto(const Bytes &Data, Bytes &Out) {
   base64EncodeImpl(Data, Out);
 }
+
+// PARCS_HOT_END
 
 static int base64Value(char C) {
   if (C >= 'A' && C <= 'Z')
@@ -141,12 +145,19 @@ constexpr uint32_t NetBinaryMagic = 0x4e424631; // "NBF1"
 constexpr uint16_t JavaStreamMagic = 0xaced;
 constexpr uint16_t JavaStreamVersion = 5;
 
+// PARCS_HOT_BEGIN(envelope-framing): the encoders run once per message on
+// the send path; they must append into the caller's reused buffer without
+// intermediate std::string temporaries.  (The decoders below are *not* hot:
+// remoting unframes zero-copy and only these fallbacks materialise copies.)
+
 void encodeMpiPackInto(const Bytes &Payload, Bytes &Out) {
   OutputArchive Archive(std::move(Out));
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
   Out = Archive.take();
 }
+
+// PARCS_HOT_END
 
 ErrorOr<Envelope> decodeMpiPack(const uint8_t *Data, size_t WireSize) {
   InputArchive Archive(Data, WireSize);
@@ -157,16 +168,18 @@ ErrorOr<Envelope> decodeMpiPack(const uint8_t *Data, size_t WireSize) {
   return Result;
 }
 
+// PARCS_HOT_BEGIN(envelope-framing)
 void encodeNetBinaryInto(std::string_view Name, const Bytes &Payload,
                          Bytes &Out) {
   OutputArchive Archive(std::move(Out));
   Archive.write(NetBinaryMagic);
   Archive.write(static_cast<uint8_t>(1)); // Formatter version.
-  Archive.write(std::string(Name));
+  Archive.write(Name);
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
   Out = Archive.take();
 }
+// PARCS_HOT_END
 
 ErrorOr<Envelope> decodeNetBinary(const uint8_t *Data, size_t WireSize) {
   InputArchive Archive(Data, WireSize);
@@ -184,6 +197,7 @@ ErrorOr<Envelope> decodeNetBinary(const uint8_t *Data, size_t WireSize) {
   return Result;
 }
 
+// PARCS_HOT_BEGIN(envelope-framing)
 void encodeJavaStreamInto(std::string_view Name, const Bytes &Payload,
                           Bytes &Out) {
   // The shape (not the exact bytes) of a Java serialisation stream: magic,
@@ -193,20 +207,24 @@ void encodeJavaStreamInto(std::string_view Name, const Bytes &Payload,
   Archive.write(JavaStreamMagic);
   Archive.write(JavaStreamVersion);
   Archive.write(static_cast<uint8_t>(0x72)); // TC_CLASSDESC
-  Archive.write(std::string(Name));
+  Archive.write(Name);
   Archive.write(static_cast<uint64_t>(0x123456789abcdef0ULL)); // suid
   Archive.write(static_cast<uint8_t>(0x02));                   // SC_SERIALIZABLE
   // A synthetic field table: RMI streams describe each field; we model a
   // fixed three-entry table naming payload/length/checksum.
   Archive.write(static_cast<uint16_t>(3));
-  Archive.write(std::string("payload"));
-  Archive.write(std::string("length"));
-  Archive.write(std::string("checksum"));
+  // string_view literals: the bool overload would otherwise capture a bare
+  // char* literal via pointer-to-bool conversion.
+  using namespace std::string_view_literals;
+  Archive.write("payload"sv);
+  Archive.write("length"sv);
+  Archive.write("checksum"sv);
   Archive.write(static_cast<uint8_t>(0x78)); // TC_ENDBLOCKDATA
   Archive.write(static_cast<uint32_t>(Payload.size()));
   Archive.writeRaw(Payload);
   Out = Archive.take();
 }
+// PARCS_HOT_END
 
 ErrorOr<Envelope> decodeJavaStream(const uint8_t *Data, size_t WireSize) {
   InputArchive Archive(Data, WireSize);
@@ -241,6 +259,7 @@ void appendText(Bytes &Out, std::string_view Text) {
   Out.insert(Out.end(), Text.begin(), Text.end());
 }
 
+// PARCS_HOT_BEGIN(envelope-framing)
 void encodeNetSoapInto(std::string_view Name, const Bytes &Payload,
                        Bytes &Out) {
   appendText(Out,
@@ -258,6 +277,7 @@ void encodeNetSoapInto(std::string_view Name, const Bytes &Payload,
   appendText(Out, "</SOAP-ENV:Body>\n");
   appendText(Out, "</SOAP-ENV:Envelope>\n");
 }
+// PARCS_HOT_END
 
 ErrorOr<Envelope> decodeNetSoap(const uint8_t *Data, size_t Size) {
   std::string_view Xml(reinterpret_cast<const char *>(Data), Size);
@@ -290,6 +310,7 @@ Bytes parcs::serial::encodeEnvelope(WireFormat Format, std::string_view Name,
   return Out;
 }
 
+// PARCS_HOT_BEGIN(envelope-framing)
 void parcs::serial::encodeEnvelopeInto(WireFormat Format,
                                        std::string_view Name,
                                        const Bytes &Payload, Bytes &Out) {
@@ -305,6 +326,7 @@ void parcs::serial::encodeEnvelopeInto(WireFormat Format,
   }
   PARCS_UNREACHABLE("unhandled WireFormat");
 }
+// PARCS_HOT_END
 
 ErrorOr<Envelope> parcs::serial::decodeEnvelope(WireFormat Format,
                                                 const Bytes &Wire) {

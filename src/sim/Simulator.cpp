@@ -66,12 +66,17 @@ size_t Simulator::firstOccupiedBucket(size_t From) const {
 
 Simulator::~Simulator() {
   setLogClock(PrevLogClock);
-  // Destroy coroutines that never finished (e.g. server dispatch loops).
-  // Copy first: destroying a frame may cascade into child Task destructors
-  // but never into LiveDetached mutation, since children are not detached.
-  std::vector<void *> Pending(LiveDetached.begin(), LiveDetached.end());
+  // Destroy coroutines that never finished (e.g. server dispatch loops) in
+  // spawn order, not hash order.  Copy first: destroying a frame may
+  // cascade into child Task destructors but never into LiveDetached
+  // mutation, since children are not detached.
+  std::vector<std::pair<uint64_t, void *>> Pending;
+  Pending.reserve(LiveDetached.size());
+  for (const auto &[Frame, Seq] : LiveDetached)
+    Pending.emplace_back(Seq, Frame);
   LiveDetached.clear();
-  for (void *Frame : Pending)
+  std::sort(Pending.begin(), Pending.end());
+  for (const auto &[Seq, Frame] : Pending)
     std::coroutine_handle<>::from_address(Frame).destroy();
   freeAllNodes();
   // Fold this run's scheduler counters into the end-of-run report.
@@ -114,12 +119,17 @@ void Simulator::freeAllNodes() {
   BucketedCount = PendingCount = 0;
 }
 
+// PARCS_HOT_BEGIN(calendar-queue-kernel): every event pays alloc/insert/
+// pop/execute once; a steady-state run must not allocate here.
+
 Simulator::EventNode *Simulator::allocNode(SimTime At, uint64_t Seq) {
   EventNode *Node = FreeList;
   if (Node) {
     FreeList = Node->NextFree;
     Node->NextFree = nullptr;
   } else {
+    // parcs-lint: allow(hot-path-alloc): free-list miss is the cold warm-up
+    // path; NodesAllocated counters + bench zero-alloc assert bound it.
     Node = new EventNode();
     ++Counters.NodesAllocated;
   }
@@ -279,7 +289,7 @@ void Simulator::spawn(Task<void> T) {
   assert(T.valid() && "spawning an empty task");
   auto Handle = T.release();
   Handle.promise().DetachedIn = this;
-  LiveDetached.insert(Handle.address());
+  LiveDetached.emplace(Handle.address(), NextDetachSeq++);
   scheduleResumeAt(Now, Handle);
 }
 
@@ -314,6 +324,8 @@ bool Simulator::step() {
   execute(Node);
   return true;
 }
+
+// PARCS_HOT_END
 
 /// Passive observation only (never schedules), so the event stream -- and
 /// the determinism golden hash -- is identical with tracing on or off.

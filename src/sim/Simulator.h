@@ -50,7 +50,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <type_traits>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace parcs::sim {
@@ -91,6 +91,9 @@ public:
   /// Number of events executed so far.
   uint64_t eventsProcessed() const { return EventCount; }
 
+  // PARCS_HOT_BEGIN(schedule-inline): the inline half of the kernel; the
+  // callable must be emplaced straight into a recycled node.
+
   /// Schedules \p Fn to run \p Delay after the current time.
   template <typename F> void schedule(SimTime Delay, F &&Fn) {
     scheduleAt(Now + Delay, std::forward<F>(Fn));
@@ -122,6 +125,8 @@ public:
 
   /// Absolute-time variant of scheduleResume.
   void scheduleResumeAt(SimTime At, std::coroutine_handle<> Handle);
+
+  // PARCS_HOT_END
 
   /// Detaches \p T and starts it from the event loop at the current time.
   /// The coroutine frame self-destroys on completion or, if still pending,
@@ -266,8 +271,12 @@ private:
   /// the time source; restored on destruction (simulators nest in tests).
   LogClock PrevLogClock;
 
-  /// Frames of detached coroutines still alive; destroyed in ~Simulator.
-  std::unordered_set<void *> LiveDetached;
+  /// Frames of detached coroutines still alive, keyed to their spawn order.
+  /// ~Simulator destroys them in spawn order (sorted by the value), so
+  /// teardown side effects -- child Task destructors, logging -- are
+  /// deterministic instead of following the hash layout.
+  std::unordered_map<void *, uint64_t> LiveDetached;
+  uint64_t NextDetachSeq = 0;
 };
 
 } // namespace parcs::sim

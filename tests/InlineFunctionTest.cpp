@@ -30,7 +30,7 @@ using Fn = InlineFunction<int(), 64>;
 template <size_t PayloadBytes> struct Sized {
   static int Live;
   static int Destroyed;
-  std::array<unsigned char, PayloadBytes> Payload;
+  std::array<unsigned char, PayloadBytes> Payload{};
 
   Sized() { ++Live; }
   Sized(const Sized &Other) : Payload(Other.Payload) { ++Live; }

@@ -1,0 +1,367 @@
+//===- tests/LintTest.cpp - parcs-lint analyzer tests ---------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/CppScanner.h"
+#include "lint/Lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace parcs::lint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Lints a fixture under tests/lint/.  \p RelPath doubles as the path used
+/// for per-path rule policy, so fixtures live in a miniature repo layout
+/// (src/..., src/serial/...).
+std::vector<Finding> lintFixture(const std::string &RelPath,
+                                 const LintConfig &Config = LintConfig()) {
+  std::string Abs = std::string(PARCS_LINT_FIXTURE_DIR) + "/" + RelPath;
+  std::vector<Finding> Findings;
+  std::string Error;
+  EXPECT_TRUE(lintFile(Abs, RelPath, Config, Findings, Error)) << Error;
+  return Findings;
+}
+
+bool hasFinding(const std::vector<Finding> &Findings, const std::string &Rule,
+                int Line) {
+  for (const Finding &F : Findings)
+    if (F.Rule == Rule && F.Line == Line)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Scanner
+//===----------------------------------------------------------------------===//
+
+TEST(CppScannerTest, TokensAndComments) {
+  CppScanner Scanner("int x = 42; // trailing\n/* block */ x += 2;\n");
+  std::vector<CppToken> Toks;
+  std::vector<CppComment> Comments;
+  Scanner.scanAll(Toks, Comments);
+
+  ASSERT_GE(Toks.size(), 9u);
+  EXPECT_TRUE(Toks[0].isIdent("int"));
+  EXPECT_TRUE(Toks[1].isIdent("x"));
+  EXPECT_TRUE(Toks[2].isPunct("="));
+  EXPECT_EQ(Toks[3].Kind, TokKind::Number);
+  EXPECT_EQ(Toks[3].Text, "42");
+  EXPECT_TRUE(Toks[4].isPunct(";"));
+  EXPECT_TRUE(Toks[6].isPunct("+="));
+
+  ASSERT_EQ(Comments.size(), 2u);
+  EXPECT_EQ(Comments[0].Text, "trailing");
+  EXPECT_FALSE(Comments[0].Block);
+  EXPECT_EQ(Comments[0].Line, 1);
+  EXPECT_EQ(Comments[1].Text, "block");
+  EXPECT_TRUE(Comments[1].Block);
+  EXPECT_EQ(Comments[1].Line, 2);
+}
+
+TEST(CppScannerTest, RawStringsAndDirectives) {
+  CppScanner Scanner("#include <map>\n"
+                     "auto S = R\"(has // no comment)\";\n"
+                     "#define WIDE \\\n  1\n"
+                     "int y;\n");
+  std::vector<CppToken> Toks;
+  std::vector<CppComment> Comments;
+  Scanner.scanAll(Toks, Comments);
+
+  EXPECT_TRUE(Comments.empty()) << "raw string must not open a comment";
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Directive);
+  // The continued #define collapses to one directive token on line 3.
+  bool SawDefine = false;
+  for (const CppToken &T : Toks)
+    if (T.Kind == TokKind::Directive && T.Line == 3)
+      SawDefine = true;
+  EXPECT_TRUE(SawDefine);
+  // 'y' survives after the continued directive.
+  bool SawY = false;
+  for (const CppToken &T : Toks)
+    if (T.isIdent("y"))
+      SawY = true;
+  EXPECT_TRUE(SawY);
+}
+
+TEST(CppScannerTest, MalformedInputDoesNotThrow) {
+  CppScanner Scanner("\"unterminated\n/* unterminated block\nchar c = '");
+  std::vector<CppToken> Toks;
+  std::vector<CppComment> Comments;
+  EXPECT_NO_THROW(Scanner.scanAll(Toks, Comments));
+  ASSERT_FALSE(Toks.empty());
+  EXPECT_EQ(Toks.back().Kind, TokKind::EndOfFile);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixture goldens: each fixture's rendered report is compared byte-for-byte
+// against a committed expected file.
+//===----------------------------------------------------------------------===//
+
+void expectGolden(const std::string &FixtureRel, const std::string &Expected) {
+  std::vector<Finding> Findings = lintFixture(FixtureRel);
+  std::string Golden = readWholeFile(std::string(PARCS_LINT_FIXTURE_DIR) +
+                                     "/expected/" + Expected);
+  EXPECT_EQ(renderText(Findings), Golden) << "fixture " << FixtureRel;
+}
+
+TEST(LintGoldenTest, WallClock) {
+  expectGolden("src/wall_clock.cpp", "wall_clock.txt");
+}
+
+TEST(LintGoldenTest, UnorderedIteration) {
+  expectGolden("src/serial/unordered_iter.cpp", "unordered_iter.txt");
+}
+
+TEST(LintGoldenTest, HotPathAlloc) {
+  expectGolden("src/hot_alloc.cpp", "hot_alloc.txt");
+}
+
+TEST(LintGoldenTest, SuspensionRef) {
+  expectGolden("src/suspension_ref.cpp", "suspension_ref.txt");
+}
+
+TEST(LintGoldenTest, Nonreentrant) {
+  expectGolden("src/nonreentrant.cpp", "nonreentrant.txt");
+}
+
+//===----------------------------------------------------------------------===//
+// Rule behaviour on fixtures (independent of exact message wording)
+//===----------------------------------------------------------------------===//
+
+TEST(LintRuleTest, WallClockFiresAndSuppresses) {
+  std::vector<Finding> Findings = lintFixture("src/wall_clock.cpp");
+  EXPECT_TRUE(hasFinding(Findings, rules::WallClock, 18)); // steady_clock
+  EXPECT_TRUE(hasFinding(Findings, rules::WallClock, 23)); // std::time
+  EXPECT_TRUE(hasFinding(Findings, rules::WallClock, 24)); // rand()
+  EXPECT_FALSE(hasFinding(Findings, rules::WallClock, 10)) // suppressed decl
+      << "declaration-line suppression must hold";
+  EXPECT_FALSE(hasFinding(Findings, rules::WallClock, 26)); // member call
+  EXPECT_FALSE(hasFinding(Findings, rules::WallClock, 27)); // mylib::time
+  EXPECT_FALSE(hasFinding(Findings, rules::WallClock, 33)); // suppressed
+}
+
+TEST(LintRuleTest, WallClockAllowlistedFileIsExempt) {
+  LintConfig Config;
+  Config.WallClockAllowedFiles = {"src/wall_clock.cpp"};
+  std::vector<Finding> Findings = lintFixture("src/wall_clock.cpp", Config);
+  for (const Finding &F : Findings)
+    EXPECT_NE(F.Rule, rules::WallClock) << "allowlisted file at line "
+                                        << F.Line;
+}
+
+TEST(LintRuleTest, UnorderedIterationFiresOnlyUnderExportPrefixes) {
+  std::vector<Finding> Findings =
+      lintFixture("src/serial/unordered_iter.cpp");
+  EXPECT_TRUE(hasFinding(Findings, rules::UnorderedIteration, 10)); // range-for
+  EXPECT_TRUE(hasFinding(Findings, rules::UnorderedIteration, 17)); // begin()
+  EXPECT_FALSE(hasFinding(Findings, rules::UnorderedIteration, 23)); // find()
+  EXPECT_FALSE(hasFinding(Findings, rules::UnorderedIteration, 32)); // allowed
+  EXPECT_FALSE(hasFinding(Findings, rules::UnorderedIteration, 34)); // std::map
+
+  // The same source outside an export prefix is clean.
+  std::string Source = readWholeFile(std::string(PARCS_LINT_FIXTURE_DIR) +
+                                     "/src/serial/unordered_iter.cpp");
+  std::vector<Finding> Elsewhere =
+      lintSource("src/sim/unordered_iter.cpp", Source, LintConfig());
+  for (const Finding &F : Elsewhere)
+    EXPECT_NE(F.Rule, rules::UnorderedIteration);
+}
+
+TEST(LintRuleTest, HotPathAllocFiresOnlyInsideRegions) {
+  std::vector<Finding> Findings = lintFixture("src/hot_alloc.cpp");
+  EXPECT_FALSE(hasFinding(Findings, rules::HotPathAlloc, 7)); // cold
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathAlloc, 14)); // new
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathAlloc, 15)); // make_shared
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathAlloc, 16)); // std::function
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathAlloc, 17)); // string temp
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathAlloc, 18)); // to_string
+  EXPECT_FALSE(hasFinding(Findings, rules::HotPathAlloc, 27)); // suppressed
+  EXPECT_TRUE(hasFinding(Findings, rules::HotPathRegion, 35)); // unclosed
+}
+
+TEST(LintRuleTest, SuspensionRefFiresAtUseSite) {
+  std::vector<Finding> Findings = lintFixture("src/suspension_ref.cpp");
+  EXPECT_TRUE(hasFinding(Findings, rules::SuspensionRef, 27)); // reference
+  EXPECT_TRUE(hasFinding(Findings, rules::SuspensionRef, 33)); // string_view
+  EXPECT_TRUE(hasFinding(Findings, rules::SuspensionRef, 39)); // iterator
+  EXPECT_FALSE(hasFinding(Findings, rules::SuspensionRef, 44)) // use before
+      << "use before the suspension point is safe";
+  EXPECT_FALSE(hasFinding(Findings, rules::SuspensionRef, 52)) // decl after
+      << "declaration after the suspension point is safe";
+  EXPECT_FALSE(hasFinding(Findings, rules::SuspensionRef, 60)) // suppressed
+      << "declaration-site suppression must cover the later use";
+}
+
+TEST(LintRuleTest, NonreentrantFiresOnlyUnderSrc) {
+  std::vector<Finding> Findings = lintFixture("src/nonreentrant.cpp");
+  EXPECT_FALSE(hasFinding(Findings, rules::NonreentrantCall, 10)) // decl
+      << "declaration-line suppression must hold";
+  EXPECT_TRUE(hasFinding(Findings, rules::NonreentrantCall, 14)); // strtok
+  EXPECT_FALSE(hasFinding(Findings, rules::NonreentrantCall, 16)); // member
+  EXPECT_TRUE(hasFinding(Findings, rules::NonreentrantCall, 21)); // gmtime
+  EXPECT_TRUE(hasFinding(Findings, rules::NonreentrantCall, 22)); // localtime
+  EXPECT_TRUE(hasFinding(Findings, rules::NonreentrantCall, 27)); // setenv
+  EXPECT_FALSE(hasFinding(Findings, rules::NonreentrantCall, 32)); // allowed
+
+  // The same source under bench/ is out of scope for the rule.
+  std::string Source = readWholeFile(std::string(PARCS_LINT_FIXTURE_DIR) +
+                                     "/src/nonreentrant.cpp");
+  std::vector<Finding> Bench =
+      lintSource("bench/nonreentrant.cpp", Source, LintConfig());
+  for (const Finding &F : Bench)
+    EXPECT_NE(F.Rule, rules::NonreentrantCall);
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression semantics
+//===----------------------------------------------------------------------===//
+
+TEST(LintSuppressionTest, SameLineAndNextCodeLine) {
+  LintConfig Config;
+  std::string Source = "int a = rand(); // parcs-lint: allow("
+                       "determinism-wall-clock): same line.\n"
+                       "// parcs-lint: allow(determinism-wall-clock): next\n"
+                       "// line, with a justification that keeps going.\n"
+                       "int b = rand();\n"
+                       "int c = rand();\n";
+  std::vector<Finding> Findings = lintSource("src/x.cpp", Source, Config);
+  ASSERT_EQ(Findings.size(), 1u) << renderText(Findings);
+  EXPECT_EQ(Findings[0].Line, 5) << "only the unsuppressed call survives";
+}
+
+TEST(LintSuppressionTest, MultiRuleSuppression) {
+  std::string Source =
+      "// parcs-lint: allow(determinism-wall-clock, nonreentrant-call): x.\n"
+      "int a = rand() + (setenv(\"K\", \"V\", 1));\n";
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", Source, LintConfig());
+  EXPECT_TRUE(Findings.empty()) << renderText(Findings);
+}
+
+TEST(LintSuppressionTest, MalformedDirectiveIsItselfAFinding) {
+  std::string Source = "// parcs-lint: allow(\n"
+                       "int a = 1;\n";
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", Source, LintConfig());
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Rule, rules::HotPathRegion);
+}
+
+TEST(LintSuppressionTest, DisabledRuleReportsNothing) {
+  LintConfig Config;
+  Config.DisabledRules.insert(rules::WallClock);
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", "int a = rand();\n", Config);
+  EXPECT_TRUE(Findings.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline
+//===----------------------------------------------------------------------===//
+
+TEST(LintBaselineTest, RoundTrip) {
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", "int a = rand();\nint b = rand();\n",
+                 LintConfig());
+  ASSERT_EQ(Findings.size(), 2u);
+
+  std::string Text = Baseline::write(Findings);
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse(Text, Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_TRUE(applyBaseline(Findings, B).empty())
+      << "a freshly written baseline must absorb its own findings";
+}
+
+TEST(LintBaselineTest, LineExactOnPurpose) {
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", "int a = rand();\n", LintConfig());
+  ASSERT_EQ(Findings.size(), 1u);
+  Baseline B;
+  Finding Moved = Findings[0];
+  Moved.Line += 1; // grandfathered code moved: entry must stop matching
+  B.add(Moved);
+  EXPECT_EQ(applyBaseline(Findings, B).size(), 1u);
+}
+
+TEST(LintBaselineTest, MalformedLinesAreReported) {
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse("# a comment\n"
+                               "determinism-wall-clock|src/a.cpp|12\n"
+                               "not-an-entry\n"
+                               "rule|file|not-a-number\n",
+                               Errors);
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_EQ(Errors.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reporters
+//===----------------------------------------------------------------------===//
+
+TEST(LintReportTest, TextFormat) {
+  std::vector<Finding> Findings =
+      lintSource("src/x.cpp", "int a = rand();\n", LintConfig());
+  ASSERT_EQ(Findings.size(), 1u);
+  std::string Text = renderText(Findings);
+  EXPECT_NE(Text.find("src/x.cpp:1:"), std::string::npos);
+  EXPECT_NE(Text.find("[determinism-wall-clock]"), std::string::npos);
+  EXPECT_NE(Text.find("parcs-lint: 1 finding\n"), std::string::npos);
+  EXPECT_EQ(renderText({}), "parcs-lint: no findings\n");
+}
+
+TEST(LintReportTest, JsonIsByteIdenticalAcrossRuns) {
+  std::string Source = readWholeFile(std::string(PARCS_LINT_FIXTURE_DIR) +
+                                     "/src/hot_alloc.cpp");
+  std::string A =
+      renderJson(lintSource("src/hot_alloc.cpp", Source, LintConfig()));
+  std::string B =
+      renderJson(lintSource("src/hot_alloc.cpp", Source, LintConfig()));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("\"count\":"), std::string::npos);
+  EXPECT_NE(A.find("\"rule\":"), std::string::npos);
+}
+
+TEST(LintReportTest, JsonEscapesControlCharacters) {
+  std::vector<Finding> Findings;
+  Findings.push_back(
+      {rules::WallClock, "src/\"odd\".cpp", 1, 1, "tab\there\nline"});
+  std::string Json = renderJson(Findings);
+  EXPECT_NE(Json.find("\\\"odd\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\\t"), std::string::npos);
+  EXPECT_NE(Json.find("\\n"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Findings ordering
+//===----------------------------------------------------------------------===//
+
+TEST(LintOrderTest, FindingsAreSorted) {
+  std::vector<Finding> Findings = lintFixture("src/hot_alloc.cpp");
+  for (size_t I = 1; I < Findings.size(); ++I)
+    EXPECT_FALSE(Findings[I] < Findings[I - 1])
+        << "findings must come back sorted";
+}
+
+} // namespace

@@ -207,6 +207,9 @@ TEST(NetPropertyTest, DisjointPairsDoNotInterfere) {
     Network Net(Sim, 4);
     size_t Size = 200 * 1000;
     SimTime DoneA;
+    // DoneB must outlive Sim.run(): the drain coroutine writes to it when
+    // the transfer lands, long after the if-block below has exited.
+    SimTime DoneB;
     struct Drain {
       static Task<void> run(Channel<Message> &Port, Simulator &Sim,
                             SimTime &Done) {
@@ -217,7 +220,6 @@ TEST(NetPropertyTest, DisjointPairsDoNotInterfere) {
     Sim.spawn(Drain::run(Net.bind(1, 1), Sim, DoneA));
     Net.send(0, 1, 1, std::vector<uint8_t>(Size, 1));
     if (Both) {
-      SimTime DoneB;
       Sim.spawn(Drain::run(Net.bind(3, 1), Sim, DoneB));
       Net.send(2, 3, 1, std::vector<uint8_t>(Size, 2));
     }

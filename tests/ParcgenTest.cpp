@@ -155,6 +155,30 @@ TEST(PccParserTest, TypeRendering) {
   EXPECT_EQ(Params[2].Type.cppType(), "std::string");
 }
 
+TEST(PccParserTest, ParsesByRefParamModifier) {
+  ModuleDecl M =
+      parseOk("parallel class A { sync int fill(ref int x, int y); }");
+  const auto &Params = M.Classes[0].Methods[0].Params;
+  ASSERT_EQ(Params.size(), 2u);
+  EXPECT_TRUE(Params[0].ByRef);
+  EXPECT_EQ(Params[0].Type.Kind, TypeKind::Int);
+  EXPECT_FALSE(Params[1].ByRef);
+}
+
+TEST(PccParserTest, ByRefModifierDisambiguatesFromRefType) {
+  // 'ref<A> w' is a type, 'ref ref<A> v' is the modifier plus a type; one
+  // token of lookahead past 'ref' decides.
+  ModuleDecl M = parseOk("parallel class A { sync int f(ref<A> w); "
+                         "sync int g(ref ref<A> v); }");
+  const auto &W = M.Classes[0].Methods[0].Params[0];
+  EXPECT_FALSE(W.ByRef);
+  EXPECT_EQ(W.Type.Kind, TypeKind::Ref);
+  const auto &V = M.Classes[0].Methods[1].Params[0];
+  EXPECT_TRUE(V.ByRef);
+  EXPECT_EQ(V.Type.Kind, TypeKind::Ref);
+  EXPECT_EQ(V.Type.RefClass, "A");
+}
+
 TEST(PccParserTest, MissingSemicolonDiagnosed) {
   EXPECT_GE(parseErrorCount("parallel class A { int ask() }"), 1u);
 }
@@ -268,6 +292,38 @@ TEST(PccSemaTest, EmptyClassWarns) {
   DiagnosticEngine Diags = analyze("parallel class A { }");
   EXPECT_FALSE(Diags.hasErrors());
   EXPECT_GE(Diags.all().size(), 1u);
+}
+
+TEST(PccSemaTest, ByRefOnAsyncRejected) {
+  DiagnosticEngine Diags =
+      analyze("parallel class A { async void push(ref int x); }");
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(PccSemaTest, ByRefOnSyncWarns) {
+  DiagnosticEngine Diags =
+      analyze("parallel class A { sync int fill(ref int x); }");
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render("<test>");
+  ASSERT_EQ(Diags.all().size(), 1u);
+  EXPECT_EQ(Diags.all()[0].Severity, DiagSeverity::Warning);
+}
+
+TEST(PccSemaTest, UnusedPassiveClassWarns) {
+  DiagnosticEngine Diags =
+      analyze("passive class Orphan { int x; }\n"
+              "parallel class W { async void f(int x); }\n");
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Diags.all().size(), 1u);
+  EXPECT_EQ(Diags.all()[0].Severity, DiagSeverity::Warning);
+  EXPECT_NE(Diags.all()[0].Message.find("Orphan"), std::string::npos);
+}
+
+TEST(PccSemaTest, UsedPassiveClassIsQuiet) {
+  DiagnosticEngine Diags =
+      analyze("passive class P { int x; }\n"
+              "parallel class W { async void f(P p); }\n");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.all().empty()) << Diags.render("<test>");
 }
 
 //===----------------------------------------------------------------------===//

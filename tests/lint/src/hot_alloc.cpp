@@ -1,0 +1,36 @@
+// Fixture: hot-path-alloc inside PARCS_HOT regions.
+#include <functional>
+#include <memory>
+#include <string>
+
+int coldAllocationIsFine() {
+  auto P = std::make_unique<int>(1); // outside any region, no finding
+  return *P;
+}
+
+// PARCS_HOT_BEGIN(fixture-kernel)
+
+int hotAllocations(int N) {
+  int *Raw = new int(N);                        // FINDING: new
+  auto Shared = std::make_shared<int>(N);       // FINDING: make_shared
+  std::function<int()> F = [N] { return N; };   // FINDING: std::function
+  std::string Tag = std::string("tag");         // FINDING: string temporary
+  std::string Num = std::to_string(N);          // FINDING: to_string
+  int Result = *Raw + *Shared + F() +
+               static_cast<int>(Tag.size() + Num.size());
+  delete Raw;
+  return Result;
+}
+
+int hotButVouchedFor(int N) {
+  // parcs-lint: allow(hot-path-alloc): fixture proves suppression.
+  int *Raw = new int(N);
+  int Result = *Raw;
+  delete Raw;
+  return Result;
+}
+
+// PARCS_HOT_END
+
+// PARCS_HOT_BEGIN(never-closed)  -- FINDING: hot-path-region
+int trailing() { return 0; }

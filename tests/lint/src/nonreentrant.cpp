@@ -1,0 +1,33 @@
+// Fixture: nonreentrant-call (fixture-relative path starts with src/).
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+struct Tokenizer {
+  // A member *declaration* is indistinguishable from a call at the token
+  // level (identifier followed by '('); the suppression documents that.
+  // parcs-lint: allow(nonreentrant-call): member declaration, not a call.
+  char *strtok(char *S) { return S; }
+};
+
+std::string splitFirst(char *Buffer) {
+  char *Tok = strtok(Buffer, ","); // FINDING: strtok
+  Tokenizer T;
+  char *Member = T.strtok(Buffer); // member call, no finding
+  return Tok && Member ? std::string(Tok) : std::string();
+}
+
+long utcParts(std::time_t Stamp) {
+  std::tm *Parts = std::gmtime(&Stamp); // FINDING: gmtime
+  std::tm *Local = localtime(&Stamp);   // FINDING: localtime
+  return Parts->tm_hour + Local->tm_min;
+}
+
+void configure() {
+  setenv("PARCS_MODE", "test", 1); // FINDING: setenv
+}
+
+void configureSuppressed() {
+  // parcs-lint: allow(nonreentrant-call): fixture proves suppression.
+  setenv("PARCS_MODE", "test", 1);
+}

@@ -1,0 +1,37 @@
+// Fixture: determinism-unordered-iteration in an export-producing path
+// (this file's fixture-relative path starts with src/serial/).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string exportAll(const std::unordered_map<int, int> &Table) {
+  std::string Out;
+  for (const auto &[K, V] : Table) // FINDING: range-for over Table
+    Out += std::to_string(K) + "=" + std::to_string(V) + "\n";
+  return Out;
+}
+
+int exportIterators(const std::unordered_map<int, int> &Table) {
+  int Sum = 0;
+  for (auto It = Table.begin(); It != Table.end(); ++It) // FINDING: begin()
+    Sum += It->second;
+  return Sum;
+}
+
+int lookupsAreFine(const std::unordered_map<int, int> &Table, int Key) {
+  auto It = Table.find(Key); // point lookup, no finding
+  return It == Table.end() ? 0 : It->second;
+}
+
+std::string sortedCopyStillNeedsSuppression(
+    const std::unordered_map<int, int> &Table) {
+  // The copy-then-sort idiom still *iterates* the table; the rule cannot
+  // see the later sort, so the author vouches for it inline.
+  // parcs-lint: allow(determinism-unordered-iteration): sorted before use.
+  std::map<int, int> Sorted(Table.begin(), Table.end());
+  std::string Out;
+  for (const auto &[K, V] : Sorted) // ordered map, no finding
+    Out += std::to_string(K) + ":" + std::to_string(V);
+  return Out;
+}

@@ -1,0 +1,61 @@
+// Fixture: suspension-ref -- reference/view/iterator locals crossing a
+// suspension point.  The awaitable machinery is faked; the rule is purely
+// token-based and only needs co_await/scheduleResume spellings.
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct FakeAwaitable {
+  bool await_ready() const { return true; }
+  void await_suspend(int) {}
+  int await_resume() { return 0; }
+};
+
+struct FakeTask {
+  struct promise_type;
+};
+
+struct Registry {
+  std::map<int, std::string> Table;
+  FakeAwaitable tick() { return {}; }
+};
+
+int refAcrossAwait(Registry &R) {
+  std::string &Name = R.Table[0]; // reference local
+  int X = co_await R.tick();
+  return X + static_cast<int>(Name.size()); // FINDING: Name after await
+}
+
+int viewAcrossAwait(Registry &R, const std::string &Raw) {
+  std::string_view View = Raw;
+  int X = co_await R.tick();
+  return X + static_cast<int>(View.size()); // FINDING: View after await
+}
+
+int iteratorAcrossAwait(Registry &R) {
+  auto It = R.Table.find(1);
+  int X = co_await R.tick();
+  return X + static_cast<int>(It->second.size()); // FINDING: It after await
+}
+
+int refUsedOnlyBeforeAwait(Registry &R) {
+  std::string &Name = R.Table[0];
+  int Len = static_cast<int>(Name.size()); // before suspension, no finding
+  int X = co_await R.tick();
+  return X + Len;
+}
+
+int refDeclaredAfterAwait(Registry &R) {
+  int X = co_await R.tick();
+  std::string &Name = R.Table[0]; // declared after suspension, no finding
+  return X + static_cast<int>(Name.size());
+}
+
+int suppressedAtDeclaration(Registry &R) {
+  // parcs-lint: allow(suspension-ref): R outlives this coroutine; fixture
+  // proves declaration-site suppression covers every later use.
+  std::string &Name = R.Table[0];
+  int X = co_await R.tick();
+  return X + static_cast<int>(Name.size());
+}

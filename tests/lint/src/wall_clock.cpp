@@ -1,0 +1,34 @@
+// Fixture: determinism-wall-clock violations and non-violations.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct Sim {
+  // A *declaration* named time() is indistinguishable from a call at the
+  // token level; the suppression documents the heuristic's limit.
+  // parcs-lint: allow(determinism-wall-clock): member declaration, not a call.
+  long time() const { return 42; }
+};
+
+namespace mylib {
+inline long time(int) { return 7; } // parcs-lint: allow(determinism-wall-clock): declaration; qualified calls to it are proven fine below.
+} // namespace mylib
+
+long sampleClockType() {
+  auto Now = std::chrono::steady_clock::now(); // FINDING: steady_clock
+  return Now.time_since_epoch().count();
+}
+
+long sampleCalls() {
+  long A = std::time(nullptr); // FINDING: time
+  int B = rand();              // FINDING: rand
+  Sim S;
+  long C = S.time();        // member call, no finding
+  long D = mylib::time(0);  // qualified non-std call, no finding
+  return A + B + C + D;
+}
+
+int sampleSuppressed() {
+  // parcs-lint: allow(determinism-wall-clock): fixture proves suppression.
+  return static_cast<int>(std::time(nullptr));
+}
