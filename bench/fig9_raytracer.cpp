@@ -20,9 +20,43 @@
 
 #include "apps/ray/Farm.h"
 
+#include <cstring>
+
 using namespace parcs;
 using namespace parcs::apps::ray;
 using namespace parcs::bench;
+
+namespace {
+
+/// Value of "--faults <spec>" or nullptr.
+const char *faultSpec(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--faults") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+bool wantFaultSweep(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--fault-sweep") == 0)
+      return true;
+  return false;
+}
+
+/// One chaos farm run under \p Plan; prints a result row.
+int chaosRow(const std::shared_ptr<const RayJob> &Job, uint64_t Reference,
+             const std::string &Label, const fault::FaultPlan &Plan) {
+  FarmConfig Config;
+  Config.Processors = 6;
+  Config.Faults = Plan;
+  FarmResult R = runScooppRayFarm(Job, Config);
+  bool ChecksumOk = R.Checksum == Reference;
+  row({Label, fmt(R.Elapsed.toSecondsF(), 1), std::to_string(R.RowsRecovered),
+       R.Complete ? "yes" : "NO", ChecksumOk ? "ok" : "MISMATCH"});
+  return ChecksumOk && R.Complete ? 0 : 1;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   banner("E5 (Fig. 9)", "parallel ray tracer execution time, 500x500");
@@ -75,5 +109,41 @@ int main(int Argc, char **Argv) {
     if (!criticalPathReport("ParC# ray farm, P=4"))
       return 1;
   }
-  return 0;
+
+  int Failures = 0;
+  if (const char *Spec = faultSpec(Argc, Argv)) {
+    ErrorOr<fault::FaultPlan> Plan = fault::FaultPlan::parse(Spec);
+    if (!Plan) {
+      std::printf("--faults: %s\n", Plan.error().str().c_str());
+      return 1;
+    }
+    std::printf("\n---- chaos run (P=6): %s ----\n", Plan->str().c_str());
+    row({"plan", "ParC# s", "recovered", "complete", "checksum"});
+    Failures += chaosRow(Job, Reference.Checksum, "custom", *Plan);
+  }
+
+  if (wantFaultSweep(Argc, Argv)) {
+    // The robustness sweep of docs/robustness.md: rising message loss,
+    // then one mid-render node crash (with and without restart).  Every
+    // row must stay checksum-correct -- faults may cost time, never
+    // pixels.
+    std::printf("\n---- fault sweep (P=6, seed 42) ----\n");
+    row({"plan", "ParC# s", "recovered", "complete", "checksum"});
+    for (const char *Spec :
+         {"seed(42);loss(0.005)", "seed(42);loss(0.01)", "seed(42);loss(0.02)",
+          "seed(42);loss(0.01);corrupt(0.005)",
+          "seed(42);crash(2,20s)", "seed(42);crash(2,20s,45s);loss(0.01)"}) {
+      ErrorOr<fault::FaultPlan> Plan = fault::FaultPlan::parse(Spec);
+      if (!Plan) {
+        std::printf("bad sweep spec '%s': %s\n", Spec,
+                    Plan.error().str().c_str());
+        return 1;
+      }
+      Failures += chaosRow(Job, Reference.Checksum, Spec, *Plan);
+    }
+    std::printf("\nexpected shape: loss costs retries (time), never pixels; "
+                "a crashed\nworker's rows are re-rendered on surviving "
+                "nodes\n");
+  }
+  return Failures == 0 ? 0 : 1;
 }

@@ -6,9 +6,11 @@
 
 #include "apps/ray/Farm.h"
 
+#include "fault/Injector.h"
 #include "mpi/Mpi.h"
 #include "net/Network.h"
 #include "sim/Sync.h"
+#include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 #include "vm/Cluster.h"
@@ -26,11 +28,12 @@ RayWorkerHandler::RayWorkerHandler(vm::Node &Host,
                                    std::shared_ptr<const RayJob> Job)
     : Host(Host), Job(std::move(Job)) {
   if (trace::enabled()) {
-    // One trace lane per worker, numbered in creation order (deterministic
-    // under the single-threaded simulator).
-    static int NextWorker = 0;
-    TraceTid = trace::track(Host.id(),
-                            "ray.worker#" + std::to_string(NextWorker++));
+    // One trace lane per worker, numbered in per-run track registration
+    // order (deterministic under the single-threaded simulator; the
+    // counter resets with the trace registry so repeated traced runs in
+    // one process export identical lane names).
+    TraceTid = trace::track(Host.id(), "ray.worker#" +
+                                           std::to_string(trace::trackCount()));
   }
 }
 
@@ -111,6 +114,33 @@ parseCollect(const remoting::Bytes &Raw) {
   return std::make_pair(Checksum, PixelBytes);
 }
 
+/// Row-accurate variant for the SCOOPP master: folds previously unseen
+/// rows into \p Out, recomputing each row's checksum locally.  Duplicate
+/// deliveries (retries, a worker collected twice across recovery rounds)
+/// therefore never double-count, and a partial collect still contributes
+/// whatever rows it carries.
+bool mergeCollect(const remoting::Bytes &Raw, const RayJob &Job,
+                  std::vector<uint8_t> &RowSeen, FarmResult &Out) {
+  serial::InputArchive In(Raw);
+  uint64_t WorkerChecksum = 0;
+  uint32_t RowCount = 0;
+  if (!In.read(WorkerChecksum) || !In.read(RowCount))
+    return false;
+  for (uint32_t I = 0; I < RowCount; ++I) {
+    int32_t Y = 0;
+    uint32_t Size = 0;
+    remoting::Bytes Rgb;
+    if (!In.read(Y) || !In.read(Size) || !In.readRaw(Rgb, Size))
+      return false;
+    if (Y < 0 || Y >= Job.Height || RowSeen[static_cast<size_t>(Y)])
+      continue;
+    RowSeen[static_cast<size_t>(Y)] = 1;
+    Out.Checksum += Scene::lineChecksum(Rgb);
+    Out.PixelBytes += Rgb.size();
+  }
+  return true;
+}
+
 /// Assigns line blocks of Job.LinesPerTask to Workers round-robin;
 /// returns per-worker block lists.
 std::vector<std::vector<std::pair<int32_t, int32_t>>>
@@ -136,7 +166,7 @@ int nodesFor(const FarmConfig &Config) {
 
 sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
                              std::shared_ptr<const RayJob> Job, int Workers,
-                             FarmResult &Out) {
+                             int MaxRecoveryRounds, FarmResult &Out) {
   sim::Simulator &Sim = Runtime.sim();
   sim::SimTime Start = Sim.now();
   // The master drives everything from node 0; its phases get their own
@@ -148,8 +178,10 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
   for (int I = 0; I < Workers; ++I) {
     auto Proxy = std::make_unique<RayWorkerProxy>(Runtime, 0);
     Error E = co_await Proxy->create();
-    if (E)
+    if (E) {
+      Out.Complete = false;
       co_return;
+    }
     Proxies.push_back(std::move(Proxy));
   }
   trace::complete(0, MasterTid, "ray.create_workers",
@@ -179,19 +211,76 @@ sim::Task<void> scooppMaster(scoopp::ScooppRuntime &Runtime,
   int64_t CollectStartNs = Sim.now().nanosecondsCount();
 
   // Synchronous collection (waits for each worker's renders to finish:
-  // parallel objects run one method at a time).
+  // parallel objects run one method at a time).  A worker whose node died
+  // is tolerated here -- its rows are simply missing and the recovery
+  // loop below re-renders them elsewhere.
+  std::vector<uint8_t> RowSeen(static_cast<size_t>(Job->Height), 0);
   for (auto &Proxy : Proxies) {
     ErrorOr<remoting::Bytes> Raw = co_await Proxy->collect();
-    if (!Raw)
-      co_return;
-    auto Parsed = parseCollect(*Raw);
-    if (!Parsed)
-      co_return;
-    Out.Checksum += Parsed->first;
-    Out.PixelBytes += Parsed->second;
+    if (!Raw) {
+      PARCS_LOG(Warn, "ray: collect failed ("
+                          << Raw.error().message() << "); rows from "
+                          << Proxy->ref().Name << " will be re-rendered");
+      continue;
+    }
+    mergeCollect(*Raw, *Job, RowSeen, Out);
   }
   trace::complete(0, MasterTid, "ray.collect_results", CollectStartNs,
                   Sim.now().nanosecondsCount() - CollectStartNs);
+
+  // Recovery: gather the rows no surviving worker produced into fresh
+  // blocks and re-render them on newly placed workers (health-aware
+  // placement steers these away from nodes marked down).
+  auto missingBlocks = [&] {
+    std::vector<std::pair<int32_t, int32_t>> Blocks;
+    int32_t Y = 0;
+    while (Y < Job->Height) {
+      if (RowSeen[static_cast<size_t>(Y)]) {
+        ++Y;
+        continue;
+      }
+      int32_t Y0 = Y;
+      while (Y < Job->Height && !RowSeen[static_cast<size_t>(Y)] &&
+             Y - Y0 < Job->LinesPerTask)
+        ++Y;
+      Blocks.push_back({Y0, Y});
+    }
+    return Blocks;
+  };
+  auto seenRows = [&] {
+    int Count = 0;
+    for (uint8_t Seen : RowSeen)
+      Count += Seen;
+    return Count;
+  };
+  int SeenBeforeRecovery = seenRows();
+  for (int Round = 1; Round <= MaxRecoveryRounds; ++Round) {
+    auto Missing = missingBlocks();
+    if (Missing.empty())
+      break;
+    int64_t RecoveryStartNs = Sim.now().nanosecondsCount();
+    metrics::Registry::global()
+        .counter("ray.blocks_reassigned")
+        .add(Missing.size());
+    trace::instant(0, MasterTid, "fault.reassign",
+                   Sim.now().nanosecondsCount());
+    PARCS_LOG(Warn, "ray: recovery round " << Round << ": " << Missing.size()
+                                           << " block(s) lost, reassigning");
+    auto Spare = std::make_unique<RayWorkerProxy>(Runtime, 0);
+    if (co_await Spare->create())
+      continue;
+    for (auto [Y0, Y1] : Missing)
+      co_await Spare->render(Y0, Y1);
+    co_await Spare->flush();
+    ErrorOr<remoting::Bytes> Raw = co_await Spare->collect();
+    if (Raw)
+      mergeCollect(*Raw, *Job, RowSeen, Out);
+    trace::complete(0, MasterTid, "ray.recovery_round", RecoveryStartNs,
+                    Sim.now().nanosecondsCount() - RecoveryStartNs);
+  }
+  int SeenAfterRecovery = seenRows();
+  Out.RowsRecovered = SeenAfterRecovery - SeenBeforeRecovery;
+  Out.Complete = SeenAfterRecovery == Job->Height;
   Out.Elapsed = Sim.now() - Start;
 }
 
@@ -240,17 +329,45 @@ FarmResult parcs::apps::ray::runScooppRayFarm(std::shared_ptr<const RayJob> Job,
                                               scoopp::GrainPolicy Grain) {
   assert(Config.Processors >= 1 && "need at least one processor");
   vm::Cluster Machines(nodesFor(Config), Config.Vm, Config.CoresPerNode);
-  net::Network Net(Machines.sim(), Machines.nodeCount());
+  net::NetConfig NetCfg;
+  NetCfg.DropEveryNth = Config.Faults.DropEveryNth;
+  net::Network Net(Machines.sim(), Machines.nodeCount(), NetCfg);
+  // The injector outlives the runtime teardown below; its destructor
+  // detaches from the network before folding its counters.
+  std::unique_ptr<fault::Injector> Chaos;
+  if (!Config.Faults.empty()) {
+    Chaos = std::make_unique<fault::Injector>(Machines.sim(), Config.Faults);
+    Chaos->attach(Machines, Net);
+    // Faults without a retry policy would just hang the farm on the first
+    // lost call; default to an escalating-deadline policy unless the
+    // caller configured one.  The escalation matters: collect() is
+    // synchronous and legitimately waits behind the worker's whole queued
+    // render share, so a fixed 50 ms window would time out every attempt
+    // of a healthy call.  Growing windows keep loss detection fast while
+    // the cumulative schedule (~50 ms * 2^12) comfortably outlasts any
+    // farm's collect latency; once the execution finishes, the
+    // at-most-once window answers the next retry from the cached reply.
+    if (!Config.Retry.enabled()) {
+      Config.Retry.MaxAttempts = 12;
+      Config.Retry.AttemptTimeout = sim::SimTime::milliseconds(50);
+      Config.Retry.TimeoutFactor = 2.0;
+      Config.Retry.MaxAttemptTimeout = sim::SimTime::seconds(60);
+      Config.Retry.BaseBackoff = sim::SimTime::milliseconds(2);
+      Config.Retry.MaxBackoff = sim::SimTime::milliseconds(50);
+    }
+  }
   scoopp::ParallelClassRegistry Registry;
   registerRayWorker(Registry, Job);
   scoopp::ScooppConfig ScooppCfg;
   ScooppCfg.Stack = Config.Stack;
   ScooppCfg.Grain = Grain;
   ScooppCfg.DispatchWorkers = Config.DispatchWorkers;
+  ScooppCfg.Retry = Config.Retry;
   scoopp::ScooppRuntime Runtime(Machines, Net, std::move(Registry),
                                 ScooppCfg);
   FarmResult Out;
-  Machines.sim().spawn(scooppMaster(Runtime, Job, Config.Processors, Out));
+  Machines.sim().spawn(scooppMaster(Runtime, Job, Config.Processors,
+                                    Config.MaxRecoveryRounds, Out));
   Machines.sim().run();
   return Out;
 }

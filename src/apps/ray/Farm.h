@@ -30,6 +30,7 @@
 #include "apps/ray/Scene.h"
 #include "core/Proxy.h"
 #include "core/Scoopp.h"
+#include "fault/FaultPlan.h"
 #include "rmi/Rmi.h"
 
 #include <memory>
@@ -52,6 +53,12 @@ struct FarmResult {
   sim::SimTime Elapsed;
   uint64_t Checksum = 0;
   uint64_t PixelBytes = 0;
+  /// Rows re-rendered by the recovery loop after a worker was lost
+  /// (SCOOPP farm only; 0 on a fault-free run).
+  int RowsRecovered = 0;
+  /// False when some rows could not be produced within the recovery
+  /// budget (the checksum then covers a partial image).
+  bool Complete = true;
 };
 
 /// The worker implementation object: renders line blocks ("render") and
@@ -110,6 +117,16 @@ struct FarmConfig {
   /// platform; MonoTuned projects the paper's future work).
   vm::VmKind Vm = vm::VmKind::MonoVm117;
   remoting::StackKind Stack = remoting::StackKind::MonoRemotingTcp117;
+  /// Fault plan injected into the SCOOPP farm's network (empty = no
+  /// injector attached; the fault-free event stream is untouched).
+  fault::FaultPlan Faults{};
+  /// Endpoint retry policy for the SCOOPP farm.  Left disabled with a
+  /// non-empty fault plan, an escalating-deadline default (12 attempts
+  /// from a 50ms window, doubling) is applied so the farm survives loss
+  /// and crashes without starving long collect() calls.
+  remoting::RetryPolicy Retry{};
+  /// Upper bound on re-render rounds for rows lost to worker crashes.
+  int MaxRecoveryRounds = 3;
 };
 
 /// Runs the ParC# farm on a fresh Mono 1.1.7 cluster and returns the

@@ -62,12 +62,41 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
   (void)ClassName; // Placement is currently class-independent.
   metrics::Registry::global().counter("om.placements").add(1);
   int Nodes = Runtime.nodeCount();
+  // Failure awareness: a node the health tracker marked down is skipped
+  // (our own node always counts as a candidate -- local degradation beats
+  // shipping work into a black hole).  In a healthy cluster the first
+  // candidate always passes, so the fault-free decisions -- including the
+  // rng draw sequence -- are exactly the legacy ones.
+  auto Usable = [&](int Node) {
+    return Node == NodeId || Runtime.nodeHealthy(Node);
+  };
+  auto degraded = [&] {
+    metrics::Registry::global().counter("om.placements_degraded").add(1);
+    return NodeId;
+  };
   switch (Runtime.config().Placement) {
-  case PlacementPolicy::RoundRobin:
-    co_return (NodeId + 1 + NextPlacement++ % Nodes) % Nodes;
-  case PlacementPolicy::Random:
-    co_return static_cast<int>(
+  case PlacementPolicy::RoundRobin: {
+    int Candidate = (NodeId + 1 + NextPlacement++ % Nodes) % Nodes;
+    for (int Step = 0; Step < Nodes; ++Step) {
+      if (Usable(Candidate))
+        co_return Candidate;
+      Candidate = (Candidate + 1) % Nodes;
+    }
+    co_return degraded();
+  }
+  case PlacementPolicy::Random: {
+    int Pick = static_cast<int>(
         Runtime.rng().nextBelow(static_cast<uint64_t>(Nodes)));
+    if (Usable(Pick))
+      co_return Pick;
+    std::vector<int> Alive;
+    for (int Node = 0; Node < Nodes; ++Node)
+      if (Usable(Node))
+        Alive.push_back(Node);
+    if (Alive.empty())
+      co_return degraded();
+    co_return Alive[Runtime.rng().nextBelow(Alive.size())];
+  }
   case PlacementPolicy::LocalOnly:
     co_return NodeId;
   case PlacementPolicy::LeastLoaded: {
@@ -75,15 +104,19 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
     int Best = NodeId;
     int BestLoad = loadMetric();
     for (int Peer = 0; Peer < Nodes; ++Peer) {
-      if (Peer == NodeId)
+      if (Peer == NodeId || !Runtime.nodeHealthy(Peer))
         continue;
       remoting::RemoteHandle Handle(Runtime.endpoint(NodeId), Peer,
                                     Runtime.config().Port,
                                     ScooppRuntime::OmName);
       ErrorOr<int32_t> Load =
           co_await Handle.invokeTyped<int32_t>("getLoad");
-      if (!Load)
+      if (!Load) {
+        if (ScooppRuntime::transportError(Load.error().code()))
+          Runtime.noteCallOutcome(Peer, false);
         continue; // Unreachable peers are simply skipped.
+      }
+      Runtime.noteCallOutcome(Peer, true);
       if (*Load < BestLoad || (*Load == BestLoad && Peer < Best)) {
         Best = Peer;
         BestLoad = *Load;

@@ -105,11 +105,38 @@ sim::Task<Error> ProxyBase::create(std::string ClassName) {
   if (CreateCtx)
     trace::instantCtx(Home, 0, "scoopp.create",
                       node().sim().now().nanosecondsCount(), CreateCtx, 0);
-  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).call(
+  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).callReliable(
       Target, Runtime.config().Port, ScooppRuntime::FactoryName, "create",
-      serial::encodeValues(Class), sim::SimTime(), CreateCtx);
-  if (!Raw)
+      serial::encodeValues(Class), CreateCtx);
+  if (!Raw) {
+    if (ScooppRuntime::transportError(Raw.error().code())) {
+      Runtime.noteCallOutcome(Target, false);
+      if (Runtime.config().Retry.enabled()) {
+        // The target is unreachable even after retries: degrade to local
+        // agglomeration rather than fail the creation -- the paper's
+        // grain machinery makes a local IO semantically equivalent, just
+        // less parallel.
+        metrics::Registry::global()
+            .counter("scoopp.creations_failover")
+            .add(1);
+        trace::instant(Home, 0, "fault.create_failover",
+                       node().sim().now().nanosecondsCount());
+        PARCS_LOG(Warn, "scoopp: create of '"
+                            << Class << "' on node " << Target
+                            << " failed (" << Raw.error().str()
+                            << "); falling back to local instance");
+        auto Made = Runtime.instantiateImpl(Home, Class);
+        if (!Made)
+          co_return Made.error();
+        Ref = ParallelRef{Home, Made->first};
+        Local = nullptr;
+        ++Runtime.stats().LocalCreations;
+        co_return Error();
+      }
+    }
     co_return Raw.error();
+  }
+  Runtime.noteCallOutcome(Target, true);
   std::string Name;
   if (!serial::decodeValues(*Raw, Name))
     co_return Error(ErrorCode::MalformedMessage, "factory reply");
@@ -201,6 +228,12 @@ sim::Task<ErrorOr<Bytes>> ProxyBase::invokeSync(std::string Method,
   ++Runtime.stats().RemoteSyncCalls;
   ErrorOr<Bytes> Result = co_await remoteHandle().invoke(
       std::move(Method), std::move(Args), InvokeCtx);
+  // Feed the health tracker: a transport error (even after the handle's
+  // retries) counts against the hosting node; anything else proves it up.
+  if (Result)
+    Runtime.noteCallOutcome(Ref.Node, true);
+  else if (ScooppRuntime::transportError(Result.error().code()))
+    Runtime.noteCallOutcome(Ref.Node, false);
   co_return Result;
 }
 
@@ -231,7 +264,7 @@ sim::Task<Error> ProxyBase::destroy() {
     co_return Error();
   }
   // Remote IO: request destruction from the hosting node's RTS factory.
-  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).call(
+  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(Home).callReliable(
       Victim.Node, Runtime.config().Port, ScooppRuntime::FactoryName,
       "destroy", serial::encodeValues(Victim.Name));
   if (!Raw)

@@ -76,6 +76,8 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
       Config(Config), Random(Config.Seed) {
   int Nodes = Cluster.nodeCount();
   NextImplId.assign(static_cast<size_t>(Nodes), 0);
+  FailStreak.assign(static_cast<size_t>(Nodes), 0);
+  Down.assign(static_cast<size_t>(Nodes), 0);
   Endpoints.reserve(static_cast<size_t>(Nodes));
   Oms.reserve(static_cast<size_t>(Nodes));
   // Boot order matches the paper: "The application entry code creates one
@@ -85,6 +87,8 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
     Endpoints.push_back(std::make_unique<RpcEndpoint>(
         Cluster.node(I), Net, remoting::stackProfile(Config.Stack),
         Config.Port, Config.DispatchWorkers));
+    if (Config.Retry.enabled())
+      Endpoints.back()->setRetryPolicy(Config.Retry);
     auto Om = std::make_shared<ObjectManager>(*this, I);
     Oms.push_back(Om);
     Endpoints.back()->publish(OmName, Om);
@@ -94,6 +98,11 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
 }
 
 ScooppRuntime::~ScooppRuntime() {
+  // Coroutine frames parked forever by node crashes hold references into
+  // runtime-owned state (an ImplAdapter's ~dtor notifies its OM); destroy
+  // them now, while every layer they can reference is still alive, instead
+  // of leaving them to ~Simulator after this runtime is gone.
+  Cluster.sim().reapDetached();
   // Fold the SCOOPP decision counters into the end-of-run report.
   metrics::Registry &Reg = metrics::Registry::global();
   Reg.counter("scoopp.local_creations").add(Stats.LocalCreations);
@@ -103,6 +112,34 @@ ScooppRuntime::~ScooppRuntime() {
   Reg.counter("scoopp.remote_async_calls").add(Stats.RemoteAsyncCalls);
   Reg.counter("scoopp.packed_messages").add(Stats.PackedMessages);
   Reg.counter("scoopp.packed_calls").add(Stats.PackedCalls);
+}
+
+void ScooppRuntime::noteCallOutcome(int Node, bool Ok) {
+  if (Node < 0 || Node >= static_cast<int>(Down.size()))
+    return;
+  size_t Idx = static_cast<size_t>(Node);
+  if (Ok) {
+    FailStreak[Idx] = 0;
+    if (Down[Idx]) {
+      Down[Idx] = 0;
+      metrics::Registry::global().counter("om.node_up").add(1);
+      trace::instant(Node, 0, "om.node_up",
+                     sim().now().nanosecondsCount());
+      PARCS_LOG(Info, "scoopp: node " << Node << " is healthy again");
+    }
+    return;
+  }
+  if (Down[Idx])
+    return;
+  if (++FailStreak[Idx] >= Config.NodeFailureThreshold) {
+    Down[Idx] = 1;
+    metrics::Registry::global().counter("om.node_down").add(1);
+    trace::instant(Node, 0, "om.node_down",
+                   sim().now().nanosecondsCount());
+    PARCS_LOG(Warn, "scoopp: node " << Node << " marked down after "
+                                    << FailStreak[Idx]
+                                    << " transport failures");
+  }
 }
 
 RpcEndpoint &ScooppRuntime::endpoint(int Node) {

@@ -123,6 +123,13 @@ struct ScooppConfig {
   /// Per-endpoint dispatch worker cap (0 = the VM's thread-pool cap).
   int DispatchWorkers = 0;
   uint64_t Seed = 1;
+  /// Retry policy installed on every endpoint (disabled by default, which
+  /// leaves the fault-free event stream untouched).  Enable it when a
+  /// FaultPlan is in play so proxies survive loss and crashes.
+  remoting::RetryPolicy Retry;
+  /// Consecutive transport failures against one node before the runtime
+  /// marks it down and steers placement away from it.
+  int NodeFailureThreshold = 2;
 };
 
 //===----------------------------------------------------------------------===//
@@ -212,6 +219,29 @@ public:
   const ScooppStats &stats() const { return Stats; }
   Rng &rng() { return Random; }
 
+  //===--------------------------------------------------------------------===//
+  // Node health (failure-aware placement)
+  //===--------------------------------------------------------------------===//
+
+  /// True for an error code that indicates the transport (not the remote
+  /// method) failed -- the signal node-health tracking keys off.
+  static bool transportError(ErrorCode Code) {
+    return Code == ErrorCode::TimedOut ||
+           Code == ErrorCode::ConnectionFailed ||
+           Code == ErrorCode::ChecksumMismatch;
+  }
+
+  /// False once \p Node accumulated NodeFailureThreshold consecutive
+  /// transport failures (and no success since); placement avoids
+  /// unhealthy nodes and proxies fail over.
+  bool nodeHealthy(int Node) const {
+    return Node < 0 || Node >= static_cast<int>(Down.size()) || !Down[Node];
+  }
+
+  /// Feeds one RPC outcome against \p Node into the health tracker.  A
+  /// success clears the failure streak (and resurrects a down node).
+  void noteCallOutcome(int Node, bool Ok);
+
   /// Name under which each node's factory is published ("factory.soap" in
   /// the paper's Fig. 5/6).
   static constexpr const char *FactoryName = "__scoopp_factory";
@@ -226,6 +256,10 @@ private:
   std::vector<std::shared_ptr<ObjectManager>> Oms;
   /// Per-node counters for unique IO names.
   std::vector<uint64_t> NextImplId;
+  /// Health tracking: consecutive transport failures per node, and the
+  /// down flags derived from them.
+  std::vector<int> FailStreak;
+  std::vector<uint8_t> Down;
   ScooppStats Stats;
   Rng Random;
 };

@@ -75,10 +75,12 @@ struct Finding {
 /// Policy knobs.  Defaults encode this repository's layout; tests override
 /// them to exercise rules in isolation.
 struct LintConfig {
-  /// Files exempt from determinism-wall-clock (repo-relative paths).  These
-  /// are the two blessed wall-time/randomness facades.
+  /// Files exempt from determinism-wall-clock (repo-relative paths): the
+  /// wall-time/randomness facades, plus the fault injector (whose only
+  /// randomness is the seeded parcs::Rng it owns).
   std::vector<std::string> WallClockAllowedFiles = {
       "bench/BenchUtil.h",
+      "src/fault/Injector.cpp",
       "src/support/Random.h",
   };
   /// Path prefixes whose files produce exports (traces, metrics, profiles,

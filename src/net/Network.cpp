@@ -13,10 +13,13 @@
 using namespace parcs;
 using namespace parcs::net;
 
+FaultHook::~FaultHook() = default;
+
 Network::~Network() {
   metrics::Registry &Reg = metrics::Registry::global();
   Reg.counter("net.messages_delivered").add(Delivered);
   Reg.counter("net.messages_dropped").add(Dropped);
+  Reg.counter("net.messages_fault_dropped").add(FaultDropped);
   Reg.counter("net.payload_bytes").add(PayloadBytes);
   Reg.counter("net.wire_bytes").add(WireBytes);
   Reg.counter("net.frames").add(Frames);
@@ -70,6 +73,13 @@ void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload,
   assert(Src >= 0 && Src < nodeCount() && "send: bad source node");
   assert(Dst >= 0 && Dst < nodeCount() && "send: bad destination node");
   assert(isBound(Dst, Port) && "send: destination port not bound");
+  if (Hook && !Hook->nodeAlive(Src)) {
+    // A crashed node's NIC blackholes: the send vanishes at the source
+    // without occupying the wire.
+    ++Dropped;
+    ++FaultDropped;
+    return;
+  }
   Message Msg;
   Msg.Src = Src;
   Msg.Dst = Dst;
@@ -87,6 +97,12 @@ void Network::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload,
     sim::Channel<Message> &Chan = bind(Dst, Port);
     Sim.schedule(sim::SimTime(),
                  [this, &Chan, Msg = std::move(Msg)]() mutable {
+                   if (Hook && !Hook->nodeAlive(Msg.Dst)) {
+                     // The node crashed between send and delivery.
+                     ++Dropped;
+                     ++FaultDropped;
+                     return;
+                   }
                    ++Delivered;
                    PayloadBytes += Msg.Payload.size();
                    Chan.trySend(std::move(Msg));
@@ -173,6 +189,25 @@ sim::Task<void> Network::transfer(Message Msg) {
     LogNodeScope Scope(Msg.Dst);
     PARCS_LOG(Debug, "net: dropped msg " << Msg.Id << " (fault injection)");
     co_return;
+  }
+
+  // Seeded fault injection (src/fault): extra latency first, then the
+  // delivery verdict.  The hook owns its own trace/metric emission; the
+  // fabric only accounts the drop.
+  if (Hook) {
+    sim::SimTime Extra = Hook->extraLatency(Msg.Src, Msg.Dst);
+    if (Extra > sim::SimTime())
+      co_await Sim.delay(Extra);
+    FaultHook::Verdict V = Hook->onDeliver(Msg.Src, Msg.Dst, Msg.Payload);
+    if (V != FaultHook::Verdict::Deliver) {
+      ++Dropped;
+      ++FaultDropped;
+      LogNodeScope Scope(Msg.Dst);
+      PARCS_LOG(Debug, "net: fault-dropped msg " << Msg.Id << " ("
+                                                 << static_cast<int>(V)
+                                                 << ")");
+      co_return;
+    }
   }
 
   ++Delivered;

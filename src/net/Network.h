@@ -67,6 +67,40 @@ struct NetConfig {
   int DropEveryNth = 0;
 };
 
+/// Interface the fault-injection subsystem (src/fault) implements.  The
+/// fabric consults the installed hook at well-defined points; a null hook
+/// (the default) leaves the event stream and wire bytes exactly as before,
+/// which is what keeps the determinism golden trace valid for fault-free
+/// runs.
+class FaultHook {
+public:
+  virtual ~FaultHook();
+
+  /// Why a message did (or did not) reach its destination port.
+  enum class Verdict : uint8_t {
+    Deliver,       ///< Pass through (possibly after payload corruption).
+    DropLoss,      ///< Probabilistic / burst loss clause fired.
+    DropPartition, ///< An active partition separates src and dst.
+    DropNodeDown,  ///< The destination node is crashed.
+  };
+
+  /// False while \p Node is crashed: its NIC blackholes in both
+  /// directions (sends vanish at the source, deliveries at the sink).
+  virtual bool nodeAlive(int Node) const = 0;
+
+  /// Extra one-way delay for (\p Src -> \p Dst) at the current virtual
+  /// time (latency-degradation clauses).  Zero means no added delay and
+  /// no extra simulator event.
+  virtual sim::SimTime extraLatency(int Src, int Dst) = 0;
+
+  /// Consulted after the message occupied the wire, right before
+  /// delivery.  May mutate \p Payload (bit corruption) and still return
+  /// Deliver; any Drop verdict loses the message after it consumed
+  /// bandwidth, like real tail drops.
+  virtual Verdict onDeliver(int Src, int Dst,
+                            std::vector<uint8_t> &Payload) = 0;
+};
+
 /// The switched-Ethernet fabric connecting \c NodeCount nodes.
 class Network {
 public:
@@ -107,6 +141,16 @@ public:
   uint64_t wireBytesCarried() const { return WireBytes; }
   uint64_t messagesDropped() const { return Dropped; }
   uint64_t framesCarried() const { return Frames; }
+  /// Subset of messagesDropped() caused by the fault hook (loss clauses,
+  /// partitions, dead nodes); DropEveryNth drops are not included.
+  uint64_t messagesFaultDropped() const { return FaultDropped; }
+
+  /// Installs (or clears, with nullptr) the fault-injection hook.  The
+  /// hook must outlive all traffic; layers above may key behaviour off a
+  /// non-null hook (the RPC engine enables frame checksums), so install
+  /// it before any messages flow.
+  void setFaultHook(FaultHook *Hook) { this->Hook = Hook; }
+  FaultHook *faultHook() const { return Hook; }
 
 private:
   struct Nic {
@@ -130,7 +174,9 @@ private:
   uint64_t PayloadBytes = 0;
   uint64_t WireBytes = 0;
   uint64_t Dropped = 0;
+  uint64_t FaultDropped = 0;
   uint64_t TransferCount = 0;
+  FaultHook *Hook = nullptr;
   /// Ethernet frames carried (packetised segments of non-loopback sends).
   uint64_t Frames = 0;
   /// Non-loopback transfers currently occupying the fabric, and the

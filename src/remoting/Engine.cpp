@@ -6,6 +6,7 @@
 
 #include "remoting/Engine.h"
 
+#include "serial/Crc32.h"
 #include "support/Logging.h"
 #include "support/Trace.h"
 
@@ -97,11 +98,28 @@ RpcEndpoint::RpcEndpoint(vm::Node &Host, net::Network &Net,
          "another endpoint is already bound to this node:port");
   CallLatency = &metrics::Registry::global().histogram(MetricsPrefix +
                                                        ".call_latency_ns");
+  // A node crash kills every in-flight handler, so dedup entries that were
+  // in progress at that moment can never complete -- left in place they
+  // would suppress retries forever.  Restart wipes them (exactly the
+  // in-flight state a real server loses when it reboots); finished entries
+  // keep their cached replies and at-most-once still holds within one
+  // liveness epoch.
+  RestartHookId = Host.addRestartHook([this] {
+    for (auto It = DedupWindow.begin(); It != DedupWindow.end();) {
+      if (!It->second.Done) {
+        std::erase(DedupOrder, It->first);
+        It = DedupWindow.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  });
   Net.bind(Host.id(), Port);
   Host.sim().spawn(dispatchLoop());
 }
 
 RpcEndpoint::~RpcEndpoint() {
+  Host.removeRestartHook(RestartHookId);
   metrics::Registry &Reg = metrics::Registry::global();
   Reg.counter(MetricsPrefix + ".calls_issued").add(Stats.CallsIssued);
   Reg.counter(MetricsPrefix + ".calls_handled").add(Stats.CallsHandled);
@@ -109,6 +127,13 @@ RpcEndpoint::~RpcEndpoint() {
   Reg.counter(MetricsPrefix + ".oneway_sent").add(Stats.OneWaySent);
   Reg.counter(MetricsPrefix + ".wire_bytes_sent").add(Stats.WireBytesSent);
   Reg.counter(MetricsPrefix + ".malformed_dropped").add(Stats.MalformedDropped);
+  Reg.counter(MetricsPrefix + ".late_replies").add(Stats.LateReplies);
+  Reg.counter(MetricsPrefix + ".corrupted_dropped").add(Stats.CorruptedDropped);
+  Reg.counter(MetricsPrefix + ".retries").add(Stats.Retries);
+  Reg.counter(MetricsPrefix + ".retries_exhausted")
+      .add(Stats.RetriesExhausted);
+  Reg.counter(MetricsPrefix + ".dedup_hits").add(Stats.DedupHits);
+  Reg.counter(MetricsPrefix + ".dedup_suppressed").add(Stats.DedupSuppressed);
 }
 
 void RpcEndpoint::publish(const std::string &Name,
@@ -145,37 +170,62 @@ sim::SimTime RpcEndpoint::sideCost(size_t WireBytes) const {
 
 Bytes RpcEndpoint::frame(MsgKind Kind, std::string_view EnvelopeName,
                          const Bytes &Body, bool Response) const {
+  bool Checksummed = wireChecksums();
+  Bytes Wire;
   if (!Profile.HttpFraming) {
     // Kind byte + envelope emitted straight into the wire buffer.
-    Bytes Wire;
-    Wire.reserve(Body.size() + 96);
+    Wire.reserve(Body.size() + 96 + (Checksummed ? 4 : 0));
     Wire.push_back(static_cast<uint8_t>(Kind));
     serial::encodeEnvelopeInto(Profile.Format, EnvelopeName, Body, Wire);
-    return Wire;
+  } else {
+    // HTTP framing: the header carries the content length, so stage the
+    // content in the endpoint's scratch buffer (capacity reused across
+    // calls), then emit header + content into one reserved wire buffer.
+    EnvScratch.clear();
+    EnvScratch.push_back(static_cast<uint8_t>(Kind));
+    serial::encodeEnvelopeInto(Profile.Format, EnvelopeName, Body, EnvScratch);
+    Wire.reserve(MaxHttpHeaderBytes + EnvScratch.size() +
+                 (Checksummed ? 4 : 0));
+    if (Response)
+      appendHttpResponseHeader(Wire, EnvScratch.size());
+    else
+      appendHttpRequestHeader(Wire, EnvScratch.size(), EnvelopeName);
+    Wire.insert(Wire.end(), EnvScratch.begin(), EnvScratch.end());
   }
-  // HTTP framing: the header carries the content length, so stage the
-  // content in the endpoint's scratch buffer (capacity reused across
-  // calls), then emit header + content into one reserved wire buffer.
-  EnvScratch.clear();
-  EnvScratch.push_back(static_cast<uint8_t>(Kind));
-  serial::encodeEnvelopeInto(Profile.Format, EnvelopeName, Body, EnvScratch);
-  Bytes Wire;
-  Wire.reserve(MaxHttpHeaderBytes + EnvScratch.size());
-  if (Response)
-    appendHttpResponseHeader(Wire, EnvScratch.size());
-  else
-    appendHttpRequestHeader(Wire, EnvScratch.size(), EnvelopeName);
-  Wire.insert(Wire.end(), EnvScratch.begin(), EnvScratch.end());
+  if (Checksummed) {
+    // Integrity trailer (only while faults can corrupt frames): CRC32 of
+    // everything before it, little-endian.
+    uint32_t Crc = serial::crc32(Wire.data(), Wire.size());
+    Wire.push_back(static_cast<uint8_t>(Crc));
+    Wire.push_back(static_cast<uint8_t>(Crc >> 8));
+    Wire.push_back(static_cast<uint8_t>(Crc >> 16));
+    Wire.push_back(static_cast<uint8_t>(Crc >> 24));
+  }
   return Wire;
 }
 
 ErrorOr<std::span<const uint8_t>> RpcEndpoint::unframe(const Bytes &Wire) const {
+  size_t Size = Wire.size();
+  if (wireChecksums()) {
+    // Verify and strip the integrity trailer before trusting any byte of
+    // the frame -- a flipped bit anywhere (header included) must not be
+    // mis-decoded.
+    if (Size < 5)
+      return Error(ErrorCode::ChecksumMismatch,
+                   "frame too short for its checksum trailer");
+    uint32_t Stored = static_cast<uint32_t>(Wire[Size - 4]) |
+                      (static_cast<uint32_t>(Wire[Size - 3]) << 8) |
+                      (static_cast<uint32_t>(Wire[Size - 2]) << 16) |
+                      (static_cast<uint32_t>(Wire[Size - 1]) << 24);
+    if (serial::crc32(Wire.data(), Size - 4) != Stored)
+      return Error(ErrorCode::ChecksumMismatch, "frame checksum mismatch");
+    Size -= 4;
+  }
   if (!Profile.HttpFraming)
-    return std::span<const uint8_t>(Wire.data(), Wire.size());
+    return std::span<const uint8_t>(Wire.data(), Size);
   // Parse the header in place over a view of the wire bytes and honour
   // Content-Length; the returned span aliases the body inside Wire.
-  std::string_view Text(reinterpret_cast<const char *>(Wire.data()),
-                        Wire.size());
+  std::string_view Text(reinterpret_cast<const char *>(Wire.data()), Size);
   size_t Split = Text.find("\r\n\r\n");
   if (Split == std::string_view::npos)
     return Error(ErrorCode::MalformedMessage, "http framing: no header end");
@@ -188,7 +238,7 @@ ErrorOr<std::span<const uint8_t>> RpcEndpoint::unframe(const Bytes &Wire) const 
   if (std::from_chars(Digits, Text.data() + Text.size(), Length).ec !=
       std::errc())
     return Error(ErrorCode::MalformedMessage, "http framing: bad length");
-  if (BodyStart + Length > Wire.size())
+  if (BodyStart + Length > Size)
     return Error(ErrorCode::MalformedMessage, "http framing: short body");
   return std::span<const uint8_t>(Wire.data() + BodyStart, Length);
 }
@@ -227,7 +277,8 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
                                             std::string ObjectName,
                                             std::string Method, Bytes Args,
                                             sim::SimTime Timeout,
-                                            uint64_t ParentCtx) {
+                                            uint64_t ParentCtx,
+                                            uint64_t DedupId) {
   co_await ensureConnected(DstNode, DstPort);
   uint64_t CallId = NextCallId++;
   // The round trip's causal identity: minted here, carried in the body's
@@ -236,9 +287,12 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   uint64_t CallCtx = trace::mintCausalId();
   serial::OutputArchive Body;
   Body.write(CallId);
-  Body.write(static_cast<uint8_t>(CallCtx ? FlagHasContext : 0));
+  Body.write(static_cast<uint8_t>((CallCtx ? FlagHasContext : 0) |
+                                  (DedupId ? FlagHasDedup : 0)));
   if (CallCtx)
     serial::encodeCausalContext(Body, CallCtx, ParentCtx);
+  if (DedupId)
+    Body.write(DedupId);
   Body.write(static_cast<int32_t>(Host.id()));
   Body.write(static_cast<int32_t>(Port));
   Body.write(ObjectName);
@@ -279,6 +333,9 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
         return;
       sim::Promise<ErrorOr<Bytes>> Timed = It->second.Reply;
       PendingCalls.erase(It);
+      // Remember the id: should the reply still show up, it is a late
+      // reply (expected under loss), not a malformed frame.
+      noteTimedOut(CallId);
       Timed.set(Error(ErrorCode::TimedOut,
                       "no reply within the call deadline"));
     });
@@ -290,6 +347,76 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   trace::asyncEndCtx(Host.id(), "rpc.call", DoneNs,
                      callSpanId(Host.id(), Port, CallId), CallCtx, ParentCtx);
   co_return Result;
+}
+
+void RpcEndpoint::noteTimedOut(uint64_t CallId) {
+  if (TimedOutOrder.size() >= MaxTimedOutRemembered) {
+    TimedOutIds.erase(TimedOutOrder.front());
+    TimedOutOrder.pop_front();
+  }
+  TimedOutIds.insert(CallId);
+  TimedOutOrder.push_back(CallId);
+}
+
+sim::Task<ErrorOr<Bytes>> RpcEndpoint::callReliable(int DstNode, int DstPort,
+                                                    std::string ObjectName,
+                                                    std::string Method,
+                                                    Bytes Args,
+                                                    uint64_t ParentCtx) {
+  if (!Retry.enabled())
+    // Degraded mode: exactly one plain call -- same frames, same events
+    // as code that never heard of retries (AttemptTimeout is zero here
+    // unless the caller configured a deadline without retries).
+    co_return co_await call(DstNode, DstPort, std::move(ObjectName),
+                            std::move(Method), std::move(Args),
+                            Retry.AttemptTimeout, ParentCtx);
+
+  uint64_t DedupId = NextDedupId++;
+  sim::SimTime Backoff = Retry.BaseBackoff;
+  sim::SimTime Deadline = Retry.AttemptTimeout;
+  for (int Attempt = 1;; ++Attempt) {
+    if (Attempt > 1) {
+      ++Stats.Retries;
+      trace::instant(Host.id(), 0, "rpc.retry",
+                     Host.sim().now().nanosecondsCount());
+      // PARCS_HOT_BEGIN(rpc-retry): the backoff/deadline schedule is
+      // integer arithmetic plus one seeded draw -- no allocation, no
+      // wall clock.
+      int64_t HalfNs = Backoff.nanosecondsCount() / 2;
+      sim::SimTime Jitter = sim::SimTime::nanoseconds(static_cast<int64_t>(
+          RetryRng.nextBelow(static_cast<uint64_t>(HalfNs) + 1)));
+      sim::SimTime Wait = Backoff + Jitter;
+      sim::SimTime Next = sim::SimTime::fromSecondsF(Backoff.toSecondsF() *
+                                                     Retry.BackoffFactor);
+      Backoff = Next < Retry.MaxBackoff ? Next : Retry.MaxBackoff;
+      if (Retry.TimeoutFactor > 1.0) {
+        sim::SimTime Grown = sim::SimTime::fromSecondsF(
+            Deadline.toSecondsF() * Retry.TimeoutFactor);
+        Deadline = (Retry.MaxAttemptTimeout > sim::SimTime() &&
+                    Retry.MaxAttemptTimeout < Grown)
+                       ? Retry.MaxAttemptTimeout
+                       : Grown;
+      }
+      // PARCS_HOT_END
+      co_await Host.sim().delay(Wait);
+    }
+    ErrorOr<Bytes> Result =
+        co_await call(DstNode, DstPort, ObjectName, Method, Args,
+                      Deadline, ParentCtx, DedupId);
+    if (Result)
+      co_return Result;
+    ErrorCode Code = Result.error().code();
+    if (Code != ErrorCode::TimedOut && Code != ErrorCode::ChecksumMismatch)
+      // Unknown object, remote fault, malformed reply...: retrying won't
+      // change the answer.
+      co_return Result;
+    if (Attempt >= Retry.MaxAttempts) {
+      ++Stats.RetriesExhausted;
+      co_return Error(ErrorCode::ConnectionFailed,
+                      "retries exhausted: '" + ObjectName + "." + Method +
+                          "' on node " + std::to_string(DstNode));
+    }
+  }
 }
 
 sim::Task<void> RpcEndpoint::callOneWay(int DstNode, int DstPort,
@@ -338,6 +465,20 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
     // this frame owns and does not touch across the compute suspension.
     ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
     if (!Content || Content->empty()) {
+      if (!Content &&
+          Content.error().code() == ErrorCode::ChecksumMismatch) {
+        // Fault-injected corruption caught by the wire CRC: counted
+        // separately (it is expected under a chaos plan) and dropped
+        // before any byte is decoded.  The sender's timeout/retry covers
+        // recovery.
+        ++Stats.CorruptedDropped;
+        trace::instant(Host.id(), 0, "fault.corrupt_dropped",
+                       Host.sim().now().nanosecondsCount());
+        LogNodeScope Scope(Host.id());
+        PARCS_LOG(Debug, "endpoint " << Host.id() << ":" << Port
+                                     << " dropped corrupted frame");
+        continue;
+      }
       ++Stats.MalformedDropped;
       LogNodeScope Scope(Host.id());
       PARCS_LOG(Warn, "endpoint " << Host.id() << ":" << Port
@@ -347,9 +488,12 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
     uint8_t Kind = Content->front();
     if (Kind == KindReturn) {
       // Replies are decoded on the I/O thread: charge the receive cost,
-      // then resolve the pending call.
+      // then resolve the pending call.  computeChecked (not compute) so a
+      // crash never parks the dispatch loop -- the endpoint must be
+      // listening again after a restart.
       int64_t RecvNs = Host.sim().now().nanosecondsCount();
-      co_await Host.compute(sideCost(Msg.Payload.size()));
+      if (!co_await Host.computeChecked(sideCost(Msg.Payload.size())))
+        continue;
       handleReturn(*Content, RecvNs, Msg.TraceCtx);
       continue;
     }
@@ -397,6 +541,15 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content,
   }
   auto It = PendingCalls.find(CallId);
   if (It == PendingCalls.end()) {
+    auto Timed = TimedOutIds.find(CallId);
+    if (Timed != TimedOutIds.end()) {
+      // The reply raced the deadline and lost: expected under loss plus
+      // timeouts, so count it as late, not malformed, and stay quiet.
+      // (The FIFO deque keeps a stale entry; eviction tolerates that.)
+      TimedOutIds.erase(Timed);
+      ++Stats.LateReplies;
+      return;
+    }
     ++Stats.MalformedDropped;
     return;
   }
@@ -468,6 +621,12 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
     ++Stats.MalformedDropped;
     co_return;
   }
+  // Logical-call id for at-most-once handling of retransmissions.
+  uint64_t DedupId = 0;
+  if ((Flags & FlagHasDedup) && !Body.read(DedupId)) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
   if (!Body.read(ReplyNode) || !Body.read(ReplyPort) ||
       !Body.read(ObjectName) || !Body.read(Method) || !Body.read(ArgsSize) ||
       !Body.readRaw(Args, ArgsSize)) {
@@ -491,6 +650,39 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
     ServeCtx = trace::mintCausalId();
     trace::instantCtx(Host.id(), 0, "rpc.link", NowNs, ServeCtx,
                       UnmarshalCtx);
+  }
+
+  // At-most-once: a retransmission of a logical call we have already seen
+  // must not execute the method again.  In-progress duplicates are
+  // dropped (the original execution's reply, or the client's next retry,
+  // covers it); completed ones are answered from the cached reply tail
+  // under the retransmission's fresh CallId.
+  bool TwoWay = !(Flags & FlagOneWay);
+  DedupKey Key{ReplyNode, ReplyPort, DedupId};
+  if (TwoWay && DedupId != 0) {
+    auto Dup = DedupWindow.find(Key);
+    if (Dup != DedupWindow.end()) {
+      if (!Dup->second.Done) {
+        ++Stats.DedupSuppressed;
+        co_return;
+      }
+      ++Stats.DedupHits;
+      serial::OutputArchive Cached;
+      Cached.write(CallId);
+      Cached.writeRaw(Dup->second.ReplyTail);
+      Bytes CachedWire = frame(KindReturn, "ret", Cached.bytes(),
+                               /*Response=*/true);
+      Stats.WireBytesSent += CachedWire.size();
+      co_await Host.compute(sideCost(CachedWire.size()));
+      Net.send(Host.id(), ReplyNode, ReplyPort, std::move(CachedWire), 0);
+      co_return;
+    }
+    if (DedupOrder.size() >= DedupWindowCap) {
+      DedupWindow.erase(DedupOrder.front());
+      DedupOrder.pop_front();
+    }
+    DedupWindow.emplace(Key, DedupEntry{});
+    DedupOrder.push_back(Key);
   }
 
   ErrorOr<Bytes> Result(Bytes{});
@@ -532,6 +724,17 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
     Out.write(static_cast<uint8_t>(StatusFault));
     Out.write(static_cast<uint8_t>(Result.error().code()));
     Out.write(Result.error().message());
+  }
+  if (TwoWay && DedupId != 0) {
+    // Cache everything after the 8-byte CallId: a retransmission gets the
+    // same status + payload under its own attempt's id.  Refind -- the
+    // entry may have been FIFO-evicted while the method ran.
+    auto Dup = DedupWindow.find(Key);
+    if (Dup != DedupWindow.end()) {
+      Dup->second.Done = true;
+      Dup->second.ReplyTail.assign(Out.bytes().begin() + 8,
+                                   Out.bytes().end());
+    }
   }
   Bytes Wire = frame(KindReturn, "ret", Out.bytes(), /*Response=*/true);
   Stats.WireBytesSent += Wire.size();

@@ -32,14 +32,18 @@
 #include "remoting/Profiles.h"
 #include "sim/Sync.h"
 #include "support/Metrics.h"
+#include "support/Random.h"
 #include "vm/Node.h"
 #include "vm/ThreadPool.h"
 
+#include <deque>
 #include <map>
 #include <set>
 #include <span>
 #include <string>
+#include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace parcs::remoting {
 
@@ -51,6 +55,51 @@ struct EndpointStats {
   uint64_t OneWaySent = 0;
   uint64_t WireBytesSent = 0;
   uint64_t MalformedDropped = 0;
+  /// Replies that arrived after their call's deadline fired.  Expected
+  /// under loss + timeouts (the reply raced the timer); dropped silently,
+  /// unlike MalformedDropped which flags genuinely bogus frames.
+  uint64_t LateReplies = 0;
+  /// Frames rejected by the wire checksum (fault-injected corruption).
+  uint64_t CorruptedDropped = 0;
+  /// Attempts beyond the first made by callReliable().
+  uint64_t Retries = 0;
+  /// callReliable() invocations that failed every attempt.
+  uint64_t RetriesExhausted = 0;
+  /// Duplicate calls answered from the dedup window's cached reply.
+  uint64_t DedupHits = 0;
+  /// Duplicate calls dropped because the first attempt was still running.
+  uint64_t DedupSuppressed = 0;
+};
+
+/// Client-side retry configuration for callReliable(): per-attempt
+/// deadline plus exponential backoff with deterministic jitter (the jitter
+/// stream is seeded, so retry schedules replay exactly).  The default is
+/// disabled -- callReliable() then degrades to a single plain call() and
+/// the wire/event stream is untouched.
+struct RetryPolicy {
+  /// Total attempts (first try included).  <= 1 disables retries.
+  int MaxAttempts = 1;
+  /// Deadline for each individual attempt; zero disables retries.
+  sim::SimTime AttemptTimeout;
+  /// Per-attempt deadline escalation (TCP-RTO style): attempt k runs
+  /// under AttemptTimeout * TimeoutFactor^(k-1), capped by
+  /// MaxAttemptTimeout when that is non-zero.  1.0 keeps every window
+  /// fixed.  Escalation lets one policy serve both short control calls
+  /// (fail fast on loss) and long server-side executions, where the
+  /// at-most-once window answers a late retry from the cached reply
+  /// once the original execution finishes.
+  double TimeoutFactor = 1.0;
+  sim::SimTime MaxAttemptTimeout;
+  sim::SimTime BaseBackoff = sim::SimTime::milliseconds(2);
+  double BackoffFactor = 2.0;
+  sim::SimTime MaxBackoff = sim::SimTime::milliseconds(200);
+  /// Seed for the jitter stream; mixed with the endpoint's (node, port)
+  /// so endpoints don't retry in lockstep.
+  uint64_t JitterSeed = 0x7e57ab1eULL;
+
+  bool enabled() const {
+    return MaxAttempts > 1 && AttemptTimeout > sim::SimTime();
+  }
 };
 
 /// A combined client/server RPC endpoint on one node.
@@ -107,11 +156,39 @@ public:
   /// call mints its own context, parents it there, and carries it on the
   /// wire so the server restores the chain.  0 (the untraced default)
   /// keeps the body byte-identical to an uninstrumented build.
+  /// \p DedupId, when non-zero, rides the wire so the server can detect
+  /// retransmissions of the same logical call (see callReliable); 0 (the
+  /// default) adds nothing to the frame.
   sim::Task<ErrorOr<Bytes>> call(int DstNode, int DstPort,
                                  std::string ObjectName, std::string Method,
                                  Bytes Args,
                                  sim::SimTime Timeout = sim::SimTime(),
-                                 uint64_t ParentCtx = 0);
+                                 uint64_t ParentCtx = 0,
+                                 uint64_t DedupId = 0);
+
+  /// Two-way call with the endpoint's RetryPolicy applied: each attempt
+  /// gets the policy's deadline; timed-out attempts are retried with
+  /// exponential backoff + deterministic jitter, all attempts sharing one
+  /// dedup id so the server executes the method at most once (duplicates
+  /// are answered from the cached reply).  With retries disabled (the
+  /// default policy) this is exactly one plain call().  Non-transport
+  /// errors (unknown object, remote fault, ...) are returned immediately;
+  /// exhausting the budget yields ErrorCode::ConnectionFailed.
+  sim::Task<ErrorOr<Bytes>> callReliable(int DstNode, int DstPort,
+                                         std::string ObjectName,
+                                         std::string Method, Bytes Args,
+                                         uint64_t ParentCtx = 0);
+
+  /// Installs the retry policy used by callReliable() and reseeds the
+  /// jitter stream (mixed with this endpoint's node:port).
+  void setRetryPolicy(const RetryPolicy &Policy) {
+    Retry = Policy;
+    RetryRng.reseed(Policy.JitterSeed ^
+                    (static_cast<uint64_t>(static_cast<uint32_t>(Host.id()))
+                     << 32) ^
+                    static_cast<uint64_t>(static_cast<uint32_t>(Port)));
+  }
+  const RetryPolicy &retryPolicy() const { return Retry; }
 
   /// One-way (asynchronous, no result) call: returns once the message has
   /// been handed to the NIC; remote faults are dropped, as with .Net
@@ -124,8 +201,15 @@ private:
   enum MsgKind : uint8_t { KindCall = 0xC1, KindReturn = 0xC2 };
   /// FlagHasContext marks a body whose flags byte is followed by the
   /// causal-context header (serial::encodeCausalContext) -- present only
-  /// on traced runs, so untraced wire bytes are unchanged.
-  enum CallFlags : uint8_t { FlagOneWay = 0x01, FlagHasContext = 0x02 };
+  /// on traced runs, so untraced wire bytes are unchanged.  FlagHasDedup
+  /// marks a body carrying a dedup id after the (optional) context --
+  /// present only on callReliable() attempts, so plain calls are likewise
+  /// unchanged.
+  enum CallFlags : uint8_t {
+    FlagOneWay = 0x01,
+    FlagHasContext = 0x02,
+    FlagHasDedup = 0x04,
+  };
   enum ReturnStatus : uint8_t { StatusOk = 0, StatusFault = 1 };
 
   struct Registration {
@@ -136,6 +220,11 @@ private:
 
   /// Cost of pushing/pulling \p WireBytes through this stack on one side.
   sim::SimTime sideCost(size_t WireBytes) const;
+
+  /// Frames carry a CRC32 trailer only while a fault hook is installed on
+  /// the network (corruption is possible); fault-free runs keep the exact
+  /// legacy wire bytes.
+  bool wireChecksums() const { return Net.faultHook() != nullptr; }
 
   /// First contact with a destination pays the stack's connection setup.
   sim::Task<void> ensureConnected(int DstNode, int DstPort);
@@ -156,6 +245,10 @@ private:
     uint64_t Ctx = 0;
   };
 
+  /// Remembers a timed-out call id (bounded FIFO) so its late reply is
+  /// classified as LateReplies rather than MalformedDropped.
+  void noteTimedOut(uint64_t CallId);
+
   sim::Task<void> dispatchLoop();
   /// \p RecvNs is when the dispatch loop pulled the message off the wire
   /// (the rpc.dispatch_queue span start; 0 on untraced runs).
@@ -175,6 +268,33 @@ private:
   /// Destinations we already hold a connection to.
   std::set<std::pair<int, int>> Connected;
   uint64_t NextCallId = 1;
+  /// Logical-call ids for callReliable(); a separate counter so retries
+  /// of one logical call share an id while each attempt keeps a fresh
+  /// CallId.
+  uint64_t NextDedupId = 1;
+  RetryPolicy Retry;
+  /// Jitter stream for retry backoff (seeded; see setRetryPolicy).
+  Rng RetryRng;
+  /// Recently timed-out call ids, bounded FIFO: distinguishes a late
+  /// reply (expected under loss) from a genuinely unknown call id.
+  std::unordered_set<uint64_t> TimedOutIds;
+  std::deque<uint64_t> TimedOutOrder;
+  static constexpr size_t MaxTimedOutRemembered = 128;
+  /// Server-side at-most-once window, keyed by the caller's identity plus
+  /// its logical-call id.  An entry is born in-progress when the first
+  /// attempt starts executing and caches the reply tail (everything after
+  /// the CallId) once done; FIFO-evicted.
+  struct DedupEntry {
+    bool Done = false;
+    Bytes ReplyTail;
+  };
+  using DedupKey = std::tuple<int32_t, int32_t, uint64_t>;
+  std::map<DedupKey, DedupEntry> DedupWindow;
+  std::deque<DedupKey> DedupOrder;
+  static constexpr size_t DedupWindowCap = 256;
+  /// Host restart hook that clears in-progress dedup entries (their
+  /// handlers died with the crash and would otherwise block retries).
+  uint64_t RestartHookId = 0;
   EndpointStats Stats;
   /// "rpc.<profile-slug>" -- the per-channel metric namespace.
   std::string MetricsPrefix;

@@ -60,8 +60,10 @@ public:
   sim::Task<ErrorOr<Bytes>> invoke(std::string Method, Bytes Args,
                                    uint64_t ParentCtx = 0) {
     assert(Local && "invoking through an empty handle");
-    return Local->call(DstNode, DstPort, Name, std::move(Method),
-                       std::move(Args), sim::SimTime(), ParentCtx);
+    // callReliable applies the endpoint's retry policy; with the default
+    // (disabled) policy it is exactly one plain call, same wire bytes.
+    return Local->callReliable(DstNode, DstPort, Name, std::move(Method),
+                               std::move(Args), ParentCtx);
   }
 
   /// Raw one-way invocation.

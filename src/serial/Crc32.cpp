@@ -1,0 +1,33 @@
+//===- serial/Crc32.cpp ---------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serial/Crc32.h"
+
+#include <array>
+
+namespace {
+
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> Crc32Table = makeTable();
+
+} // namespace
+
+uint32_t parcs::serial::crc32(const uint8_t *Data, size_t Size) {
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    Crc = Crc32Table[(Crc ^ Data[I]) & 0xFF] ^ (Crc >> 8);
+  return Crc ^ 0xFFFFFFFFu;
+}

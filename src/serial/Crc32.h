@@ -1,0 +1,33 @@
+//===- serial/Crc32.h - Frame integrity checksum ----------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320) used as the wire
+/// frame trailer by the remoting engine when fault injection is active, so
+/// bit-corrupted frames are counted and dropped instead of mis-decoded.
+/// Table-driven, one lookup per byte; the table lives in Crc32.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SERIAL_CRC32_H
+#define PARCS_SERIAL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parcs::serial {
+
+/// CRC-32 of \p Size bytes at \p Data.  crc32("123456789") == 0xCBF43926.
+uint32_t crc32(const uint8_t *Data, size_t Size);
+
+inline uint32_t crc32(const std::vector<uint8_t> &Data) {
+  return crc32(Data.data(), Data.size());
+}
+
+} // namespace parcs::serial
+
+#endif // PARCS_SERIAL_CRC32_H

@@ -64,12 +64,11 @@ size_t Simulator::firstOccupiedBucket(size_t From) const {
   return (Word << 6) + size_t(std::countr_zero(Bits));
 }
 
-Simulator::~Simulator() {
-  setLogClock(PrevLogClock);
-  // Destroy coroutines that never finished (e.g. server dispatch loops) in
-  // spawn order, not hash order.  Copy first: destroying a frame may
-  // cascade into child Task destructors but never into LiveDetached
-  // mutation, since children are not detached.
+void Simulator::reapDetached() {
+  // Destroy coroutines that never finished (e.g. server dispatch loops, or
+  // frames parked forever by a node crash) in spawn order, not hash order.
+  // Copy first: destroying a frame may cascade into child Task destructors
+  // but never into LiveDetached mutation, since children are not detached.
   std::vector<std::pair<uint64_t, void *>> Pending;
   Pending.reserve(LiveDetached.size());
   for (const auto &[Frame, Seq] : LiveDetached)
@@ -78,6 +77,11 @@ Simulator::~Simulator() {
   std::sort(Pending.begin(), Pending.end());
   for (const auto &[Seq, Frame] : Pending)
     std::coroutine_handle<>::from_address(Frame).destroy();
+}
+
+Simulator::~Simulator() {
+  setLogClock(PrevLogClock);
+  reapDetached();
   freeAllNodes();
   // Fold this run's scheduler counters into the end-of-run report.
   metrics::Registry &Reg = metrics::Registry::global();

@@ -130,8 +130,16 @@ public:
 
   /// Detaches \p T and starts it from the event loop at the current time.
   /// The coroutine frame self-destroys on completion or, if still pending,
-  /// is destroyed when the simulator is destroyed.
+  /// is destroyed when the simulator is destroyed (or at reapDetached()).
   void spawn(Task<void> T);
+
+  /// Destroys every detached coroutine frame that has not completed, in
+  /// spawn order.  Only callable between run()s (never from inside the
+  /// event loop).  Teardown hook for owners of state those frames
+  /// reference: a crashed node parks its frames forever, so they outlive
+  /// run() and would otherwise be destroyed only by ~Simulator -- after
+  /// shorter-lived layers (e.g. the SCOOPP runtime) are already gone.
+  void reapDetached();
 
   /// Awaitable that suspends the caller for \p Duration of virtual time.
   auto delay(SimTime Duration) {

@@ -32,6 +32,8 @@ const char *parcs::errorCodeName(ErrorCode Code) {
     return "parse error";
   case ErrorCode::TimedOut:
     return "timed out";
+  case ErrorCode::ChecksumMismatch:
+    return "checksum mismatch";
   }
   PARCS_UNREACHABLE("unhandled ErrorCode");
 }

@@ -42,6 +42,7 @@ enum class ErrorCode {
   InvalidArgument,   ///< Caller-supplied configuration is unusable.
   ParseError,        ///< parcgen source file failed to parse.
   TimedOut,          ///< A call's deadline elapsed before the reply.
+  ChecksumMismatch,  ///< Wire frame failed its integrity check (corruption).
 };
 
 /// Returns a stable human-readable name for \p Code.

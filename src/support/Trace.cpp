@@ -75,6 +75,8 @@ public:
     return static_cast<int>(Tracks.size());
   }
 
+  int trackCount() const { return static_cast<int>(Tracks.size()); }
+
   void reset() {
     Rings.clear();
     Tracks.clear();
@@ -376,6 +378,8 @@ int track(int Node, std::string_view Name) {
     return 0;
   return Recorder::instance().addTrack(Node, Name);
 }
+
+int trackCount() { return Recorder::instance().trackCount(); }
 
 std::string exportJson() { return Recorder::instance().exportJson(); }
 

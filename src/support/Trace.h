@@ -125,6 +125,12 @@ void setRingCapacity(size_t Events);
 /// tracing is disabled, so call sites may register unconditionally.
 int track(int Node, std::string_view Name);
 
+/// Number of named tracks registered since the last reset().  Gives
+/// callers a per-run sequence number for lane names that is reset with
+/// the registry (a process-global counter would leak across repeated
+/// traced runs and break byte-identical exports).
+int trackCount();
+
 /// A [StartNs, StartNs+DurNs) span on \p Tid of node \p Node.
 inline void complete(int Node, int Tid, const char *Name, int64_t StartNs,
                      int64_t DurNs) {

@@ -20,6 +20,10 @@
 #include "vm/Calibration.h"
 #include "vm/VmKind.h"
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 namespace parcs::vm {
 
 /// A processing node: \c Cores CPUs shared by any number of simulated
@@ -45,8 +49,16 @@ public:
   int cores() const { return Cores; }
 
   /// Occupies one core for \p CpuTime, time-sliced; other runnable threads
-  /// interleave at quantum granularity.
+  /// interleave at quantum granularity.  If the node crashes while this
+  /// thread holds or waits for a core, the thread parks forever (its frame
+  /// is reclaimed at simulator teardown) -- a crashed node's tasks stop.
   sim::Task<void> compute(sim::SimTime CpuTime);
+
+  /// Like compute(), but instead of parking on a crash it returns false
+  /// without consuming further time.  For infrastructure loops (RPC
+  /// dispatch) that must survive a crash/restart cycle and decide for
+  /// themselves what to do with the in-flight work.
+  sim::Task<bool> computeChecked(sim::SimTime CpuTime);
 
   /// Charges \p ReferenceTime of \p Kind work scaled by this node's VM
   /// multiplier (reference = Sun JVM 1.4.2).
@@ -67,6 +79,44 @@ public:
   /// core).
   int runnableThreads() const { return Runnable; }
 
+  //===--------------------------------------------------------------------===//
+  // Crash / restart (fault injection)
+  //===--------------------------------------------------------------------===//
+
+  /// True while the node is up (the default).
+  bool alive() const { return Alive; }
+  /// Bumped on every crash; lets work that straddled a crash+restart
+  /// window detect it is stale (thread-pool zombie check).
+  uint64_t epoch() const { return Epoch; }
+
+  /// Crashes the node: threads inside compute() park at their next
+  /// check point (quantum granularity), the NIC blackholes (enforced by
+  /// the network's fault hook) and restart hooks will later rebuild the
+  /// node's service loops.  Must not be called on a crashed node.
+  void crash();
+
+  /// Brings the node back up and runs the registered restart hooks in
+  /// registration order (deterministic).  Must not be called on a live
+  /// node.
+  void restart();
+
+  /// Registers \p Hook to run on every restart (e.g. a thread pool
+  /// respawning workers lost to the crash).  Returns an id for
+  /// removeRestartHook.
+  uint64_t addRestartHook(std::function<void()> Hook);
+  void removeRestartHook(uint64_t Id);
+
+  /// Awaitable that never resumes: crashed threads park here and their
+  /// frames are reclaimed deterministically at simulator teardown.
+  static auto haltForever() {
+    struct Awaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{};
+  }
+
 private:
   sim::Simulator &Sim;
   int Id;
@@ -77,6 +127,11 @@ private:
   sim::Semaphore CoreSlots;
   sim::SimTime Busy;
   int Runnable = 0;
+  bool Alive = true;
+  uint64_t Epoch = 0;
+  uint64_t NextHookId = 1;
+  /// Registration-ordered so restart is deterministic.
+  std::vector<std::pair<uint64_t, std::function<void()>>> RestartHooks;
 };
 
 } // namespace parcs::vm

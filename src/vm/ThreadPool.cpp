@@ -20,13 +20,32 @@ ThreadPool::ThreadPool(Node &Host, int MaxWorkers)
   assert(this->MaxWorkers > 0 && "pool needs at least one worker");
   for (int I = 0; I < this->MaxWorkers; ++I)
     Host.sim().spawn(workerLoop());
+  // On a node restart, workers that were mid-item at the crash are gone
+  // (parked) or stale (zombies): settle their waitIdle() accounting and
+  // spawn replacements so the pool regains full capacity.  Workers idle in
+  // Queue.recv() survived the crash and need no replacement.
+  RestartHookId = Host.addRestartHook([this] {
+    int Lost = Running;
+    Running = 0;
+    Respawned += static_cast<uint64_t>(Lost);
+    if (Lost > 0)
+      trace::instant(this->Host.id(), 0, "fault.pool_respawn",
+                     this->Host.sim().now().nanosecondsCount());
+    for (int I = 0; I < Lost; ++I) {
+      Pending.done();
+      this->Host.sim().spawn(workerLoop());
+    }
+  });
 }
 
 ThreadPool::~ThreadPool() {
+  Host.removeRestartHook(RestartHookId);
   metrics::Registry &Reg = metrics::Registry::global();
   Reg.counter("pool.items_posted").add(Posted);
   Reg.gauge("pool.peak_queue_depth")
       .noteMax(static_cast<int64_t>(PeakQueue));
+  if (Respawned > 0)
+    Reg.counter("pool.workers_respawned").add(Respawned);
 }
 
 void ThreadPool::post(WorkItem Work) {
@@ -44,8 +63,17 @@ void ThreadPool::post(WorkItem Work) {
 sim::Task<void> ThreadPool::workerLoop() {
   for (;;) {
     WorkItem Work = co_await Queue.recv();
+    uint64_t Epoch = Host.epoch();
+    ++Running;
     co_await Host.compute(calib::ThreadPoolDispatch);
     co_await Work();
+    if (Host.epoch() != Epoch)
+      // Zombie: the node crashed (and restarted) while this item was in
+      // flight on a non-compute await.  The restart hook already settled
+      // Pending/Running and respawned a replacement worker; this frame
+      // just dies.
+      co_return;
+    --Running;
     Pending.done();
   }
 }

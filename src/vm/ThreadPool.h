@@ -54,6 +54,8 @@ public:
   uint64_t posted() const { return Posted; }
   /// High-water mark of the backlog (items queued behind busy workers).
   uint64_t peakQueueDepth() const { return PeakQueue; }
+  /// Workers respawned after node restarts (0 in fault-free runs).
+  uint64_t workersRespawned() const { return Respawned; }
 
 private:
   sim::Task<void> workerLoop();
@@ -64,6 +66,13 @@ private:
   sim::WaitGroup Pending;
   uint64_t Posted = 0;
   uint64_t PeakQueue = 0;
+  /// Workers between recv() and done() right now.  On a crash these are
+  /// lost (parked in compute) or zombies (resume later and see a newer
+  /// node epoch); the restart hook settles their accounting and respawns
+  /// replacements.
+  int Running = 0;
+  uint64_t Respawned = 0;
+  uint64_t RestartHookId = 0;
 };
 
 } // namespace parcs::vm

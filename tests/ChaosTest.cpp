@@ -1,0 +1,290 @@
+//===- tests/ChaosTest.cpp - end-to-end fault tolerance -------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos scenarios against the seeded fault injector: node crash/restart
+/// with retries riding over the outage, partitions that heal, and the
+/// flagship acceptance run -- a ray farm that loses a node mid-render and
+/// still produces the checksum-correct image, byte-identically across
+/// repeated runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/ray/Farm.h"
+#include "fault/Injector.h"
+#include "remoting/Remoting.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+#include "vm/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcs;
+using namespace parcs::remoting;
+using namespace parcs::sim;
+
+namespace {
+
+SimTime ms(int64_t N) { return SimTime::milliseconds(N); }
+
+fault::FaultPlan mustParse(const char *Spec) {
+  ErrorOr<fault::FaultPlan> Plan = fault::FaultPlan::parse(Spec);
+  if (!Plan) {
+    ADD_FAILURE() << "bad fault plan '" << Spec << "': " << Plan.error().str();
+    return fault::FaultPlan();
+  }
+  return *Plan;
+}
+
+class EchoHandler : public CallHandler {
+public:
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
+                                       const Bytes &Args) override {
+    if (Method != "echo")
+      co_return Error(ErrorCode::UnknownMethod, std::string(Method));
+    ++Calls;
+    co_return Bytes(Args);
+  }
+  int Calls = 0;
+};
+
+/// Two nodes, an echo server on node 1, and the injector driving \p Spec.
+struct ChaosWorld {
+  explicit ChaosWorld(const char *Spec)
+      : Machines(2, vm::VmKind::MonoVm117), Net(Machines.sim(), 2),
+        Chaos(Machines.sim(), mustParse(Spec)),
+        Client(Machines.node(0), Net,
+               stackProfile(StackKind::MonoRemotingTcp117), 1050),
+        Server(Machines.node(1), Net,
+               stackProfile(StackKind::MonoRemotingTcp117), 1050),
+        Echo(std::make_shared<EchoHandler>()) {
+    Chaos.attach(Machines, Net);
+    Server.publish("echo", Echo);
+  }
+
+  Simulator &sim() { return Machines.sim(); }
+
+  vm::Cluster Machines;
+  net::Network Net;
+  fault::Injector Chaos;
+  RpcEndpoint Client;
+  RpcEndpoint Server;
+  std::shared_ptr<EchoHandler> Echo;
+};
+
+RetryPolicy quickRetry(int MaxAttempts, SimTime AttemptTimeout,
+                       SimTime Backoff) {
+  RetryPolicy Retry;
+  Retry.MaxAttempts = MaxAttempts;
+  Retry.AttemptTimeout = AttemptTimeout;
+  Retry.BaseBackoff = Backoff;
+  return Retry;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash and restart
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosTest, RetriesRideOverCrashAndRestart) {
+  // Node 1 dies at 5 ms and reboots at 12 ms; a reliable call issued
+  // during the outage keeps retrying into the restarted node.
+  ChaosWorld W("crash(1,5ms,12ms)");
+  W.Client.setRetryPolicy(quickRetry(8, ms(5), ms(1)));
+  ErrorOr<Bytes> Before(Bytes{}), During(Bytes{});
+  struct Proc {
+    static Task<void> run(ChaosWorld &W, ErrorOr<Bytes> &Before,
+                          ErrorOr<Bytes> &During) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(1));
+      Before = co_await W.Client.callReliable(1, 1050, "echo", "echo",
+                                              Payload);
+      co_await W.sim().delay(ms(6)); // Well inside the outage.
+      During = co_await W.Client.callReliable(1, 1050, "echo", "echo",
+                                              Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Before, During));
+  W.sim().run();
+  EXPECT_TRUE(Before.hasValue()) << Before.error().str();
+  ASSERT_TRUE(During.hasValue()) << During.error().str();
+  EXPECT_EQ(W.Echo->Calls, 2);
+  EXPECT_EQ(W.Chaos.counters().Crashes, 1u);
+  EXPECT_EQ(W.Chaos.counters().Restarts, 1u);
+  EXPECT_GE(W.Chaos.counters().NodeDownDropped, 1u);
+  EXPECT_GE(W.Client.stats().Retries, 1u);
+}
+
+TEST(ChaosTest, CrashWithoutRestartExhaustsRetries) {
+  ChaosWorld W("crash(1,1ms)");
+  W.Client.setRetryPolicy(quickRetry(3, ms(4), ms(1)));
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(ChaosWorld &W, ErrorOr<Bytes> &Out) {
+      co_await W.sim().delay(ms(2));
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(2));
+      Out = co_await W.Client.callReliable(1, 1050, "echo", "echo", Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_EQ(Out.error().code(), ErrorCode::ConnectionFailed);
+  EXPECT_EQ(W.Echo->Calls, 0);
+  EXPECT_EQ(W.Client.stats().RetriesExhausted, 1u);
+  EXPECT_EQ(W.Chaos.counters().Restarts, 0u);
+}
+
+/// Echoes after 5 ms of compute -- wide enough to die mid-handler.
+class SlowEchoHandler : public CallHandler {
+public:
+  explicit SlowEchoHandler(vm::Node &Host) : Host(Host) {}
+  sim::Task<ErrorOr<Bytes>> handleCall(std::string_view,
+                                       const Bytes &Args) override {
+    ++Started;
+    co_await Host.compute(SimTime::milliseconds(5));
+    ++Completed;
+    co_return Bytes(Args);
+  }
+  vm::Node &Host;
+  int Started = 0;
+  int Completed = 0;
+};
+
+TEST(ChaosTest, RestartClearsOrphanedDedupEntries) {
+  // The first attempt reaches the server and starts its 5 ms of work; the
+  // node crashes mid-handler, orphaning the in-progress dedup entry.
+  // After the restart the retry of the *same* dedup id must re-execute
+  // rather than being suppressed forever by the stale entry.
+  ChaosWorld W("crash(1,10ms,20ms)");
+  auto Slow = std::make_shared<SlowEchoHandler>(W.Machines.node(1));
+  W.Server.publish("slow", Slow);
+  W.Client.setRetryPolicy(quickRetry(8, ms(8), ms(1)));
+  ErrorOr<Bytes> Warmup(Bytes{}), Out(Bytes{});
+  struct Proc {
+    static Task<void> run(ChaosWorld &W, ErrorOr<Bytes> &Warmup,
+                          ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(3));
+      // Warmup pays connection setup, so the real attempt's request
+      // lands promptly.
+      Warmup = co_await W.Client.callReliable(1, 1050, "echo", "echo",
+                                              Payload);
+      co_await W.sim().delay(ms(8) - W.sim().now());
+      Out = co_await W.Client.callReliable(1, 1050, "slow", "echo", Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Warmup, Out));
+  W.sim().run();
+  EXPECT_TRUE(Warmup.hasValue()) << Warmup.error().str();
+  ASSERT_TRUE(Out.hasValue()) << Out.error().str();
+  EXPECT_GE(W.Client.stats().Retries, 1u);
+  EXPECT_GE(Slow->Started, 2) << "the retry must have re-executed";
+  EXPECT_EQ(Slow->Completed, Slow->Started - 1)
+      << "exactly the crashed execution never finished";
+}
+
+//===----------------------------------------------------------------------===//
+// Partitions
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosTest, PartitionHealsAndCallCompletes) {
+  ChaosWorld W("partition(0,1,1ms,20ms)");
+  W.Client.setRetryPolicy(quickRetry(6, ms(5), ms(2)));
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(ChaosWorld &W, ErrorOr<Bytes> &Out) {
+      co_await W.sim().delay(ms(2));
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(4));
+      Out = co_await W.Client.callReliable(1, 1050, "echo", "echo", Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_TRUE(Out.hasValue()) << Out.error().str();
+  EXPECT_EQ(W.Echo->Calls, 1);
+  EXPECT_GE(W.Chaos.counters().PartitionDropped, 1u);
+  EXPECT_GT(W.sim().now(), ms(20)) << "success only after the heal";
+}
+
+//===----------------------------------------------------------------------===//
+// The chaos ray farm (flagship acceptance scenario)
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const apps::ray::RayJob> chaosJob() {
+  auto Job = std::make_shared<apps::ray::RayJob>();
+  Job->SceneData = apps::ray::Scene::javaGrande(2);
+  Job->Width = 60;
+  Job->Height = 40;
+  Job->LinesPerTask = 5;
+  // ~5 s of virtual sequential work, so the crash below lands mid-render.
+  Job->NsPerOp = apps::ray::calibrateNsPerOp(Job->SceneData, Job->Width,
+                                             Job->Height, /*Target=*/5.0);
+  return Job;
+}
+
+/// Node 2 (of 3) dies mid-render and reboots, under 1% loss and 0.5%
+/// corruption.
+constexpr const char *ChaosFarmPlan =
+    "seed(42);crash(2,300ms,600ms);loss(0.01);corrupt(0.005)";
+
+apps::ray::FarmResult runChaosFarm(
+    const std::shared_ptr<const apps::ray::RayJob> &Job) {
+  apps::ray::FarmConfig Config;
+  Config.Processors = 6; // 3 dual-core nodes, so "node 2" exists.
+  Config.Faults = mustParse(ChaosFarmPlan);
+  return apps::ray::runScooppRayFarm(Job, Config);
+}
+
+TEST(ChaosTest, ChaosFarmRendersChecksumCorrectImage) {
+  auto Job = chaosJob();
+  apps::ray::SequentialResult Seq =
+      apps::ray::sequentialRender(*Job, vm::VmKind::SunJvm142);
+  apps::ray::FarmResult Farm = runChaosFarm(Job);
+  EXPECT_TRUE(Farm.Complete) << "rows lost to the crash were not recovered";
+  EXPECT_EQ(Farm.Checksum, Seq.Checksum)
+      << "faults may cost time, never pixels";
+  EXPECT_EQ(Farm.PixelBytes,
+            static_cast<uint64_t>(Job->Width) * Job->Height * 3);
+  EXPECT_GT(Farm.Elapsed, SimTime()) << "the simulation must have drained";
+}
+
+TEST(ChaosTest, ChaosFarmIsByteIdenticallyReproducible) {
+  auto Job = chaosJob();
+  metrics::Registry &Reg = metrics::Registry::global();
+
+  auto tracedRun = [&] {
+    Reg.reset();
+    trace::reset();
+    trace::setEnabled(true);
+    apps::ray::FarmResult Farm = runChaosFarm(Job);
+    trace::setEnabled(false);
+    std::string Trace = trace::exportJson();
+    trace::reset();
+    return std::make_tuple(Farm, Reg.textReport(), std::move(Trace));
+  };
+
+  auto [FarmA, MetricsA, TraceA] = tracedRun();
+  auto [FarmB, MetricsB, TraceB] = tracedRun();
+  Reg.reset();
+
+  EXPECT_EQ(FarmA.Elapsed, FarmB.Elapsed);
+  EXPECT_EQ(FarmA.Checksum, FarmB.Checksum);
+  EXPECT_EQ(FarmA.RowsRecovered, FarmB.RowsRecovered);
+  EXPECT_EQ(MetricsA, MetricsB) << "metrics must be byte-identical";
+  EXPECT_EQ(TraceA, TraceB) << "trace exports must be byte-identical";
+}
+
+TEST(ChaosTest, FaultFreeFarmReportsNoRecovery) {
+  auto Job = chaosJob();
+  apps::ray::FarmConfig Config;
+  Config.Processors = 4;
+  apps::ray::FarmResult Farm = apps::ray::runScooppRayFarm(Job, Config);
+  EXPECT_TRUE(Farm.Complete);
+  EXPECT_EQ(Farm.RowsRecovered, 0);
+  apps::ray::SequentialResult Seq =
+      apps::ray::sequentialRender(*Job, vm::VmKind::SunJvm142);
+  EXPECT_EQ(Farm.Checksum, Seq.Checksum);
+}
+
+} // namespace

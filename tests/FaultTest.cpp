@@ -11,7 +11,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fault/Injector.h"
 #include "remoting/Remoting.h"
+#include "serial/Crc32.h"
 #include "vm/Cluster.h"
 
 #include <gtest/gtest.h>
@@ -168,10 +170,11 @@ TEST(FaultTest, LateRepliesAfterTimeoutAreDropped) {
   W.sim().run();
   ASSERT_FALSE(Out.hasValue());
   EXPECT_EQ(Out.error().code(), ErrorCode::TimedOut);
-  // The server still executed the call; its late reply was dropped as an
-  // unknown call id.
+  // The server still executed the call; its late reply was recognised as
+  // a timed-out call's (not mis-counted as a malformed frame).
   EXPECT_EQ(W.Echo->Calls, 1);
-  EXPECT_EQ(W.Client.stats().MalformedDropped, 1u);
+  EXPECT_EQ(W.Client.stats().LateReplies, 1u);
+  EXPECT_EQ(W.Client.stats().MalformedDropped, 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,6 +239,146 @@ TEST(FaultTest, ConcurrentFirstCallsConnectOnce) {
   // All three completed within roughly one connect + one round trip --
   // not three connects back to back.
   EXPECT_LT(W.sim().now(), ms(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Frame checksums
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, Crc32MatchesKnownVector) {
+  // The CRC-32 (IEEE 802.3) check value for "123456789".
+  const char *Digits = "123456789";
+  EXPECT_EQ(serial::crc32(reinterpret_cast<const uint8_t *>(Digits), 9),
+            0xCBF43926u);
+  EXPECT_EQ(serial::crc32(nullptr, 0), 0u);
+}
+
+TEST(FaultTest, CorruptedFramesAreCountedAndDropped) {
+  // With the injector flipping one bit in every payload, the server must
+  // classify the frames as corrupted (CRC mismatch), not as malformed
+  // protocol, and the caller times out cleanly.
+  FaultWorld W;
+  ErrorOr<fault::FaultPlan> Plan = fault::FaultPlan::parse("corrupt(1.0)");
+  ASSERT_TRUE(Plan.hasValue()) << Plan.error().str();
+  fault::Injector Chaos(W.sim(), *Plan);
+  Chaos.attach(W.Machines, W.Net);
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(FaultWorld &W, ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(7));
+      Out = co_await W.Client.call(1, 1050, "echo", "echo", Payload,
+                                   /*Timeout=*/ms(20));
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_EQ(Out.error().code(), ErrorCode::TimedOut);
+  EXPECT_EQ(W.Echo->Calls, 0);
+  EXPECT_EQ(Chaos.counters().Corrupted, 1u);
+  EXPECT_EQ(W.Server.stats().CorruptedDropped, 1u);
+  EXPECT_EQ(W.Server.stats().MalformedDropped, 0u);
+}
+
+TEST(FaultTest, RetryOutlivesCorruptionWindow) {
+  // Corruption active only for the first 5 ms: the first attempt's frame
+  // dies on the CRC check, the retry (after the attempt timeout) lands in
+  // the clean window and succeeds end to end.
+  FaultWorld W;
+  ErrorOr<fault::FaultPlan> Plan =
+      fault::FaultPlan::parse("corrupt(1.0,0,5ms)");
+  ASSERT_TRUE(Plan.hasValue()) << Plan.error().str();
+  fault::Injector Chaos(W.sim(), *Plan);
+  Chaos.attach(W.Machines, W.Net);
+  RetryPolicy Retry;
+  Retry.MaxAttempts = 4;
+  Retry.AttemptTimeout = ms(10);
+  Retry.BaseBackoff = ms(2);
+  W.Client.setRetryPolicy(Retry);
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(FaultWorld &W, ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(9));
+      Out = co_await W.Client.callReliable(1, 1050, "echo", "echo", Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_TRUE(Out.hasValue()) << Out.error().str();
+  EXPECT_EQ(W.Echo->Calls, 1);
+  EXPECT_GE(W.Client.stats().Retries, 1u);
+  EXPECT_GE(W.Server.stats().CorruptedDropped, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// At-most-once (dedup window)
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, DedupMakesRetriesAtMostOnce) {
+  // Same phase trick as RetryLoopSurvivesLoss: the leading one-way shifts
+  // the drop pattern so the first attempt's *reply* is transfer 3 (lost).
+  // The server already executed the call, so the retry must not run it a
+  // second time: the dedup window resends the cached reply instead.
+  FaultWorld W(/*DropEveryNth=*/3);
+  RetryPolicy Retry;
+  Retry.MaxAttempts = 5;
+  Retry.AttemptTimeout = ms(20);
+  Retry.BaseBackoff = ms(2);
+  W.Client.setRetryPolicy(Retry);
+  ErrorOr<Bytes> Out(Bytes{});
+  struct Proc {
+    static Task<void> run(FaultWorld &W, ErrorOr<Bytes> &Out) {
+      Bytes Payload = serial::encodeValues(static_cast<int32_t>(42));
+      co_await W.Client.callOneWay(1, 1050, "echo", "echo", Payload);
+      Out = co_await W.Client.callReliable(1, 1050, "echo", "echo", Payload);
+    }
+  };
+  W.sim().spawn(Proc::run(W, Out));
+  W.sim().run();
+  ASSERT_TRUE(Out.hasValue()) << Out.error().str();
+  EXPECT_EQ(serial::encodeValues(static_cast<int32_t>(42)), *Out);
+  EXPECT_EQ(W.Echo->Calls, 2) << "one-way + exactly one two-way execution";
+  EXPECT_EQ(W.Client.stats().Retries, 1u);
+  EXPECT_EQ(W.Server.stats().DedupHits, 1u);
+  // The first reply's late arrival (it was dropped here, but in general)
+  // must not have been misclassified.
+  EXPECT_EQ(W.Client.stats().MalformedDropped, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-plan grammar
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, FaultPlanParsesAndRoundTrips) {
+  ErrorOr<fault::FaultPlan> Plan = fault::FaultPlan::parse(
+      "seed(7);dropnth(4);crash(2,10s,20s);partition(0,1,3s,4s);"
+      "loss(0.01,0,5s);corrupt(0.001);latency(2ms,1s,2s)");
+  ASSERT_TRUE(Plan.hasValue()) << Plan.error().str();
+  EXPECT_EQ(Plan->Seed, 7u);
+  EXPECT_EQ(Plan->DropEveryNth, 4);
+  ASSERT_EQ(Plan->Crashes.size(), 1u);
+  EXPECT_EQ(Plan->Crashes[0].Node, 2);
+  EXPECT_EQ(Plan->Crashes[0].At, SimTime::seconds(10));
+  EXPECT_EQ(Plan->Crashes[0].RestartAt, SimTime::seconds(20));
+  ASSERT_EQ(Plan->Partitions.size(), 1u);
+  ASSERT_EQ(Plan->Losses.size(), 1u);
+  ASSERT_EQ(Plan->Corruptions.size(), 1u);
+  ASSERT_EQ(Plan->Latencies.size(), 1u);
+  EXPECT_FALSE(Plan->empty());
+  // A parsed plan re-renders to a spec that parses to the same plan.
+  ErrorOr<fault::FaultPlan> Again = fault::FaultPlan::parse(Plan->str());
+  ASSERT_TRUE(Again.hasValue()) << Again.error().str();
+  EXPECT_EQ(Again->str(), Plan->str());
+}
+
+TEST(FaultTest, FaultPlanRejectsNonsense) {
+  EXPECT_FALSE(fault::FaultPlan::parse("loss(1.5)").hasValue());
+  EXPECT_FALSE(fault::FaultPlan::parse("crash(-1,10s)").hasValue());
+  EXPECT_FALSE(fault::FaultPlan::parse("crash(1,10s,5s)").hasValue());
+  EXPECT_FALSE(fault::FaultPlan::parse("partition(0,1,5s,2s)").hasValue());
+  EXPECT_FALSE(fault::FaultPlan::parse("wibble(3)").hasValue());
+  EXPECT_TRUE(fault::FaultPlan::parse("").hasValue());
+  EXPECT_TRUE(fault::FaultPlan::parse("")->empty());
 }
 
 } // namespace
