@@ -12,6 +12,8 @@
 #include "vm/Calibration.h"
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 using namespace parcs;
 using namespace parcs::scoopp;
@@ -58,10 +60,34 @@ int ObjectManager::loadMetric() const {
          static_cast<int>(Runtime.endpoint(NodeId).dispatchPool().queueDepth());
 }
 
+sim::Task<int> ObjectManager::probeLoad(int Peer, int Fallback) {
+  remoting::RemoteHandle Handle(Runtime.endpoint(NodeId), Peer,
+                                Runtime.config().Port, ScooppRuntime::OmName);
+  ErrorOr<int32_t> Load = co_await Handle.invokeTyped<int32_t>("getLoad");
+  if (!Load) {
+    if (ScooppRuntime::transportError(Load.error().code()))
+      Runtime.noteCallOutcome(Peer, false);
+    co_return Fallback;
+  }
+  Runtime.noteCallOutcome(Peer, true);
+  co_return *Load;
+}
+
 sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
   (void)ClassName; // Placement is currently class-independent.
   metrics::Registry::global().counter("om.placements").add(1);
   int Nodes = Runtime.nodeCount();
+  // Partition-aware accounting: a placement whose target lives on another
+  // PDES partition turns every future call into cross-partition mail, so
+  // the ratio is the knob-tuning signal for partition maps.
+  auto Chose = [&](int Node) {
+    if (Runtime.cluster().partitionOf(Node) !=
+        Runtime.cluster().partitionOf(NodeId))
+      metrics::Registry::global()
+          .counter("om.placements_cross_partition")
+          .add(1);
+    return Node;
+  };
   // Failure awareness: a node the health tracker marked down is skipped
   // (our own node always counts as a candidate -- local degradation beats
   // shipping work into a black hole).  In a healthy cluster the first
@@ -79,7 +105,7 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
     int Candidate = (NodeId + 1 + NextPlacement++ % Nodes) % Nodes;
     for (int Step = 0; Step < Nodes; ++Step) {
       if (Usable(Candidate))
-        co_return Candidate;
+        co_return Chose(Candidate);
       Candidate = (Candidate + 1) % Nodes;
     }
     co_return degraded();
@@ -88,14 +114,14 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
     int Pick = static_cast<int>(
         Runtime.rng().nextBelow(static_cast<uint64_t>(Nodes)));
     if (Usable(Pick))
-      co_return Pick;
+      co_return Chose(Pick);
     std::vector<int> Alive;
     for (int Node = 0; Node < Nodes; ++Node)
       if (Usable(Node))
         Alive.push_back(Node);
     if (Alive.empty())
       co_return degraded();
-    co_return Alive[Runtime.rng().nextBelow(Alive.size())];
+    co_return Chose(Alive[Runtime.rng().nextBelow(Alive.size())]);
   }
   case PlacementPolicy::LocalOnly:
     co_return NodeId;
@@ -122,7 +148,36 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
         BestLoad = *Load;
       }
     }
-    co_return Best;
+    co_return Chose(Best);
+  }
+  case PlacementPolicy::PowerOfTwoChoices: {
+    // ROADMAP A4: O(1) probes instead of the O(nodes) LeastLoaded poll.
+    // Two distinct seeded draws over the healthy peers (self included as a
+    // free candidate -- its load needs no RPC); ties go to the lower node
+    // id so the pick is a pure function of the draws and the loads.
+    std::vector<int> Alive;
+    for (int Node = 0; Node < Nodes; ++Node)
+      if (Usable(Node))
+        Alive.push_back(Node);
+    if (Alive.empty())
+      co_return degraded();
+    int A = Alive[Runtime.rng().nextBelow(Alive.size())];
+    int B = Alive[Runtime.rng().nextBelow(Alive.size())];
+    if (A == B && Alive.size() > 1) {
+      // Resample the second candidate until distinct: with two or more
+      // candidates the draw sequence stays deterministic and terminates.
+      while (B == A)
+        B = Alive[Runtime.rng().nextBelow(Alive.size())];
+    }
+    if (A == B)
+      co_return Chose(A);
+    if (A > B)
+      std::swap(A, B);
+    int LoadA = A == NodeId ? loadMetric() : co_await probeLoad(A, INT32_MAX);
+    int LoadB = B == NodeId ? loadMetric() : co_await probeLoad(B, INT32_MAX);
+    if (LoadA == INT32_MAX && LoadB == INT32_MAX)
+      co_return degraded();
+    co_return Chose(LoadB < LoadA ? B : A);
   }
   }
   PARCS_UNREACHABLE("unhandled PlacementPolicy");

@@ -75,8 +75,12 @@ public:
   int aggregationFactor(const std::string &ClassName) const;
 
   /// Picks the node for a new object of \p ClassName per the placement
-  /// policy.  May RPC peer OMs (LeastLoaded).
+  /// policy.  May RPC peer OMs (LeastLoaded, PowerOfTwoChoices).
   sim::Task<int> placeObject(std::string ClassName);
+
+  /// Queries \p Peer's load over RPC; falls back to \p Fallback (and feeds
+  /// the health tracker) when the peer is unreachable.
+  sim::Task<int> probeLoad(int Peer, int Fallback);
 
   /// Load metric used by LeastLoaded (hosted objects + queued dispatch
   /// work on this node's endpoint).

@@ -1,0 +1,216 @@
+//===- net/PdesFabric.cpp -------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/PdesFabric.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cassert>
+
+using namespace parcs;
+using namespace parcs::net;
+
+PdesFabric::PdesFabric(sim::ParallelExecutor &Exec, int NodeCount,
+                       NetConfig Config)
+    : Exec(Exec), Config(Config) {
+  assert(NodeCount > 0 && "fabric needs at least one node");
+  int K = Exec.partitionCount();
+  NodePartition.reserve(size_t(NodeCount));
+  for (int Node = 0; Node < NodeCount; ++Node)
+    NodePartition.push_back(Node % K);
+  TxFreeNs.assign(size_t(NodeCount), 0);
+  NextMsgSeq.assign(size_t(NodeCount), 1);
+  NodeRng.reserve(size_t(NodeCount));
+  for (int Node = 0; Node < NodeCount; ++Node)
+    NodeRng.push_back(std::make_unique<Rng>(uint64_t(Node) + 1));
+  Shards.resize(size_t(K));
+  // Ring creation mutates the shared trace table; do it now, while we are
+  // still serial, so parallel workers only ever write pre-sized,
+  // node-disjoint rings.
+  trace::reserveNodes(NodeCount - 1);
+}
+
+PdesFabric::~PdesFabric() {
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("fab.messages_delivered").add(messagesDelivered());
+  Reg.counter("fab.messages_dropped").add(messagesDropped());
+  Reg.counter("fab.payload_bytes").add(payloadBytesDelivered());
+}
+
+void PdesFabric::setPlan(fault::FaultPlan NewPlan) {
+  Plan = std::move(NewPlan);
+  // One draw stream per source node, in the source's deterministic send
+  // order; seeds derive from the plan seed so identical (plan, workload)
+  // pairs replay bit-for-bit.
+  for (size_t Node = 0; Node < NodeRng.size(); ++Node)
+    NodeRng[Node]->reseed(Plan.Seed * 0x9e3779b97f4a7c15ULL + Node + 1);
+}
+
+sim::Channel<Message> &PdesFabric::bind(int Node, int Port) {
+  assert(Node >= 0 && Node < nodeCount() && "bind: bad node id");
+  auto &Slot = Ports[{Node, Port}];
+  if (!Slot)
+    Slot = std::make_unique<sim::Channel<Message>>(simOf(Node));
+  return *Slot;
+}
+
+bool PdesFabric::nodeDownAt(int Node, int64_t AtNs) const {
+  for (const fault::CrashEvent &C : Plan.Crashes) {
+    if (C.Node != Node)
+      continue;
+    int64_t From = C.At.nanosecondsCount();
+    int64_t Until = C.RestartAt.nanosecondsCount();
+    if (AtNs >= From && (Until == 0 || AtNs < Until))
+      return true;
+  }
+  return false;
+}
+
+bool PdesFabric::linkCutAt(int A, int B, int64_t AtNs) const {
+  for (const fault::Partition &P : Plan.Partitions) {
+    if (!((P.NodeA == A && P.NodeB == B) || (P.NodeA == B && P.NodeB == A)))
+      continue;
+    int64_t From = P.From.nanosecondsCount();
+    int64_t Until = P.Until.nanosecondsCount();
+    if (AtNs >= From && (Until == 0 || AtNs < Until))
+      return true;
+  }
+  return false;
+}
+
+// PARCS_HOT_BEGIN(pdes-fabric-send): per-message cost on the sending
+// partition.  All state touched here -- TxFreeNs[Src], NodeRng[Src], the
+// outbox row -- is owned by Src's partition; nothing cross-partition is
+// read or written before the mailbox post.
+
+void PdesFabric::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) {
+  assert(Src >= 0 && Src < nodeCount() && "send: bad source node");
+  assert(Dst >= 0 && Dst < nodeCount() && "send: bad destination node");
+  assert(Ports.count({Dst, Port}) != 0 && "send: destination port not bound");
+
+  sim::Partition &SrcPart = Exec.partition(partitionOf(Src));
+  int64_t NowNs = SrcPart.sim().now().nanosecondsCount();
+
+  if (nodeDownAt(Src, NowNs)) {
+    // A crashed node's NIC blackholes: the send vanishes at the source.
+    ++Shards[size_t(partitionOf(Src))].Dropped;
+    return;
+  }
+
+  Message Msg;
+  Msg.Src = Src;
+  Msg.Dst = Dst;
+  Msg.Port = Port;
+  Msg.Id = (uint64_t(Src) << 48) | NextMsgSeq[size_t(Src)]++;
+  Msg.Payload = std::move(Payload);
+
+  if (Src == Dst) {
+    // Loopback: no wire, but keep the one-event-hop asynchrony of the
+    // serial fabric so local and remote sends re-enter identically.
+    sim::Channel<Message> &Chan = *Ports[{Dst, Port}];
+    Shard &S = Shards[size_t(partitionOf(Dst))];
+    SrcPart.sim().schedule(
+        sim::SimTime(), [&Chan, &S, Msg = std::move(Msg)]() mutable {
+          ++S.Delivered;
+          S.PayloadBytes += Msg.Payload.size();
+          Chan.trySend(std::move(Msg));
+        });
+    return;
+  }
+
+  // Transmit serialization on the source uplink, then cut-through
+  // delivery: first packet + switch latency ahead of the full drain.
+  int64_t WireNs = wiremath::wireTime(Config, Msg.Payload.size())
+                       .nanosecondsCount();
+  int64_t StartNs = std::max(NowNs, TxFreeNs[size_t(Src)]);
+  TxFreeNs[size_t(Src)] = StartNs + WireNs;
+  int64_t DeliverNs =
+      StartNs + WireNs + Config.SwitchLatency.nanosecondsCount() +
+      wiremath::firstPacketTime(Config, Msg.Payload.size()).nanosecondsCount();
+
+  // Latency-degradation clauses, evaluated at send time.
+  for (const fault::LatencyClause &L : Plan.Latencies) {
+    int64_t From = L.From.nanosecondsCount();
+    int64_t Until = L.Until.nanosecondsCount();
+    if (NowNs >= From && (Until == 0 || NowNs < Until))
+      DeliverNs += L.Extra.nanosecondsCount();
+  }
+
+  // Loss and corruption draws come from the *source's* stream in send
+  // order, so the draw sequence -- and therefore the fault outcome -- is
+  // independent of thread count.  Lost messages still occupy the wire
+  // (TxFreeNs already advanced) and are dropped at the destination, like
+  // real tail drops.
+  bool Lost = false;
+  Rng &R = *NodeRng[size_t(Src)];
+  for (const fault::LossClause &L : Plan.Losses) {
+    int64_t From = L.From.nanosecondsCount();
+    int64_t Until = L.Until.nanosecondsCount();
+    if (NowNs >= From && (Until == 0 || NowNs < Until) &&
+        R.nextDouble() < L.Probability)
+      Lost = true;
+  }
+  for (const fault::CorruptClause &C : Plan.Corruptions) {
+    int64_t From = C.From.nanosecondsCount();
+    int64_t Until = C.Until.nanosecondsCount();
+    if (NowNs >= From && (Until == 0 || NowNs < Until) &&
+        !Msg.Payload.empty() && R.nextDouble() < C.Probability) {
+      size_t Bit = size_t(R.nextBelow(Msg.Payload.size() * 8));
+      Msg.Payload[Bit / 8] ^= uint8_t(1u << (Bit % 8));
+    }
+  }
+  if (linkCutAt(Src, Dst, NowNs))
+    Lost = true;
+
+  // The envelope outlives the window; the capture exceeds the inline
+  // buffer for large payloads, which is fine off the per-partition hot
+  // loop (cross-partition mail is the priced, slower path by design).
+  int DstPart = partitionOf(Dst);
+  SrcPart.post(DstPart, DeliverNs,
+               sim::EventCallback([this, Lost, DeliverNs,
+                                   Msg = std::move(Msg)]() mutable {
+                 deliver(std::move(Msg), Lost, DeliverNs);
+               }));
+}
+
+// PARCS_HOT_END
+
+void PdesFabric::deliver(Message Msg, bool Lost, int64_t AtNs) {
+  Shard &S = Shards[size_t(partitionOf(Msg.Dst))];
+  if (Lost || nodeDownAt(Msg.Dst, AtNs)) {
+    ++S.Dropped;
+    trace::instant(Msg.Dst, 0, "fab.drop", AtNs);
+    return;
+  }
+  ++S.Delivered;
+  S.PayloadBytes += Msg.Payload.size();
+  trace::instant(Msg.Dst, 0, "fab.deliver", AtNs);
+  auto It = Ports.find({Msg.Dst, Msg.Port});
+  assert(It != Ports.end() && "delivery to an unbound port");
+  It->second->trySend(std::move(Msg));
+}
+
+uint64_t PdesFabric::messagesDelivered() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Delivered;
+  return Total;
+}
+
+uint64_t PdesFabric::messagesDropped() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Dropped;
+  return Total;
+}
+
+uint64_t PdesFabric::payloadBytesDelivered() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.PayloadBytes;
+  return Total;
+}

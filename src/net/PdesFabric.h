@@ -1,0 +1,137 @@
+//===- net/PdesFabric.h - Partitioned message fabric ------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-partition message fabric for PDES runs: node-to-node datagram
+/// delivery over the parallel executor's mailboxes, priced with the same
+/// wiremath the serial Network bills (packetisation, per-source transmit
+/// serialization, switch latency), and with seeded fault-plan evaluation.
+///
+/// The serial Network cannot run under the parallel executor unchanged --
+/// its receive-port reservation (Nic::RxFreeAt) is written at *transmit*
+/// start by the sender, i.e. cross-node shared state mutated mid-window.
+/// The fabric therefore keeps all mutable state partition-owned:
+///
+///  - per-source transmit serialization (TxFreeNs[src]) is touched only by
+///    the source node's partition;
+///  - delivery is an envelope posted through Partition::post, landing on
+///    the destination's calendar at send-time-computed timestamps;
+///  - fault clauses are evaluated as pure functions of the plan and the
+///    virtual time (crash/partition windows), or drawn from a per-source
+///    Rng in the source's deterministic send order (loss/corruption) -- no
+///    clause consults another partition's state.
+///
+/// The conservative lookahead the executor needs is
+/// wiremath::minLatencyNs(config): no message can arrive sooner than the
+/// switch latency plus the empty-payload serialization floors, so a window
+/// of exactly that width never buffers an envelope into its own window.
+///
+/// Intra-node sends keep the serial loopback shape (one zero-delay event
+/// hop, no wire); intra-partition cross-node sends take the same pricing
+/// as cross-partition ones, so the event stream does not depend on the
+/// partition map's alignment with the node map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_NET_PDESFABRIC_H
+#define PARCS_NET_PDESFABRIC_H
+
+#include "fault/FaultPlan.h"
+#include "net/Network.h"
+#include "sim/Channel.h"
+#include "sim/ParallelExecutor.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace parcs::net {
+
+/// Datagram fabric over a ParallelExecutor's partitions.
+class PdesFabric {
+public:
+  /// Nodes 0..NodeCount-1 are assigned round-robin to the executor's
+  /// partitions (node n lives on partition n % K).
+  PdesFabric(sim::ParallelExecutor &Exec, int NodeCount,
+             NetConfig Config = NetConfig());
+  PdesFabric(const PdesFabric &) = delete;
+  PdesFabric &operator=(const PdesFabric &) = delete;
+  /// Folds fabric counters into the global metrics registry.
+  ~PdesFabric();
+
+  /// The executor lookahead this fabric requires (see file comment).
+  static int64_t lookaheadNs(const NetConfig &Config) {
+    return wiremath::minLatencyNs(Config);
+  }
+
+  int nodeCount() const { return int(NodePartition.size()); }
+  const NetConfig &config() const { return Config; }
+
+  /// Partition owning \p Node.
+  int partitionOf(int Node) const {
+    return NodePartition[size_t(Node)];
+  }
+
+  /// The simulator \p Node's coroutines must run on.
+  sim::Simulator &simOf(int Node) {
+    return Exec.partition(partitionOf(Node)).sim();
+  }
+
+  /// Binds (node, port) and returns the delivery channel (owned by the
+  /// node's partition simulator).  Setup-time only: call before run().
+  sim::Channel<Message> &bind(int Node, int Port);
+
+  /// Queues \p Payload from \p Src to (\p Dst, \p Port).  Non-suspending;
+  /// must be called from code running on \p Src's partition (a node only
+  /// sends from itself).  The destination port must already be bound.
+  void send(int Src, int Dst, int Port, std::vector<uint8_t> Payload);
+
+  /// Installs the seeded fault schedule.  Setup-time only.
+  void setPlan(fault::FaultPlan Plan);
+
+  // Counters, summed over per-partition shards; read only after run().
+  uint64_t messagesDelivered() const;
+  uint64_t messagesDropped() const;
+  uint64_t payloadBytesDelivered() const;
+
+private:
+  /// Per-partition counter shard, cache-line sized so two partitions'
+  /// deliveries never write the same line.
+  struct alignas(64) Shard {
+    uint64_t Delivered = 0;
+    uint64_t Dropped = 0;
+    uint64_t PayloadBytes = 0;
+  };
+
+  /// True when \p Node is crashed at \p AtNs (pure function of the plan).
+  bool nodeDownAt(int Node, int64_t AtNs) const;
+  /// True when a partition clause separates \p A and \p B at \p AtNs.
+  bool linkCutAt(int A, int B, int64_t AtNs) const;
+  /// Runs on the destination partition at delivery time.
+  void deliver(Message Msg, bool Lost, int64_t AtNs);
+
+  sim::ParallelExecutor &Exec;
+  NetConfig Config;
+  std::vector<int> NodePartition;
+  /// When node n's uplink frees (written only by n's partition).
+  std::vector<int64_t> TxFreeNs;
+  /// Loss/corruption draws, one stream per source node in send order
+  /// (written only by the source's partition).
+  std::vector<std::unique_ptr<Rng>> NodeRng;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> Ports;
+  std::vector<Shard> Shards;
+  fault::FaultPlan Plan;
+  /// Message ids are (src << 48 | per-source sequence) so id minting stays
+  /// partition-owned (a single shared counter would race and leak the
+  /// interleaving into ids).
+  std::vector<uint64_t> NextMsgSeq;
+};
+
+} // namespace parcs::net
+
+#endif // PARCS_NET_PDESFABRIC_H

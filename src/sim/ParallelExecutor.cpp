@@ -1,0 +1,156 @@
+//===- sim/ParallelExecutor.cpp -------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The window loop.  Worker 0 (the calling thread) is also the coordinator:
+// between rounds it computes the global minimum next-event time serially
+// -- every other worker is parked at the round-start barrier then, so the
+// scan races with nothing -- and publishes the round descriptor the
+// barrier release makes visible.  Three barrier crossings per round:
+//
+//     [plan on worker 0] -> A -> execute -> B -> merge -> C -> [plan ...]
+//
+// Determinism does not depend on the thread count because no phase ever
+// reads state another thread is writing: execution touches only
+// partition-private simulators and the partition's own outbox rows, and
+// the merge reads rows whose writers finished a barrier ago, in a fixed
+// (src ascending) order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ParallelExecutor.h"
+
+#include "support/Metrics.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <thread>
+
+using namespace parcs;
+using namespace parcs::sim;
+
+ParallelExecutor::ParallelExecutor(PdesConfig Config)
+    : Config(Config),
+      Barrier(Config.Threads > Config.Partitions ? Config.Partitions
+                                                 : Config.Threads) {
+  assert(Config.Partitions >= 1 && "need at least one partition");
+  assert(Config.Threads >= 1 && "need at least one thread");
+  assert(Config.LookaheadNs > 0 && "lookahead must be positive");
+  // More threads than partitions would only park the extras at barriers.
+  if (this->Config.Threads > this->Config.Partitions)
+    this->Config.Threads = this->Config.Partitions;
+  Parts.reserve(size_t(Config.Partitions));
+  PartPtrs.reserve(size_t(Config.Partitions));
+  for (int Id = 0; Id < Config.Partitions; ++Id) {
+    Parts.push_back(std::make_unique<Partition>(Id, Config.Partitions));
+    PartPtrs.push_back(Parts.back().get());
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  // Partitions (and their simulators) are destroyed in partition order by
+  // the vector, so metrics folding is thread-count independent.
+}
+
+void ParallelExecutor::executePhase(int Worker) {
+  for (int Id = Worker; Id < int(PartPtrs.size()); Id += Config.Threads)
+    PartPtrs[size_t(Id)]->runWindow(RoundEndNs);
+}
+
+void ParallelExecutor::mergePhase(int Worker) {
+  for (int Id = Worker; Id < int(PartPtrs.size()); Id += Config.Threads)
+    PartPtrs[size_t(Id)]->mergeInbox(PartPtrs);
+}
+
+void ParallelExecutor::workerLoop(int Worker) {
+  while (true) {
+    Barrier.arriveAndWait(); // A: round published by worker 0.
+    if (Stop)
+      return;
+    executePhase(Worker);
+    Barrier.arriveAndWait(); // B: all outbox rows written.
+    mergePhase(Worker);
+    Barrier.arriveAndWait(); // C: all mail scheduled; worker 0 plans next.
+  }
+}
+
+uint64_t ParallelExecutor::run() {
+  // Catch stray setup-time posts (cross-partition posts made before the
+  // first window, while everything is still serial).
+  for (Partition *P : PartPtrs)
+    P->mergeInbox(PartPtrs);
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(size_t(Config.Threads - 1));
+  for (int W = 1; W < Config.Threads; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+
+  while (true) {
+    // Plan: global minimum next-event time across partitions (serial;
+    // workers are parked at barrier A).
+    int64_t MinNs = INT64_MAX;
+    for (Partition *P : PartPtrs) {
+      int64_t Earliest = P->sim().earliestNs();
+      if (Earliest < MinNs)
+        MinNs = Earliest;
+    }
+    if (MinNs == INT64_MAX)
+      break;
+    // Windows align to absolute lookahead-width slots rather than starting
+    // at MinNs, so the sequence of window boundaries -- and with it every
+    // assert and merge point -- is a pure function of the event times.
+    RoundEndNs = (MinNs / Config.LookaheadNs + 1) * Config.LookaheadNs;
+    ++Windows;
+    Barrier.arriveAndWait(); // A
+    executePhase(0);
+    Barrier.arriveAndWait(); // B
+    mergePhase(0);
+    Barrier.arriveAndWait(); // C
+  }
+
+  Stop = true;
+  Barrier.arriveAndWait(); // Release workers into the Stop check.
+  for (std::thread &T : Workers)
+    T.join();
+
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("pdes.windows").add(Windows);
+  Reg.counter("pdes.mail_merged").add(mailMerged());
+  return totalEvents();
+}
+
+uint64_t ParallelExecutor::totalEvents() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Partition> &P : Parts)
+    Total += P->sim().eventsProcessed();
+  return Total;
+}
+
+uint64_t ParallelExecutor::digest() const {
+  EventDigest Folded;
+  for (const std::unique_ptr<Partition> &P : Parts) {
+    Folded.mix(P->digest());
+    Folded.mix(P->sim().eventsProcessed());
+  }
+  return Folded.State;
+}
+
+uint64_t ParallelExecutor::mailMerged() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Partition> &P : Parts)
+    Total += P->mailMerged();
+  return Total;
+}
+
+int parcs::sim::simThreadsFromEnv() {
+  const char *Env = std::getenv("PARCS_SIM_THREADS");
+  if (!Env || !*Env)
+    return 1;
+  char *End = nullptr;
+  long N = std::strtol(Env, &End, 10);
+  if (*End != '\0' || N < 1)
+    return 1;
+  return N > 64 ? 64 : int(N);
+}

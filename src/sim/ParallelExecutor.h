@@ -1,0 +1,119 @@
+//===- sim/ParallelExecutor.h - Conservative PDES executor ------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conservative time-windowed parallel executor (classic
+/// Chandy-Misra-Bryant style lookahead, specialized to a barrier-stepped
+/// window loop).  Rounds alternate three phases over K partitions and W
+/// worker threads (partition p is owned by worker p % W; the calling thread
+/// is worker 0):
+///
+///   plan   (serial): T = min over partitions of next-event time;
+///                    window = [T, T + L) where L is the lookahead;
+///   execute (parallel): each partition runs its own events with
+///                    timestamp < T + L on its private Simulator, buffering
+///                    cross-partition sends into per-(src,dst) outbox rows;
+///   merge  (parallel): after a barrier, each partition drains the rows
+///                    addressed to it in ascending source order.
+///
+/// The lookahead L must be a lower bound on the latency of any
+/// cross-partition interaction (for the network fabric: switch latency
+/// plus the first-packet serialization floor -- see
+/// net::PdesFabric::lookaheadNs).  Then mail produced inside a window
+/// lands at or beyond the window end, so partitions cannot causally
+/// interact *within* a window and may run it in any order or in parallel:
+/// the merged schedule -- and the run digest -- is identical for any
+/// thread count, including this executor at Threads=1.  (The legacy
+/// single-Simulator path is a different, finer-grained interleaving; the
+/// executor's canonical order is its own golden, pinned in PdesTest.)
+///
+/// Why conservative rather than optimistic (Time Warp): no rollback means
+/// no state snapshots, no anti-messages, and -- decisive here -- event
+/// handlers may keep arbitrary side effects (coroutine resumes, channel
+/// wake-ups, trace records) that could not be unwound.  The price is that
+/// parallelism is bounded by events-per-window, i.e. by how much lookahead
+/// the fabric latency provides.
+///
+/// Enabled by the PARCS_SIM_THREADS environment knob (default 1);
+/// simThreadsFromEnv() parses it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SIM_PARALLELEXECUTOR_H
+#define PARCS_SIM_PARALLELEXECUTOR_H
+
+#include "sim/Partition.h"
+#include "sim/WindowBarrier.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parcs::sim {
+
+/// Executor shape: how many partitions the model is split into, how many
+/// OS threads run them, and the conservative lookahead bound.
+struct PdesConfig {
+  int Partitions = 1;
+  int Threads = 1;
+  /// Lower bound (ns) on any cross-partition interaction latency.  Must be
+  /// positive; windows have width LookaheadNs.
+  int64_t LookaheadNs = 1;
+};
+
+/// Runs K partitions to completion in lookahead-bounded windows.
+class ParallelExecutor {
+public:
+  explicit ParallelExecutor(PdesConfig Config);
+  ParallelExecutor(const ParallelExecutor &) = delete;
+  ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+  ~ParallelExecutor();
+
+  int partitionCount() const { return int(Parts.size()); }
+  Partition &partition(int Id) { return *Parts[size_t(Id)]; }
+  const PdesConfig &config() const { return Config; }
+
+  /// Runs windows until every partition drains.  Returns total events
+  /// executed.  Callable once per executor.
+  uint64_t run();
+
+  /// Total events executed across partitions.
+  uint64_t totalEvents() const;
+
+  /// Run digest: per-partition event digests folded in partition order.
+  /// Identical for any Threads value, by construction.
+  uint64_t digest() const;
+
+  /// Windows executed (parallelism diagnostics: totalEvents / windows() is
+  /// the average events available per synchronization round).
+  uint64_t windowCount() const { return Windows; }
+
+  /// Cross-partition envelopes merged over the whole run.
+  uint64_t mailMerged() const;
+
+private:
+  void workerLoop(int Worker);
+  void executePhase(int Worker);
+  void mergePhase(int Worker);
+
+  PdesConfig Config;
+  std::vector<std::unique_ptr<Partition>> Parts;
+  /// Parts as raw pointers, in partition order (the merge order).
+  std::vector<Partition *> PartPtrs;
+  WindowBarrier Barrier;
+  /// Round descriptor, published by worker 0 before the round-start
+  /// barrier: the window end, or Stop to shut workers down.
+  int64_t RoundEndNs = 0;
+  bool Stop = false;
+  uint64_t Windows = 0;
+};
+
+/// Parses PARCS_SIM_THREADS (default 1, clamped to [1, 64]).
+int simThreadsFromEnv();
+
+} // namespace parcs::sim
+
+#endif // PARCS_SIM_PARALLELEXECUTOR_H

@@ -1,0 +1,74 @@
+//===- sim/Partition.cpp --------------------------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Partition.h"
+
+#include <cassert>
+
+using namespace parcs;
+using namespace parcs::sim;
+
+Partition::Partition(int Id, int PartitionCount)
+    : Id(Id),
+      // No log clock (process-global; the lead simulator owns it) and no
+      // queue-depth trace sampling (the shared pid-0 ring is not
+      // partition-owned state).
+      Sim(Simulator::Options{/*InstallLogClock=*/false,
+                             /*SampleQueueDepth=*/false}),
+      Out(size_t(PartitionCount)) {
+  assert(Id >= 0 && Id < PartitionCount && "partition id out of range");
+}
+
+void Partition::post(int Dst, int64_t AtNs, EventCallback Fn) {
+  assert(Dst >= 0 && Dst < int(Out.size()) && "posting to unknown partition");
+  assert(Fn && "posting an empty callback");
+  if (Dst == Id) {
+    Sim.scheduleAt(SimTime::nanoseconds(AtNs), std::move(Fn));
+    return;
+  }
+  // The conservative-lookahead invariant: cross-partition mail never lands
+  // inside the window that produced it, so buffering it until the barrier
+  // cannot reorder anything observable.
+  assert(AtNs >= WindowEndNs && "cross-partition post inside the lookahead "
+                                "window (latency below the configured "
+                                "lookahead?)");
+  Out[size_t(Dst)].push_back(Envelope{AtNs, std::move(Fn)});
+  ++MailSent;
+}
+
+// PARCS_HOT_BEGIN(pdes-window-loop): per-event cost of the parallel
+// executor; must stay allocation-free in steady state like Simulator::step.
+
+uint64_t Partition::runWindow(int64_t EndNs) {
+  WindowEndNs = EndNs;
+  uint64_t Executed = 0;
+  while (Sim.pendingCount() > 0 && Sim.earliestNs() < EndNs) {
+    Sim.step();
+    // Same digest shape as the DeterminismTest golden: (index, time) per
+    // executed event, order-sensitive.
+    Digest.mix(Sim.eventsProcessed());
+    Digest.mix(uint64_t(Sim.now().nanosecondsCount()));
+    ++Executed;
+  }
+  return Executed;
+}
+
+// PARCS_HOT_END
+
+void Partition::mergeInbox(const std::vector<Partition *> &All) {
+  // Ascending source order + the destination sequence counter stamping in
+  // drain order = canonical (time, src-partition, send-order) pop order.
+  for (Partition *Src : All) {
+    std::vector<Envelope> &Row = Src->Out[size_t(Id)];
+    for (Envelope &E : Row) {
+      assert(E.AtNs >= Sim.now().nanosecondsCount() &&
+             "merged mail would land in this partition's past");
+      Sim.scheduleAt(SimTime::nanoseconds(E.AtNs), std::move(E.Fn));
+      ++MailMerged;
+    }
+    Row.clear();
+  }
+}

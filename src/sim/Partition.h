@@ -1,0 +1,120 @@
+//===- sim/Partition.h - One PDES partition ---------------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One partition of a conservatively parallelized simulation: a private
+/// Simulator (own calendar queue, clock, sequence counter and event arena)
+/// plus the cross-partition mail plumbing.  Simulated nodes are assigned to
+/// partitions statically; everything a node does -- its coroutines, timers,
+/// channels -- lives on its partition's simulator and is only ever touched
+/// by the one thread currently running that partition.
+///
+/// Cross-partition interaction goes through post(): the *sending* partition
+/// appends an envelope (timestamp + callback) to a per-destination outbox
+/// row during its window, and the thread that owns the destination drains
+/// the rows after the window barrier, in ascending source-partition order
+/// (see ParallelExecutor).  Because the destination's sequence counter
+/// stamps envelopes in that fixed drain order, the merged mail pops in
+/// canonical (time, src-partition, send-order) order regardless of thread
+/// count or interleaving -- this is the whole determinism argument, made
+/// local: no partition ever observes *when* another partition ran, only the
+/// timestamped mail it sent.
+///
+/// Conservative lookahead makes the buffering sound: a window is
+/// [T, T + L) where L is the minimum cross-partition latency, so an
+/// envelope posted at time t >= T lands at t + latency >= T + L -- always
+/// at or beyond the window end, never inside a window another partition is
+/// still executing.  post() asserts exactly this.
+///
+/// Each partition folds an FNV-1a digest over its executed event stream
+/// (event index, timestamp -- the same shape as the DeterminismTest golden
+/// hash); the executor combines partition digests in partition order into
+/// one run digest that must be identical for any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SIM_PARTITION_H
+#define PARCS_SIM_PARTITION_H
+
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parcs::sim {
+
+/// Order-sensitive FNV-1a over a stream of 64-bit words.
+struct EventDigest {
+  uint64_t State = 14695981039346656037ULL;
+  void mix(uint64_t Value) {
+    for (int I = 0; I < 8; ++I) {
+      State ^= (Value >> (8 * I)) & 0xff;
+      State *= 1099511628211ULL;
+    }
+  }
+};
+
+/// One partition: a private simulator plus outgoing mailbox rows.
+class Partition {
+public:
+  Partition(int Id, int PartitionCount);
+  Partition(const Partition &) = delete;
+  Partition &operator=(const Partition &) = delete;
+
+  int id() const { return Id; }
+  Simulator &sim() { return Sim; }
+
+  /// Posts \p Fn to run on partition \p Dst at absolute time \p AtNs.
+  /// Same-partition posts schedule directly; cross-partition posts are
+  /// buffered into the outbox row for \p Dst and merged at the next window
+  /// barrier.  Called only by the thread running this partition's window
+  /// (or serially outside any window).
+  void post(int Dst, int64_t AtNs, EventCallback Fn);
+
+  /// Runs this partition's events with timestamp < \p EndNs, folding the
+  /// executed stream into the partition digest.  Returns events executed.
+  uint64_t runWindow(int64_t EndNs);
+
+  /// Drains the outbox rows addressed to this partition, in ascending
+  /// source-partition order, stamping fresh local sequence numbers in
+  /// drain order.  Called by the thread owning this partition, strictly
+  /// between window barriers.  \p All is the executor's partition array.
+  void mergeInbox(const std::vector<Partition *> &All);
+
+  /// Digest over the events this partition executed (stable across thread
+  /// counts by construction).
+  uint64_t digest() const { return Digest.State; }
+
+  /// Cross-partition envelopes this partition sent / received.
+  uint64_t mailSent() const { return MailSent; }
+  uint64_t mailMerged() const { return MailMerged; }
+
+private:
+  friend class ParallelExecutor;
+
+  struct Envelope {
+    int64_t AtNs;
+    EventCallback Fn;
+  };
+
+  const int Id;
+  /// One-past-the-end of the window currently (or last) executed; posts
+  /// during a window must not land before it.  INT64_MAX outside windows
+  /// (setup/teardown run serially, where buffering is trivially safe).
+  int64_t WindowEndNs = 0;
+  Simulator Sim;
+  /// Out[Dst]: envelopes this partition sent to Dst during the current
+  /// window, in send order.  Written only by the thread running this
+  /// partition; drained only by the thread owning Dst, after a barrier.
+  std::vector<std::vector<Envelope>> Out;
+  EventDigest Digest;
+  uint64_t MailSent = 0;
+  uint64_t MailMerged = 0;
+};
+
+} // namespace parcs::sim
+
+#endif // PARCS_SIM_PARTITION_H

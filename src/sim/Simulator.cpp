@@ -4,19 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The two-level calendar queue.  Near-future events (inside a ~2 ms window
-// of 1024 buckets, ~2 us each) sit in per-bucket (time, seq) min-heaps;
-// far-future events sit in one overflow min-heap.  When the buckets drain,
-// the window jumps to the overflow minimum and every overflow event inside
-// the new window migrates into buckets.
-//
-// Correctness does not depend on the window placement: popEarliest always
-// compares the first-bucket minimum against the overflow top, so an event
-// that lands outside the current window (e.g. scheduled after runUntil
-// fast-forwarded the clock) is still popped in exact (time, seq) order.
-// Because the (time, seq) key is unique per event, pop order is independent
-// of heap internals -- runs are bit-for-bit identical to the former
-// binary-heap kernel.
+// The coroutine-runtime half of the simulator: spawn/reap of detached
+// frames, the log-clock install, and the step loop.  The calendar queue
+// itself lives in sim/SimKernel.cpp.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,18 +16,10 @@
 #include "support/Trace.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 
 using namespace parcs;
 using namespace parcs::sim;
-
-/// Min-heap order on the unique (time, seq) key.
-static bool laterThan(int64_t AtA, uint64_t SeqA, int64_t AtB, uint64_t SeqB) {
-  if (AtA != AtB)
-    return AtB < AtA;
-  return SeqB < SeqA;
-}
 
 void parcs::sim::detail::detachedTaskFinished(Simulator &Sim, void *Frame) {
   [[maybe_unused]] size_t Erased = Sim.LiveDetached.erase(Frame);
@@ -49,19 +31,14 @@ static long long simulatorNowNs(void *Ctx) {
   return static_cast<const Simulator *>(Ctx)->now().nanosecondsCount();
 }
 
-Simulator::Simulator() : Buckets(NumBuckets), BucketBits(NumBuckets / 64) {
-  WindowEndNs = WindowStartNs + (int64_t(NumBuckets) << BucketShift);
+Simulator::Simulator(Options Opts)
+    : OwnsLogClock(Opts.InstallLogClock),
+      SampleDepth(Opts.SampleQueueDepth) {
   // The newest simulator becomes the log time source; the previous one is
-  // restored when this simulator is destroyed.
-  PrevLogClock = setLogClock({simulatorNowNs, this});
-}
-
-size_t Simulator::firstOccupiedBucket(size_t From) const {
-  size_t Word = From >> 6;
-  uint64_t Bits = BucketBits[Word] & (~uint64_t(0) << (From & 63));
-  while (!Bits)
-    Bits = BucketBits[++Word];
-  return (Word << 6) + size_t(std::countr_zero(Bits));
+  // restored when this simulator is destroyed.  Partition simulators under
+  // the parallel executor skip this -- the log clock is process-global.
+  if (OwnsLogClock)
+    PrevLogClock = setLogClock({simulatorNowNs, this});
 }
 
 void Simulator::reapDetached() {
@@ -80,213 +57,46 @@ void Simulator::reapDetached() {
 }
 
 Simulator::~Simulator() {
-  setLogClock(PrevLogClock);
+  if (OwnsLogClock)
+    setLogClock(PrevLogClock);
   reapDetached();
-  freeAllNodes();
-  // Fold this run's scheduler counters into the end-of-run report.
+  // Fold this run's scheduler counters into the end-of-run report.  Under
+  // the parallel executor, partition simulators are destroyed serially in
+  // partition order, so the folded totals are thread-count independent.
+  const SchedulerCounters &C = Kernel.counters();
   metrics::Registry &Reg = metrics::Registry::global();
   Reg.counter("sim.events").add(EventCount);
-  Reg.counter("sim.callback_events").add(Counters.CallbackEvents);
-  Reg.counter("sim.resume_events").add(Counters.ResumeEvents);
-  Reg.counter("sim.sbo_misses").add(Counters.SboMisses);
-  Reg.counter("sim.nodes_allocated").add(Counters.NodesAllocated);
-  Reg.counter("sim.overflow_inserts").add(Counters.OverflowInserts);
-  Reg.counter("sim.window_advances").add(Counters.WindowAdvances);
+  Reg.counter("sim.callback_events").add(C.CallbackEvents);
+  Reg.counter("sim.resume_events").add(C.ResumeEvents);
+  Reg.counter("sim.sbo_misses").add(C.SboMisses);
+  Reg.counter("sim.nodes_allocated").add(C.NodesAllocated);
+  Reg.counter("sim.overflow_inserts").add(C.OverflowInserts);
+  Reg.counter("sim.window_advances").add(C.WindowAdvances);
   Reg.gauge("sim.peak_queue_depth")
-      .noteMax(static_cast<int64_t>(Counters.PeakQueueDepth));
+      .noteMax(static_cast<int64_t>(C.PeakQueueDepth));
 }
 
-void Simulator::EventFifo::grow() {
-  std::vector<EventNode *> Bigger(Slots.size() * 2);
-  for (size_t I = 0; I < Count; ++I)
-    Bigger[I] = Slots[(Head + I) & Mask];
-  Slots = std::move(Bigger);
-  Mask = Slots.size() - 1;
-  Head = 0;
-}
-
-void Simulator::freeAllNodes() {
-  while (!Immediate.empty())
-    delete Immediate.pop();
-  for (std::vector<EventNode *> &Bucket : Buckets)
-    for (EventNode *Node : Bucket)
-      delete Node;
-  Buckets.clear();
-  for (EventNode *Node : Overflow)
-    delete Node;
-  Overflow.clear();
-  while (FreeList) {
-    EventNode *Next = FreeList->NextFree;
-    delete FreeList;
-    FreeList = Next;
-  }
-  BucketedCount = PendingCount = 0;
-}
-
-// PARCS_HOT_BEGIN(calendar-queue-kernel): every event pays alloc/insert/
-// pop/execute once; a steady-state run must not allocate here.
-
-Simulator::EventNode *Simulator::allocNode(SimTime At, uint64_t Seq) {
-  EventNode *Node = FreeList;
-  if (Node) {
-    FreeList = Node->NextFree;
-    Node->NextFree = nullptr;
-  } else {
-    // parcs-lint: allow(hot-path-alloc): free-list miss is the cold warm-up
-    // path; NodesAllocated counters + bench zero-alloc assert bound it.
-    Node = new EventNode();
-    ++Counters.NodesAllocated;
-  }
-  Node->AtNs = At.nanosecondsCount();
-  Node->Seq = Seq;
-  return Node;
-}
-
-void Simulator::recycle(EventNode *Node) {
-  assert(!Node->Fn && !Node->Handle && "recycling a live event");
-  Node->NextFree = FreeList;
-  FreeList = Node;
-}
-
-void Simulator::insert(EventNode *Node) {
-  ++PendingCount;
-  Counters.PeakQueueDepth = std::max<uint64_t>(Counters.PeakQueueDepth,
-                                               PendingCount);
-  auto HeapPush = [](std::vector<EventNode *> &Heap, EventNode *N) {
-    Heap.push_back(N);
-    std::push_heap(Heap.begin(), Heap.end(),
-                   [](const EventNode *A, const EventNode *B) {
-                     return laterThan(A->AtNs, A->Seq, B->AtNs, B->Seq);
-                   });
-  };
-  if (Node->AtNs == Now.nanosecondsCount()) {
-    Immediate.push(Node);
-    return;
-  }
-  if (Node->AtNs >= WindowStartNs && Node->AtNs < WindowEndNs) {
-    size_t Idx = size_t((Node->AtNs - WindowStartNs) >> BucketShift);
-    HeapPush(Buckets[Idx], Node);
-    markBucket(Idx);
-    ++BucketedCount;
-    ScanHint = std::min(ScanHint, Idx);
-    return;
-  }
-  HeapPush(Overflow, Node);
-  ++Counters.OverflowInserts;
-}
-
-void Simulator::advanceWindow() {
-  assert(BucketedCount == 0 && !Overflow.empty() && "nothing to advance to");
-  ++Counters.WindowAdvances;
-  auto Later = [](const EventNode *A, const EventNode *B) {
-    return laterThan(A->AtNs, A->Seq, B->AtNs, B->Seq);
-  };
-  int64_t MinNs = Overflow.front()->AtNs;
-  WindowStartNs = (MinNs >> BucketShift) << BucketShift;
-  WindowEndNs = WindowStartNs + (int64_t(NumBuckets) << BucketShift);
-  ScanHint = size_t((MinNs - WindowStartNs) >> BucketShift);
-  while (!Overflow.empty() && Overflow.front()->AtNs < WindowEndNs) {
-    std::pop_heap(Overflow.begin(), Overflow.end(), Later);
-    EventNode *Node = Overflow.back();
-    Overflow.pop_back();
-    size_t Idx = size_t((Node->AtNs - WindowStartNs) >> BucketShift);
-    Buckets[Idx].push_back(Node);
-    std::push_heap(Buckets[Idx].begin(), Buckets[Idx].end(), Later);
-    markBucket(Idx);
-    ++BucketedCount;
-  }
-}
-
-Simulator::EventNode *Simulator::popEarliest() {
-  if (PendingCount == 0)
-    return nullptr;
-  if (Immediate.empty() && BucketedCount == 0)
-    advanceWindow();
-  // Three candidate lanes; every comparison uses the unique (time, seq)
-  // key, so the winner -- and therefore the whole pop order -- does not
-  // depend on which lane an event happened to land in.
-  EventNode *Best = nullptr;
-  enum { FromImmediate, FromBucket, FromOverflow } Src = FromImmediate;
-  if (!Immediate.empty())
-    Best = Immediate.front();
-  size_t Idx = 0;
-  if (BucketedCount > 0) {
-    Idx = firstOccupiedBucket(ScanHint);
-    ScanHint = Idx;
-    EventNode *Candidate = Buckets[Idx].front();
-    if (!Best || laterThan(Best->AtNs, Best->Seq, Candidate->AtNs,
-                           Candidate->Seq)) {
-      Best = Candidate;
-      Src = FromBucket;
-    }
-  }
-  // An event scheduled outside the current window (only possible after
-  // runUntil fast-forwarded the clock past the window) sits in Overflow and
-  // may precede every bucketed event.
-  if (!Overflow.empty()) {
-    EventNode *Candidate = Overflow.front();
-    if (!Best || laterThan(Best->AtNs, Best->Seq, Candidate->AtNs,
-                           Candidate->Seq)) {
-      Best = Candidate;
-      Src = FromOverflow;
-    }
-  }
-  auto Later = [](const EventNode *A, const EventNode *B) {
-    return laterThan(A->AtNs, A->Seq, B->AtNs, B->Seq);
-  };
-  switch (Src) {
-  case FromImmediate:
-    Immediate.pop();
-    break;
-  case FromBucket:
-    std::pop_heap(Buckets[Idx].begin(), Buckets[Idx].end(), Later);
-    Buckets[Idx].pop_back();
-    if (Buckets[Idx].empty())
-      unmarkBucket(Idx);
-    --BucketedCount;
-    break;
-  case FromOverflow:
-    std::pop_heap(Overflow.begin(), Overflow.end(), Later);
-    Overflow.pop_back();
-    break;
-  }
-  --PendingCount;
-  return Best;
-}
-
-int64_t Simulator::earliestTimeNs() {
-  assert(PendingCount > 0 && "peeking an empty queue");
-  if (Immediate.empty() && BucketedCount == 0)
-    advanceWindow();
-  int64_t Earliest = INT64_MAX;
-  if (!Immediate.empty())
-    Earliest = Immediate.front()->AtNs;
-  if (BucketedCount > 0) {
-    size_t Idx = firstOccupiedBucket(ScanHint);
-    ScanHint = Idx;
-    Earliest = std::min(Earliest, Buckets[Idx].front()->AtNs);
-  }
-  if (!Overflow.empty())
-    Earliest = std::min(Earliest, Overflow.front()->AtNs);
-  return Earliest;
-}
+// PARCS_HOT_BEGIN(step-dispatch): every event pays schedule/pop/execute
+// once; a steady-state run must not allocate here.
 
 void Simulator::scheduleAt(SimTime At, EventCallback &&Fn) {
-  assert(At >= Now && "scheduling into the past");
+  assert(At.nanosecondsCount() >= Kernel.nowNs() && "scheduling into the past");
   assert(Fn && "scheduling an empty callback");
   if (!Fn.isInline())
-    ++Counters.SboMisses;
-  EventNode *Node = allocNode(At, NextSeq++);
+    Kernel.noteSboMiss();
+  SimKernel::EventNode *Node =
+      Kernel.allocNode(At.nanosecondsCount(), Kernel.takeSeq());
   Node->Fn = std::move(Fn);
-  insert(Node);
+  Kernel.insert(Node);
 }
 
 void Simulator::scheduleResumeAt(SimTime At, std::coroutine_handle<> Handle) {
-  assert(At >= Now && "scheduling into the past");
+  assert(At.nanosecondsCount() >= Kernel.nowNs() && "scheduling into the past");
   assert(Handle && "scheduling a null coroutine handle");
-  EventNode *Node = allocNode(At, NextSeq++);
+  SimKernel::EventNode *Node =
+      Kernel.allocNode(At.nanosecondsCount(), Kernel.takeSeq());
   Node->Handle = Handle;
-  insert(Node);
+  Kernel.insert(Node);
 }
 
 void Simulator::spawn(Task<void> T) {
@@ -294,39 +104,48 @@ void Simulator::spawn(Task<void> T) {
   auto Handle = T.release();
   Handle.promise().DetachedIn = this;
   LiveDetached.emplace(Handle.address(), NextDetachSeq++);
-  scheduleResumeAt(Now, Handle);
+  scheduleResumeAt(now(), Handle);
 }
 
-void Simulator::execute(EventNode *Node) {
+void Simulator::execute(SimKernel::EventNode *Node) {
   if (Node->Handle) {
     std::coroutine_handle<> Handle = Node->Handle;
     Node->Handle = nullptr;
-    ++Counters.ResumeEvents;
-    recycle(Node);
+    ++Kernel.counters().ResumeEvents;
+    Kernel.recycle(Node);
     Handle.resume();
     return;
   }
   // Run the callback in place -- the node is already unlinked, so events it
   // schedules cannot touch it -- then destroy the callable and recycle.
-  ++Counters.CallbackEvents;
+  ++Kernel.counters().CallbackEvents;
   Node->Fn();
   Node->Fn.reset();
-  recycle(Node);
+  Kernel.recycle(Node);
 }
 
 bool Simulator::step() {
-  EventNode *Node = popEarliest();
+  SimKernel::EventNode *Node = Kernel.popEarliest();
   if (!Node)
     return false;
-  assert(Node->AtNs >= Now.nanosecondsCount() && "event queue went backwards");
-  Now = SimTime::nanoseconds(Node->AtNs);
+  assert(Node->AtNs >= Kernel.nowNs() && "event queue went backwards");
+  Kernel.setNowNs(Node->AtNs);
   ++EventCount;
   // The in-register modulus test is all the common path pays; the trace
   // flag is only consulted on the sampled iterations, out of line.
-  if ((EventCount & 1023) == 0) [[unlikely]]
+  if ((EventCount & 1023) == 0 && SampleDepth) [[unlikely]]
     sampleQueueDepth(Node->AtNs);
   execute(Node);
   return true;
+}
+
+uint64_t Simulator::runBefore(int64_t EndNs) {
+  uint64_t Executed = 0;
+  while (Kernel.pendingCount() > 0 && Kernel.earliestTimeNs() < EndNs) {
+    step();
+    ++Executed;
+  }
+  return Executed;
 }
 
 // PARCS_HOT_END
@@ -335,7 +154,7 @@ bool Simulator::step() {
 /// the determinism golden hash -- is identical with tracing on or off.
 __attribute__((noinline)) void Simulator::sampleQueueDepth(int64_t AtNs) {
   trace::counter(-1, "sim.queue_depth", AtNs,
-                 static_cast<int64_t>(PendingCount));
+                 static_cast<int64_t>(Kernel.pendingCount()));
 }
 
 uint64_t Simulator::run(uint64_t MaxEvents) {
@@ -346,21 +165,23 @@ uint64_t Simulator::run(uint64_t MaxEvents) {
 }
 
 void Simulator::runUntil(SimTime Until) {
-  assert(Until >= Now && "runUntil into the past");
-  while (PendingCount > 0 && earliestTimeNs() <= Until.nanosecondsCount())
+  assert(Until >= now() && "runUntil into the past");
+  while (Kernel.pendingCount() > 0 &&
+         Kernel.earliestTimeNs() <= Until.nanosecondsCount())
     step();
-  Now = Until;
+  Kernel.setNowNs(Until.nanosecondsCount());
 }
 
 CounterGroup Simulator::counterSnapshot() const {
+  const SchedulerCounters &C = Kernel.counters();
   CounterGroup Group;
   Group.add("events", EventCount);
-  Group.add("callback_events", Counters.CallbackEvents);
-  Group.add("resume_events", Counters.ResumeEvents);
-  Group.add("peak_queue_depth", Counters.PeakQueueDepth);
-  Group.add("sbo_misses", Counters.SboMisses);
-  Group.add("nodes_allocated", Counters.NodesAllocated);
-  Group.add("overflow_inserts", Counters.OverflowInserts);
-  Group.add("window_advances", Counters.WindowAdvances);
+  Group.add("callback_events", C.CallbackEvents);
+  Group.add("resume_events", C.ResumeEvents);
+  Group.add("peak_queue_depth", C.PeakQueueDepth);
+  Group.add("sbo_misses", C.SboMisses);
+  Group.add("nodes_allocated", C.NodesAllocated);
+  Group.add("overflow_inserts", C.OverflowInserts);
+  Group.add("window_advances", C.WindowAdvances);
   return Group;
 }

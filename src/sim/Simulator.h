@@ -22,18 +22,15 @@
 ///  - coroutine resumes (the single hottest event kind: channel wake-ups,
 ///    delays, semaphore grants) store the raw std::coroutine_handle<> in
 ///    the event node, with no closure at all;
-///  - the pending-event set is a two-level calendar queue with a FIFO fast
-///    lane: events scheduled exactly at the current time (wake-ups) go to a
-///    plain FIFO -- push order there is already (time, seq) order --
-///    near-future events live in time-bucketed per-bucket heaps, and
-///    far-future events in an overflow heap that drains into the buckets as
-///    the window advances;
-///  - event nodes are recycled through a free list, so a steady-state run
-///    performs zero allocations per event.
+///  - the pending-event set is the two-level calendar queue in SimKernel
+///    (FIFO fast lane + time buckets + overflow heap, free-list recycled
+///    nodes: zero allocations per event in steady state).
 ///
-/// Pop order is strictly (time, sequence) -- the unique key makes the order
-/// independent of heap layout, so the calendar queue is observably
-/// identical to the textbook binary-heap implementation, just faster.  See
+/// The calendar queue, clock and sequence counter live in sim/SimKernel.h
+/// so the PDES parallel executor (sim/ParallelExecutor.h) can instantiate
+/// one kernel per partition; this class binds a kernel to the coroutine
+/// runtime (spawn/reap, delay awaitable, log clock) and remains the
+/// single-threaded front door the rest of the library uses.  See
 /// docs/perf.md for the design notes and bench/sim_kernel for the numbers.
 ///
 //===----------------------------------------------------------------------===//
@@ -41,9 +38,9 @@
 #ifndef PARCS_SIM_SIMULATOR_H
 #define PARCS_SIM_SIMULATOR_H
 
+#include "sim/SimKernel.h"
 #include "sim/SimTime.h"
 #include "sim/Task.h"
-#include "support/InlineFunction.h"
 #include "support/Logging.h"
 #include "support/Statistics.h"
 
@@ -55,38 +52,28 @@
 
 namespace parcs::sim {
 
-/// Event callback storage: 64 inline bytes covers every capture on the
-/// kernel's hot paths (the largest is a network Message plus two pointers).
-using EventCallback = parcs::InlineFunction<void(), 64>;
-
-/// Scheduler observability counters (see Simulator::counters).  Plain
-/// struct so benches can diff snapshots.
-struct SchedulerCounters {
-  /// Events executed, by kind.
-  uint64_t CallbackEvents = 0;
-  uint64_t ResumeEvents = 0;
-  /// High-water mark of pending events.
-  uint64_t PeakQueueDepth = 0;
-  /// Callback captures that exceeded the inline buffer (heap fallback).
-  uint64_t SboMisses = 0;
-  /// Event nodes allocated (free-list misses; steady state allocates none).
-  uint64_t NodesAllocated = 0;
-  /// Events that landed beyond the calendar window, into the overflow heap.
-  uint64_t OverflowInserts = 0;
-  /// Times the calendar window jumped forward to the overflow minimum.
-  uint64_t WindowAdvances = 0;
-};
-
 /// Single-threaded virtual-time event loop.
 class Simulator {
 public:
-  Simulator();
+  /// Construction knobs.  Partition simulators under the parallel executor
+  /// disable the log-clock install: the global log clock is process-wide
+  /// state, and only the executor's lead simulator may own it.
+  struct Options {
+    bool InstallLogClock = true;
+    /// Periodic queue-depth trace sampling writes the simulator-wide (pid
+    /// 0) trace ring, which partitions do not own; the executor disables
+    /// it for partition simulators.
+    bool SampleQueueDepth = true;
+  };
+
+  Simulator() : Simulator(Options{}) {}
+  explicit Simulator(Options Opts);
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
   ~Simulator();
 
   /// Current virtual time.
-  SimTime now() const { return Now; }
+  SimTime now() const { return SimTime::nanoseconds(Kernel.nowNs()); }
 
   /// Number of events executed so far.
   uint64_t eventsProcessed() const { return EventCount; }
@@ -96,7 +83,7 @@ public:
 
   /// Schedules \p Fn to run \p Delay after the current time.
   template <typename F> void schedule(SimTime Delay, F &&Fn) {
-    scheduleAt(Now + Delay, std::forward<F>(Fn));
+    scheduleAt(now() + Delay, std::forward<F>(Fn));
   }
 
   /// Schedules \p Fn at absolute time \p At (must not be in the past).
@@ -106,12 +93,14 @@ public:
     requires(!std::is_same_v<std::decay_t<F>, EventCallback> &&
              std::is_invocable_r_v<void, std::decay_t<F> &>)
   void scheduleAt(SimTime At, F &&Fn) {
-    assert(At >= Now && "scheduling into the past");
+    assert(At.nanosecondsCount() >= Kernel.nowNs() &&
+           "scheduling into the past");
     if constexpr (!EventCallback::fitsInline<std::decay_t<F>>())
-      ++Counters.SboMisses;
-    EventNode *Node = allocNode(At, NextSeq++);
+      Kernel.noteSboMiss();
+    SimKernel::EventNode *Node =
+        Kernel.allocNode(At.nanosecondsCount(), Kernel.takeSeq());
     Node->Fn.emplace(std::forward<F>(Fn));
-    insert(Node);
+    Kernel.insert(Node);
   }
 
   /// Overload for a pre-built callback (moved into the node).
@@ -120,7 +109,7 @@ public:
   /// Schedules \p Handle to be resumed \p Delay from now.  Stores the raw
   /// handle -- no closure, no allocation.
   void scheduleResume(SimTime Delay, std::coroutine_handle<> Handle) {
-    scheduleResumeAt(Now + Delay, Handle);
+    scheduleResumeAt(now() + Delay, Handle);
   }
 
   /// Absolute-time variant of scheduleResume.
@@ -166,8 +155,23 @@ public:
   /// \p Until even if the queue drains earlier).
   void runUntil(SimTime Until);
 
+  /// Runs events with timestamp strictly < \p EndNs, leaving the clock at
+  /// the last executed event.  The PDES window loop: events at the window
+  /// end belong to the next window.  Returns events executed.
+  uint64_t runBefore(int64_t EndNs);
+
+  /// Time (ns) of the earliest pending event, INT64_MAX when idle.  The
+  /// PDES executor uses this to place the next window.
+  int64_t earliestNs() { return Kernel.earliestOrMaxNs(); }
+
+  /// Number of pending events.
+  size_t pendingCount() const { return Kernel.pendingCount(); }
+
+  /// The underlying event kernel (clock + calendar queue).
+  SimKernel &kernel() { return Kernel; }
+
   /// Scheduler observability counters accumulated since construction.
-  const SchedulerCounters &counters() const { return Counters; }
+  const SchedulerCounters &counters() const { return Kernel.counters(); }
 
   /// Counters as a printable name/value group (for benches and logs).
   CounterGroup counterSnapshot() const;
@@ -175,106 +179,20 @@ public:
 private:
   friend void detail::detachedTaskFinished(Simulator &Sim, void *Frame);
 
-  /// One pending event.  Resume events carry the raw coroutine handle (Fn
-  /// stays empty); callback events carry Fn (Handle stays null).  Nodes are
-  /// recycled through FreeList, linked via NextFree.
-  struct EventNode {
-    int64_t AtNs = 0;
-    uint64_t Seq = 0;
-    EventNode *NextFree = nullptr;
-    std::coroutine_handle<> Handle;
-    EventCallback Fn;
-  };
-
-  /// Calendar geometry: 4096 buckets of 2^9 ns (512 ns) cover a ~2 ms
-  /// near-future window -- wider than one RPC round trip, narrower than the
-  /// coarse timeouts that belong in the overflow heap.  Narrow buckets keep
-  /// the per-bucket heaps a handful of entries, and the scan hint only
-  /// moves forward, so the sparse-bucket scan is amortized O(1) per pop.
-  static constexpr int BucketShift = 9;
-  static constexpr size_t BucketCountLog2 = 12;
-  static constexpr size_t NumBuckets = size_t(1) << BucketCountLog2;
-
-  EventNode *allocNode(SimTime At, uint64_t Seq);
-  void insert(EventNode *Node);
-  void recycle(EventNode *Node);
-  /// Removes and returns the earliest event, or null when empty.
-  EventNode *popEarliest();
-  /// Time of the earliest pending event; only valid when PendingCount > 0.
-  int64_t earliestTimeNs();
-  /// Repositions the calendar window at the overflow minimum and drains
-  /// every overflow event that now falls inside it.
-  void advanceWindow();
   /// Executes one popped event (shared tail of step()).
-  void execute(EventNode *Node);
+  void execute(SimKernel::EventNode *Node);
   /// Cold path of step()'s periodic queue-depth sampling; out of line so
   /// the per-event cost stays one in-register test.
   void sampleQueueDepth(int64_t AtNs);
-  void freeAllNodes();
 
-  SimTime Now;
-  uint64_t NextSeq = 0;
+  SimKernel Kernel;
   uint64_t EventCount = 0;
 
-  /// Power-of-two ring buffer of event nodes (the immediate lane).
-  class EventFifo {
-  public:
-    EventFifo() : Slots(64), Mask(63) {}
-    bool empty() const { return Count == 0; }
-    size_t size() const { return Count; }
-    EventNode *front() const { return Slots[Head]; }
-    void push(EventNode *Node) {
-      if (Count == Slots.size())
-        grow();
-      Slots[(Head + Count) & Mask] = Node;
-      ++Count;
-    }
-    EventNode *pop() {
-      EventNode *Node = Slots[Head];
-      Head = (Head + 1) & Mask;
-      --Count;
-      return Node;
-    }
-
-  private:
-    void grow();
-    std::vector<EventNode *> Slots;
-    size_t Mask;
-    size_t Head = 0;
-    size_t Count = 0;
-  };
-
-  /// Events scheduled at exactly the current time, in push order.  Because
-  /// Now is non-decreasing and Seq is increasing, push order here IS
-  /// (time, seq) order, so the head is always this lane's minimum.
-  EventFifo Immediate;
-  /// Near-future buckets; each is a (time, seq) min-heap of node pointers.
-  std::vector<std::vector<EventNode *>> Buckets;
-  /// One bit per bucket (set = non-empty), so finding the next occupied
-  /// bucket is a word scan + countr_zero instead of touching each bucket.
-  std::vector<uint64_t> BucketBits;
-  void markBucket(size_t Idx) {
-    BucketBits[Idx >> 6] |= uint64_t(1) << (Idx & 63);
-  }
-  void unmarkBucket(size_t Idx) {
-    BucketBits[Idx >> 6] &= ~(uint64_t(1) << (Idx & 63));
-  }
-  /// First occupied bucket index >= From; call only when BucketedCount > 0.
-  size_t firstOccupiedBucket(size_t From) const;
-  /// Events at or beyond WindowEndNs, as a (time, seq) min-heap.
-  std::vector<EventNode *> Overflow;
-  /// Window start (multiple of the bucket width) and one-past-the-end.
-  int64_t WindowStartNs = 0;
-  int64_t WindowEndNs = 0;
-  /// Lowest bucket index that may be non-empty (scan hint).
-  size_t ScanHint = 0;
-  /// Events currently in Buckets / in total.
-  size_t BucketedCount = 0;
-  size_t PendingCount = 0;
-
-  EventNode *FreeList = nullptr;
-  SchedulerCounters Counters;
-
+  /// Whether this simulator installed itself as the log time source (and
+  /// must restore PrevLogClock on destruction).
+  bool OwnsLogClock = false;
+  /// Whether step() samples queue depth into the shared trace ring.
+  bool SampleDepth = true;
   /// Log clock that was active before this simulator installed itself as
   /// the time source; restored on destruction (simulators nest in tests).
   LogClock PrevLogClock;

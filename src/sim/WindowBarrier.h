@@ -1,0 +1,75 @@
+//===- sim/WindowBarrier.h - PDES window synchronization --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The barrier separating PDES phases (execute / merge / plan; see
+/// sim/ParallelExecutor.h).  A sense-reversing counter barrier: arrivals
+/// increment a counter, the last arriver resets it and bumps the
+/// generation, everyone else spins briefly on the generation and then falls
+/// back to atomic wait.  Reusable back-to-back -- a thread released from
+/// generation G can arrive for G+1 while stragglers of G are still waking,
+/// because the counter was reset *before* the generation store that
+/// released them (the release/acquire pair on Generation orders the two).
+///
+/// All synchronization is std::atomic, so the barrier is exactly as
+/// analyzable by TSan as the phases it separates: every cross-thread access
+/// in the executor is ordered by an arriveAndWait() pair, and anything that
+/// is not is a real race for the sanitizer to find.
+///
+/// Windows are microseconds of work; the short spin makes the common
+/// same-speed-workers case syscall-free, and the wait() fallback keeps
+/// oversubscribed runs (more workers than cores) from burning the core the
+/// straggler needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SIM_WINDOWBARRIER_H
+#define PARCS_SIM_WINDOWBARRIER_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace parcs::sim {
+
+/// Reusable barrier for a fixed party count.
+class WindowBarrier {
+public:
+  explicit WindowBarrier(int Parties) : Parties(Parties) {
+    assert(Parties > 0 && "barrier needs at least one party");
+  }
+  WindowBarrier(const WindowBarrier &) = delete;
+  WindowBarrier &operator=(const WindowBarrier &) = delete;
+
+  /// Blocks until all parties have arrived.  With one party, a no-op (the
+  /// serial executor path pays two relaxed atomics per phase, nothing
+  /// else).
+  void arriveAndWait() {
+    uint64_t Gen = Generation.load(std::memory_order_acquire);
+    if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Parties) {
+      // Reset before release: a fast thread re-arriving for the next
+      // generation must observe the zeroed counter.
+      Arrived.store(0, std::memory_order_relaxed);
+      Generation.store(Gen + 1, std::memory_order_release);
+      Generation.notify_all();
+      return;
+    }
+    for (int Spin = 0; Spin < 4096; ++Spin)
+      if (Generation.load(std::memory_order_acquire) != Gen)
+        return;
+    while (Generation.load(std::memory_order_acquire) == Gen)
+      Generation.wait(Gen, std::memory_order_acquire);
+  }
+
+private:
+  const int Parties;
+  std::atomic<int> Arrived{0};
+  std::atomic<uint64_t> Generation{0};
+};
+
+} // namespace parcs::sim
+
+#endif // PARCS_SIM_WINDOWBARRIER_H

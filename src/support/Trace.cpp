@@ -82,6 +82,12 @@ public:
     Tracks.clear();
   }
 
+  /// See trace::reserveNodes.
+  void reserve(int MaxNodeId) {
+    for (int Node = -1; Node <= MaxNodeId; ++Node)
+      ring(Node);
+  }
+
   std::string exportJson() const;
 
 private:
@@ -371,6 +377,11 @@ void setEnabled(bool On) { detail::Enabled = On; }
 
 void setRingCapacity(size_t Events) {
   Recorder::instance().setCapacity(Events);
+}
+
+void reserveNodes(int MaxNodeId) {
+  if (detail::Enabled)
+    Recorder::instance().reserve(MaxNodeId);
 }
 
 int track(int Node, std::string_view Name) {

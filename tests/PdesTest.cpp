@@ -1,0 +1,378 @@
+//===- tests/PdesTest.cpp - Conservative PDES determinism tests -----------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel executor's contract: the run digest, the fabric counters,
+// and the trace/metrics exports are identical for ANY thread count --
+// threads only change wall-clock time, never observable behaviour.  Each
+// scenario here runs at 1, 2, 4 and 8 threads and must produce the same
+// results bit-for-bit; the 1-thread result is additionally pinned against
+// golden constants so a kernel change cannot silently shift the canonical
+// order for every thread count at once.
+//
+// To re-record after an intentional trace change:
+//   PARCS_PRINT_TRACE=1 ./build/tests/pdes_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+#include "net/PdesFabric.h"
+#include "sim/ParallelExecutor.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace parcs;
+
+namespace {
+
+constexpr int ThreadSweep[] = {1, 2, 4, 8};
+
+std::vector<uint8_t> encode32(uint32_t V) {
+  return {uint8_t(V), uint8_t(V >> 8), uint8_t(V >> 16), uint8_t(V >> 24)};
+}
+
+uint32_t decode32(const std::vector<uint8_t> &P) {
+  return uint32_t(P[0]) | (uint32_t(P[1]) << 8) | (uint32_t(P[2]) << 16) |
+         (uint32_t(P[3]) << 24);
+}
+
+/// Everything observable about one scenario run.  Two runs are "the same"
+/// iff every field matches.
+struct PdesResult {
+  uint64_t Digest = 0;
+  uint64_t Events = 0;
+  uint64_t Windows = 0;
+  uint64_t MailMerged = 0;
+  uint64_t Delivered = 0;
+  uint64_t Dropped = 0;
+  uint64_t PayloadBytes = 0;
+  uint64_t AppChecksum = 0;
+
+  bool operator==(const PdesResult &O) const {
+    return Digest == O.Digest && Events == O.Events && Windows == O.Windows &&
+           MailMerged == O.MailMerged && Delivered == O.Delivered &&
+           Dropped == O.Dropped && PayloadBytes == O.PayloadBytes &&
+           AppChecksum == O.AppChecksum;
+  }
+};
+
+void printGoldens(const char *Tag, const PdesResult &R) {
+  if (std::getenv("PARCS_PRINT_TRACE") == nullptr)
+    return;
+  std::fprintf(stderr,
+               "%s: Digest=0x%016llxULL Events=%lluULL Windows=%lluULL "
+               "Mail=%lluULL Delivered=%lluULL Dropped=%lluULL "
+               "Payload=%lluULL Checksum=%lluULL\n",
+               Tag, (unsigned long long)R.Digest, (unsigned long long)R.Events,
+               (unsigned long long)R.Windows, (unsigned long long)R.MailMerged,
+               (unsigned long long)R.Delivered, (unsigned long long)R.Dropped,
+               (unsigned long long)R.PayloadBytes,
+               (unsigned long long)R.AppChecksum);
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario 1: sieve pipeline
+//
+// Nodes form a chain; node 0 generates 2..20, each filter node keeps the
+// first value it sees as its prime and forwards non-multiples.  Mirrors
+// the paper's sieve benchmark shape: long dependency chain, every hop a
+// cross-partition message under a 4-partition round-robin map.
+//===----------------------------------------------------------------------===//
+
+PdesResult runSieve(int Threads) {
+  constexpr int Nodes = 8;
+  constexpr int Port = 7000;
+  net::NetConfig Cfg;
+
+  sim::PdesConfig PC;
+  PC.Partitions = 4;
+  PC.Threads = Threads;
+  PC.LookaheadNs = net::PdesFabric::lookaheadNs(Cfg);
+  sim::ParallelExecutor Exec(PC);
+  net::PdesFabric Fab(Exec, Nodes, Cfg);
+
+  std::vector<sim::Channel<net::Message> *> In(Nodes);
+  for (int N = 0; N < Nodes; ++N)
+    In[N] = &Fab.bind(N, Port);
+
+  std::vector<uint64_t> Primes(size_t(Nodes), 0);
+  uint64_t PassedThrough = 0;
+
+  struct Drivers {
+    static sim::Task<void> generate(net::PdesFabric &Fab, int Port) {
+      for (uint32_t V = 2; V <= 20; ++V) {
+        Fab.send(0, 1, Port, encode32(V));
+        co_await Fab.simOf(0).delay(sim::SimTime::microseconds(2));
+      }
+    }
+    static sim::Task<void> filter(net::PdesFabric &Fab, int Node, int Port,
+                                  sim::Channel<net::Message> &In,
+                                  std::vector<uint64_t> &Primes,
+                                  uint64_t &PassedThrough) {
+      while (true) {
+        net::Message Msg = co_await In.recv();
+        uint32_t V = decode32(Msg.Payload);
+        if (Primes[size_t(Node)] == 0) {
+          Primes[size_t(Node)] = V;
+          continue;
+        }
+        if (V % Primes[size_t(Node)] == 0)
+          continue;
+        if (Node + 1 < Fab.nodeCount())
+          Fab.send(Node, Node + 1, Port, std::move(Msg.Payload));
+        else
+          ++PassedThrough;
+      }
+    }
+  };
+
+  Fab.simOf(0).spawn(Drivers::generate(Fab, Port));
+  for (int N = 1; N < Nodes; ++N)
+    Fab.simOf(N).spawn(
+        Drivers::filter(Fab, N, Port, *In[size_t(N)], Primes, PassedThrough));
+
+  Exec.run();
+
+  PdesResult R;
+  R.Digest = Exec.digest();
+  R.Events = Exec.totalEvents();
+  R.Windows = Exec.windowCount();
+  R.MailMerged = Exec.mailMerged();
+  R.Delivered = Fab.messagesDelivered();
+  R.Dropped = Fab.messagesDropped();
+  R.PayloadBytes = Fab.payloadBytesDelivered();
+  for (int N = 0; N < Nodes; ++N)
+    R.AppChecksum = R.AppChecksum * 31 + Primes[size_t(N)];
+  R.AppChecksum = R.AppChecksum * 31 + PassedThrough;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario 2/3: ray farm, optionally under a fault plan
+//
+// Master (node 0) scatters tasks round-robin over 7 workers; each worker
+// simulates shading (a task-dependent compute delay) and sends a result
+// back.  The chaos variant layers a crash-with-restart that begins mid
+// window, a network partition clause spanning many window barriers, and
+// probabilistic loss -- all evaluated from plan + per-source seeded
+// streams, so the fault outcome must replay exactly at any thread count.
+//===----------------------------------------------------------------------===//
+
+PdesResult runFarm(int Threads, const fault::FaultPlan *Plan) {
+  constexpr int Nodes = 8;
+  constexpr int Tasks = 42; // 6 per worker
+  constexpr int TaskPort = 7100;
+  constexpr int ResultPort = 7101;
+  net::NetConfig Cfg;
+
+  sim::PdesConfig PC;
+  PC.Partitions = 4;
+  PC.Threads = Threads;
+  PC.LookaheadNs = net::PdesFabric::lookaheadNs(Cfg);
+  sim::ParallelExecutor Exec(PC);
+  net::PdesFabric Fab(Exec, Nodes, Cfg);
+  if (Plan)
+    Fab.setPlan(*Plan);
+
+  std::vector<sim::Channel<net::Message> *> WorkerIn(Nodes);
+  for (int W = 1; W < Nodes; ++W)
+    WorkerIn[W] = &Fab.bind(W, TaskPort);
+  sim::Channel<net::Message> &Results = Fab.bind(0, ResultPort);
+
+  uint64_t Checksum = 0;
+  uint64_t ResultsSeen = 0;
+
+  struct Drivers {
+    static sim::Task<void> master(net::PdesFabric &Fab, int Tasks,
+                                  int TaskPort) {
+      int Workers = Fab.nodeCount() - 1;
+      for (int T = 0; T < Tasks; ++T) {
+        Fab.send(0, 1 + T % Workers, TaskPort, encode32(uint32_t(T)));
+        co_await Fab.simOf(0).delay(sim::SimTime::microseconds(1));
+      }
+    }
+    static sim::Task<void> worker(net::PdesFabric &Fab, int W,
+                                  sim::Channel<net::Message> &In,
+                                  int ResultPort) {
+      while (true) {
+        net::Message Msg = co_await In.recv();
+        uint32_t T = decode32(Msg.Payload);
+        // "Shade": task-dependent deterministic compute time.
+        co_await Fab.simOf(W).delay(
+            sim::SimTime::microseconds(int64_t(3 + T % 5)));
+        Fab.send(W, 0, ResultPort, encode32(T * T + uint32_t(W)));
+      }
+    }
+    static sim::Task<void> collect(sim::Channel<net::Message> &Results,
+                                   uint64_t &Checksum, uint64_t &Seen) {
+      while (true) {
+        net::Message Msg = co_await Results.recv();
+        Checksum = Checksum * 1099511628211ULL + decode32(Msg.Payload);
+        ++Seen;
+      }
+    }
+  };
+
+  Fab.simOf(0).spawn(Drivers::master(Fab, Tasks, TaskPort));
+  for (int W = 1; W < Nodes; ++W)
+    Fab.simOf(W).spawn(Drivers::worker(Fab, W, *WorkerIn[size_t(W)],
+                                       ResultPort));
+  Fab.simOf(0).spawn(Drivers::collect(Results, Checksum, ResultsSeen));
+
+  Exec.run();
+
+  PdesResult R;
+  R.Digest = Exec.digest();
+  R.Events = Exec.totalEvents();
+  R.Windows = Exec.windowCount();
+  R.MailMerged = Exec.mailMerged();
+  R.Delivered = Fab.messagesDelivered();
+  R.Dropped = Fab.messagesDropped();
+  R.PayloadBytes = Fab.payloadBytesDelivered();
+  R.AppChecksum = Checksum * 31 + ResultsSeen;
+  return R;
+}
+
+fault::FaultPlan chaosPlan() {
+  fault::FaultPlan Plan;
+  Plan.Seed = 20260808;
+  // Crash beginning mid-window (the lookahead is ~5us; 42.5us is not a
+  // window boundary), with a restart so late traffic flows again.
+  Plan.Crashes.push_back({/*Node=*/3,
+                          /*At=*/sim::SimTime::nanoseconds(42500),
+                          /*RestartAt=*/sim::SimTime::microseconds(140)});
+  // Link cut master<->worker 5 spanning dozens of window barriers.
+  Plan.Partitions.push_back({/*NodeA=*/0, /*NodeB=*/5,
+                             /*From=*/sim::SimTime::microseconds(30),
+                             /*Until=*/sim::SimTime::microseconds(200)});
+  // Probabilistic loss for the whole run, drawn from per-source streams.
+  Plan.Losses.push_back({/*Probability=*/0.2, /*From=*/sim::SimTime(),
+                         /*Until=*/sim::SimTime()});
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-count invariance + goldens
+//===----------------------------------------------------------------------===//
+
+TEST(PdesTest, SievePipelineIdenticalAcrossThreadCounts) {
+  PdesResult Base = runSieve(1);
+  printGoldens("sieve", Base);
+  for (int Threads : ThreadSweep)
+    EXPECT_TRUE(runSieve(Threads) == Base)
+        << "sieve diverged at Threads=" << Threads;
+
+  // The canonical order itself is pinned: a kernel change that shifts it
+  // for every thread count at once fails here, like DeterminismTest does
+  // for the serial path.
+  EXPECT_EQ(Base.Digest, 0xa263c3f8ae2ca859ULL)
+      << "PDES canonical order changed; if intentional, re-record with "
+         "PARCS_PRINT_TRACE=1";
+  EXPECT_EQ(Base.Delivered, 48u); // 19 generated + 29 forwarded hops
+  EXPECT_EQ(Base.Dropped, 0u);
+  // Primes 2,3,5,7,11,13,17 at nodes 1..7; 19 passes the whole chain.
+  uint64_t Expect = 0;
+  for (uint64_t P : {0, 2, 3, 5, 7, 11, 13, 17})
+    Expect = Expect * 31 + P;
+  Expect = Expect * 31 + 1;
+  EXPECT_EQ(Base.AppChecksum, Expect);
+}
+
+TEST(PdesTest, RayFarmIdenticalAcrossThreadCounts) {
+  PdesResult Base = runFarm(1, nullptr);
+  printGoldens("farm", Base);
+  for (int Threads : ThreadSweep)
+    EXPECT_TRUE(runFarm(Threads, nullptr) == Base)
+        << "farm diverged at Threads=" << Threads;
+
+  EXPECT_EQ(Base.Digest, 0xa751f70757650101ULL)
+      << "PDES canonical order changed; if intentional, re-record with "
+         "PARCS_PRINT_TRACE=1";
+  EXPECT_EQ(Base.Delivered, 84u); // 42 tasks out + 42 results back
+  EXPECT_EQ(Base.Dropped, 0u);
+}
+
+TEST(PdesTest, ChaosFarmFaultPlanReplaysExactly) {
+  fault::FaultPlan Plan = chaosPlan();
+  PdesResult Base = runFarm(1, &Plan);
+  printGoldens("chaos", Base);
+
+  // Faults must actually bite, and in both directions.
+  EXPECT_GT(Base.Dropped, 0u);
+  EXPECT_LT(Base.Delivered, 84u);
+
+  // Same plan, same thread count -> bit-identical replay.
+  EXPECT_TRUE(runFarm(1, &Plan) == Base) << "fault replay diverged";
+
+  // Same plan, any thread count -> the same faults hit the same messages.
+  for (int Threads : ThreadSweep)
+    EXPECT_TRUE(runFarm(Threads, &Plan) == Base)
+        << "chaos farm diverged at Threads=" << Threads;
+
+  EXPECT_EQ(Base.Digest, 0xed74b73c9853f6cfULL)
+      << "PDES canonical order changed; if intentional, re-record with "
+         "PARCS_PRINT_TRACE=1";
+}
+
+//===----------------------------------------------------------------------===//
+// Export byte-identity
+//===----------------------------------------------------------------------===//
+
+/// Runs the farm with tracing on and a clean metrics registry; returns
+/// (trace json, metrics json) captured after teardown (component
+/// destructors fold their counters).
+std::pair<std::string, std::string> exportsAt(int Threads) {
+  metrics::Registry::global().reset();
+  trace::reset();
+  trace::setEnabled(true);
+  runFarm(Threads, nullptr);
+  std::string TraceJson = trace::exportJson();
+  trace::setEnabled(false);
+  trace::reset();
+  std::string MetricsJson = metrics::Registry::global().jsonReport();
+  metrics::Registry::global().reset();
+  return {std::move(TraceJson), std::move(MetricsJson)};
+}
+
+TEST(PdesTest, TraceAndMetricsExportsByteIdenticalAcrossThreadCounts) {
+  auto [Trace1, Metrics1] = exportsAt(1);
+  auto [Trace4, Metrics4] = exportsAt(4);
+  EXPECT_EQ(Trace1, Trace4) << "trace export depends on thread count";
+  EXPECT_EQ(Metrics1, Metrics4) << "metrics export depends on thread count";
+  EXPECT_NE(Trace1.find("fab.deliver"), std::string::npos)
+      << "expected fabric delivery instants in the trace";
+  EXPECT_NE(Metrics1.find("pdes.windows"), std::string::npos);
+  EXPECT_NE(Metrics1.find("fab.messages_delivered"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment knob
+//===----------------------------------------------------------------------===//
+
+TEST(PdesTest, SimThreadsFromEnvParsesAndClamps) {
+  // The suite runs with whatever PARCS_SIM_THREADS CI exports; only check
+  // the parse contract, not a specific value.
+  int N = sim::simThreadsFromEnv();
+  EXPECT_GE(N, 1);
+  EXPECT_LE(N, 64);
+}
+
+TEST(PdesTest, ExecutorClampsThreadsToPartitions) {
+  sim::PdesConfig PC;
+  PC.Partitions = 2;
+  PC.Threads = 8;
+  PC.LookaheadNs = 1000;
+  sim::ParallelExecutor Exec(PC);
+  EXPECT_EQ(Exec.config().Threads, 2);
+  EXPECT_EQ(Exec.partitionCount(), 2);
+}
+
+} // namespace
