@@ -12,6 +12,7 @@
 #include "net/Network.h"
 #include "remoting/Engine.h"
 #include "support/Metrics.h"
+#include "support/TelemetrySink.h"
 #include "support/Trace.h"
 #include "vm/Cluster.h"
 
@@ -96,9 +97,13 @@ parcs::apps::pingpong::runRemotingPingPong(remoting::StackKind Stack,
                                                               Payload);
       sim::Simulator &Sim = Client.node().sim();
       sim::SimTime Start = Sim.now();
-      for (int I = 0; I < Rounds; ++I)
+      for (int I = 0; I < Rounds; ++I) {
+        sim::SimTime RoundStart = Sim.now();
         (void)co_await Handle.invokeTyped<std::vector<int32_t>>("echo",
                                                                 Payload);
+        telemetry::record(0, "app.round.latency", Sim.now().nanosecondsCount(),
+                          (Sim.now() - RoundStart).nanosecondsCount());
+      }
       Elapsed = Sim.now() - Start;
       trace::complete(0, 0, "pingpong.measured", Start.nanosecondsCount(),
                       Elapsed.nanosecondsCount());
@@ -182,9 +187,13 @@ PingPongResult parcs::apps::pingpong::runScooppPingPong(size_t PayloadBytes,
                                                                  Payload);
       sim::Simulator &Sim = Runtime.sim();
       sim::SimTime Start = Sim.now();
-      for (int I = 0; I < Rounds; ++I)
+      for (int I = 0; I < Rounds; ++I) {
+        sim::SimTime RoundStart = Sim.now();
         (void)co_await Proxy.invokeSyncTyped<std::vector<int32_t>>("echo",
                                                                    Payload);
+        telemetry::record(0, "app.round.latency", Sim.now().nanosecondsCount(),
+                          (Sim.now() - RoundStart).nanosecondsCount());
+      }
       Elapsed = Sim.now() - Start;
       trace::complete(0, 0, "pingpong.measured", Start.nanosecondsCount(),
                       Elapsed.nanosecondsCount());

@@ -17,9 +17,12 @@
 
 #include "core/Scoopp.h"
 #include "net/Network.h"
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/Telemetry.h"
 #include "vm/Cluster.h"
 
 #include <functional>
+#include <memory>
 
 namespace parcs::scoopp {
 
@@ -32,7 +35,17 @@ public:
               net::NetConfig NetCfg = net::NetConfig())
       : Machines(Nodes, Vm, CoresPerNode), Fabric(Machines.sim(), Nodes,
                                                   NetCfg),
-        Rts(Machines, Fabric, std::move(Registry), Config) {}
+        Rts(Machines, Fabric, std::move(Registry), Config) {
+    // Live telemetry rides in-band over the same fabric when the knob is
+    // set; the flight recorder shadows it so chaos runs leave a dump.
+    telemetry::TelemetrySpec Spec;
+    if (telemetry::envTelemetrySpec(Spec)) {
+      Telemetry = std::make_unique<telemetry::Plane>(Fabric, Spec);
+      if (!Spec.Path.empty())
+        Flight = std::make_unique<telemetry::FlightRecorder>(Spec.Path +
+                                                             ".flight.json");
+    }
+  }
 
   sim::Simulator &sim() { return Machines.sim(); }
   vm::Cluster &cluster() { return Machines; }
@@ -48,10 +61,17 @@ public:
     return Machines.sim().now() - Start;
   }
 
+  /// The live telemetry plane, or null when PARCS_TELEMETRY is unset.
+  telemetry::Plane *telemetryPlane() { return Telemetry.get(); }
+
 private:
   vm::Cluster Machines;
   net::Network Fabric;
   ScooppRuntime Rts;
+  // Declared after Rts so they tear down first: the plane folds straggler
+  // windows and writes its export while the fabric is still alive.
+  std::unique_ptr<telemetry::Plane> Telemetry;
+  std::unique_ptr<telemetry::FlightRecorder> Flight;
 };
 
 } // namespace parcs::scoopp

@@ -9,6 +9,7 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace parcs;
@@ -24,6 +25,7 @@ PdesFabric::PdesFabric(sim::ParallelExecutor &Exec, int NodeCount,
     NodePartition.push_back(Node % K);
   TxFreeNs.assign(size_t(NodeCount), 0);
   NextMsgSeq.assign(size_t(NodeCount), 1);
+  SrcInFlight.resize(size_t(NodeCount));
   NodeRng.reserve(size_t(NodeCount));
   for (int Node = 0; Node < NodeCount; ++Node)
     NodeRng.push_back(std::make_unique<Rng>(uint64_t(Node) + 1));
@@ -35,10 +37,18 @@ PdesFabric::PdesFabric(sim::ParallelExecutor &Exec, int NodeCount,
 }
 
 PdesFabric::~PdesFabric() {
+  // Same names the serial Network folds, so end-of-run reports -- and the
+  // telemetry plane reading them live -- are fabric-agnostic.  Every
+  // fabric drop is fault-induced (loss, link cut, crashed endpoint), so
+  // the fault-drop counter mirrors the total.
   metrics::Registry &Reg = metrics::Registry::global();
-  Reg.counter("fab.messages_delivered").add(messagesDelivered());
-  Reg.counter("fab.messages_dropped").add(messagesDropped());
-  Reg.counter("fab.payload_bytes").add(payloadBytesDelivered());
+  Reg.counter("net.messages_delivered").add(messagesDelivered());
+  Reg.counter("net.messages_dropped").add(messagesDropped());
+  Reg.counter("net.messages_fault_dropped").add(messagesDropped());
+  Reg.counter("net.payload_bytes").add(payloadBytesDelivered());
+  Reg.counter("net.wire_bytes").add(wireBytesCarried());
+  Reg.counter("net.frames").add(framesCarried());
+  Reg.gauge("net.peak_in_flight").noteMax(peakInFlight());
 }
 
 void PdesFabric::setPlan(fault::FaultPlan NewPlan) {
@@ -140,6 +150,31 @@ void PdesFabric::send(int Src, int Dst, int Port, std::vector<uint8_t> Payload) 
       DeliverNs += L.Extra.nanosecondsCount();
   }
 
+  // Wire accounting and the net.transfer span, mirrored from the serial
+  // Network so telemetry reads identically whichever fabric runs.  Both
+  // transfer endpoints are known at send time (DeliverNs is computed, not
+  // awaited), so the whole span is recorded here on *Src's* trace ring --
+  // the serial fabric's global node -1 counter ring would be written by
+  // every partition at once.  Lost messages still occupy the wire, like
+  // real tail drops, and still count frames.
+  size_t Mss = size_t(Config.MaxSegmentBytes);
+  size_t Packets =
+      Msg.Payload.empty() ? 1 : (Msg.Payload.size() + Mss - 1) / Mss;
+  Shard &SrcShard = Shards[size_t(partitionOf(Src))];
+  SrcShard.WireBytes +=
+      Msg.Payload.size() + Packets * size_t(Config.FrameOverheadBytes);
+  SrcShard.Frames += Packets;
+  std::vector<int64_t> &Open = SrcInFlight[size_t(Src)];
+  Open.erase(std::remove_if(Open.begin(), Open.end(),
+                            [NowNs](int64_t T) { return T <= NowNs; }),
+             Open.end());
+  Open.push_back(DeliverNs);
+  if (int64_t(Open.size()) > SrcShard.PeakInFlight)
+    SrcShard.PeakInFlight = int64_t(Open.size());
+  trace::asyncBegin(Src, "net.transfer", NowNs, Msg.Id);
+  trace::counter(Src, "net.in_flight", NowNs, int64_t(Open.size()));
+  trace::asyncEnd(Src, "net.transfer", DeliverNs, Msg.Id);
+
   // Loss and corruption draws come from the *source's* stream in send
   // order, so the draw sequence -- and therefore the fault outcome -- is
   // independent of thread count.  Lost messages still occupy the wire
@@ -183,12 +218,11 @@ void PdesFabric::deliver(Message Msg, bool Lost, int64_t AtNs) {
   Shard &S = Shards[size_t(partitionOf(Msg.Dst))];
   if (Lost || nodeDownAt(Msg.Dst, AtNs)) {
     ++S.Dropped;
-    trace::instant(Msg.Dst, 0, "fab.drop", AtNs);
+    trace::instant(Msg.Dst, 0, "net.drop", AtNs);
     return;
   }
   ++S.Delivered;
   S.PayloadBytes += Msg.Payload.size();
-  trace::instant(Msg.Dst, 0, "fab.deliver", AtNs);
   auto It = Ports.find({Msg.Dst, Msg.Port});
   assert(It != Ports.end() && "delivery to an unbound port");
   It->second->trySend(std::move(Msg));
@@ -213,4 +247,25 @@ uint64_t PdesFabric::payloadBytesDelivered() const {
   for (const Shard &S : Shards)
     Total += S.PayloadBytes;
   return Total;
+}
+
+uint64_t PdesFabric::wireBytesCarried() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.WireBytes;
+  return Total;
+}
+
+uint64_t PdesFabric::framesCarried() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Frames;
+  return Total;
+}
+
+int64_t PdesFabric::peakInFlight() const {
+  int64_t Peak = 0;
+  for (const Shard &S : Shards)
+    Peak = std::max(Peak, S.PeakInFlight);
+  return Peak;
 }

@@ -95,9 +95,17 @@ public:
   void setPlan(fault::FaultPlan Plan);
 
   // Counters, summed over per-partition shards; read only after run().
+  // Same vocabulary as the serial Network, so telemetry reads identically
+  // whichever fabric carried the traffic.
   uint64_t messagesDelivered() const;
   uint64_t messagesDropped() const;
   uint64_t payloadBytesDelivered() const;
+  uint64_t wireBytesCarried() const;
+  uint64_t framesCarried() const;
+  /// Peak concurrent transfers outstanding from any one source (the
+  /// fabric has no global in-flight count: that would be cross-partition
+  /// shared state written on every send).
+  int64_t peakInFlight() const;
 
 private:
   /// Per-partition counter shard, cache-line sized so two partitions'
@@ -106,6 +114,9 @@ private:
     uint64_t Delivered = 0;
     uint64_t Dropped = 0;
     uint64_t PayloadBytes = 0;
+    uint64_t WireBytes = 0;
+    uint64_t Frames = 0;
+    int64_t PeakInFlight = 0;
   };
 
   /// True when \p Node is crashed at \p AtNs (pure function of the plan).
@@ -123,6 +134,9 @@ private:
   /// Loss/corruption draws, one stream per source node in send order
   /// (written only by the source's partition).
   std::vector<std::unique_ptr<Rng>> NodeRng;
+  /// Delivery times of transfers still on the wire, per source (written
+  /// only by the source's partition; pruned lazily at each send).
+  std::vector<std::vector<int64_t>> SrcInFlight;
   std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>> Ports;
   std::vector<Shard> Shards;
   fault::FaultPlan Plan;

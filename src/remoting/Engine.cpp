@@ -8,6 +8,8 @@
 
 #include "serial/Crc32.h"
 #include "support/Logging.h"
+#include "support/PostMortem.h"
+#include "support/TelemetrySink.h"
 #include "support/Trace.h"
 
 #include <charconv>
@@ -344,6 +346,8 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::call(int DstNode, int DstPort,
   ErrorOr<Bytes> Result = co_await Reply.future();
   int64_t DoneNs = Host.sim().now().nanosecondsCount();
   CallLatency->record(DoneNs - IssuedNs);
+  telemetry::count(Host.id(), "rpc.calls", DoneNs);
+  telemetry::record(Host.id(), "rpc.call.latency", DoneNs, DoneNs - IssuedNs);
   trace::asyncEndCtx(Host.id(), "rpc.call", DoneNs,
                      callSpanId(Host.id(), Port, CallId), CallCtx, ParentCtx);
   co_return Result;
@@ -412,6 +416,8 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::callReliable(int DstNode, int DstPort,
       co_return Result;
     if (Attempt >= Retry.MaxAttempts) {
       ++Stats.RetriesExhausted;
+      postmortem::fire("retries_exhausted", Host.id(),
+                       Host.sim().now().nanosecondsCount());
       co_return Error(ErrorCode::ConnectionFailed,
                       "retries exhausted: '" + ObjectName + "." + Method +
                           "' on node " + std::to_string(DstNode));

@@ -6,6 +6,8 @@
 
 #include "support/Metrics.h"
 
+#include "support/EnvSpec.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -21,16 +23,6 @@ namespace parcs::metrics {
 
 namespace {
 
-/// Index of the bucket holding \p Value: 0 for 0, otherwise 1 + floor(log2).
-int bucketIndex(uint64_t Value) {
-  if (Value == 0)
-    return 0;
-  int Log2 = 63 - __builtin_clzll(Value);
-  if (Log2 >= Histogram::MaxShift)
-    return Histogram::NumBuckets - 1;
-  return Log2 + 1;
-}
-
 /// Inclusive [lo, hi] value range a finite bucket covers.
 void bucketRange(int B, double &Lo, double &Hi) {
   if (B == 0) {
@@ -43,32 +35,35 @@ void bucketRange(int B, double &Lo, double &Hi) {
 
 } // namespace
 
-void Histogram::record(int64_t Value) {
-  uint64_t V = Value < 0 ? 0 : static_cast<uint64_t>(Value);
-  ++Buckets[bucketIndex(V)];
-  Stats.add(static_cast<double>(V));
+int detail::bucketIndex(uint64_t Value) {
+  if (Value == 0)
+    return 0;
+  int Log2 = 63 - __builtin_clzll(Value);
+  if (Log2 >= Histogram::MaxShift)
+    return Histogram::NumBuckets - 1;
+  return Log2 + 1;
 }
 
-double Histogram::percentile(double P) const {
-  size_t N = Stats.count();
-  if (N == 0)
-    return EmptyPercentile;
+double detail::bucketsPercentile(const uint64_t *Buckets, uint64_t Count,
+                                 double Min, double Max, double P) {
+  if (Count == 0)
+    return Histogram::EmptyPercentile;
   P = std::clamp(P, 0.0, 100.0);
   // Rank in [0, N-1], same convention as SampleSet::percentile.
-  double Rank = P / 100.0 * static_cast<double>(N - 1);
+  double Rank = P / 100.0 * static_cast<double>(Count - 1);
   double Target = Rank + 1.0; // 1-based position within the distribution.
   uint64_t Seen = 0;
-  double Result = Stats.max();
-  for (int B = 0; B < NumBuckets; ++B) {
+  double Result = Max;
+  for (int B = 0; B < Histogram::NumBuckets; ++B) {
     if (Buckets[B] == 0)
       continue;
     if (static_cast<double>(Seen + Buckets[B]) >= Target) {
       double Lo, Hi;
-      if (B == NumBuckets - 1) {
+      if (B == Histogram::NumBuckets - 1) {
         // Overflow bucket: no finite upper bound; interpolate up to the
         // observed maximum.
-        Lo = static_cast<double>(uint64_t{1} << MaxShift);
-        Hi = Stats.max();
+        Lo = static_cast<double>(uint64_t{1} << Histogram::MaxShift);
+        Hi = Max;
       } else {
         bucketRange(B, Lo, Hi);
       }
@@ -81,7 +76,118 @@ double Histogram::percentile(double P) const {
   }
   // Clamp to the exact observed range: a single sample reports itself, and
   // bucket upper bounds never exceed the true max.
-  return std::clamp(Result, Stats.min(), Stats.max());
+  return std::clamp(Result, Min, Max);
+}
+
+void Histogram::record(int64_t Value) {
+  uint64_t V = Value < 0 ? 0 : static_cast<uint64_t>(Value);
+  ++Buckets[detail::bucketIndex(V)];
+  Stats.add(static_cast<double>(V));
+}
+
+double Histogram::percentile(double P) const {
+  if (Stats.count() == 0)
+    return EmptyPercentile;
+  return detail::bucketsPercentile(Buckets, Stats.count(), Stats.min(),
+                                   Stats.max(), P);
+}
+
+//===----------------------------------------------------------------------===//
+// Sliding sim-time windows
+//===----------------------------------------------------------------------===//
+
+WindowedCounter::WindowedCounter(int64_t WindowNs, int Slots) {
+  assert(WindowNs > 0 && Slots > 0 && "degenerate window");
+  SlotNs = std::max<int64_t>(1, WindowNs / Slots);
+  Ring.resize(size_t(Slots));
+}
+
+void WindowedCounter::add(int64_t AtNs, uint64_t N) {
+  int64_t Index = std::max<int64_t>(0, AtNs) / SlotNs;
+  Slot &S = Ring[size_t(Index % int64_t(Ring.size()))];
+  if (S.Index > Index)
+    return; // Stale sample from before the slot was recycled; drop it.
+  if (S.Index < Index) {
+    S.Index = Index;
+    S.Count = 0;
+  }
+  S.Count += N;
+}
+
+uint64_t WindowedCounter::inWindow(int64_t AtNs) const {
+  int64_t Newest = std::max<int64_t>(0, AtNs) / SlotNs;
+  int64_t Oldest = Newest - int64_t(Ring.size()) + 1;
+  uint64_t Total = 0;
+  for (const Slot &S : Ring)
+    if (S.Index >= Oldest && S.Index <= Newest)
+      Total += S.Count;
+  return Total;
+}
+
+void WindowedHistogram::Snapshot::record(int64_t Value) {
+  uint64_t V = Value < 0 ? 0 : uint64_t(Value);
+  ++Buckets[detail::bucketIndex(V)];
+  int64_t Clamped = int64_t(V);
+  if (Count == 0 || Clamped < Min)
+    Min = Clamped;
+  if (Count == 0 || Clamped > Max)
+    Max = Clamped;
+  Sum += V;
+  ++Count;
+}
+
+void WindowedHistogram::Snapshot::merge(const Snapshot &Other) {
+  if (Other.Count == 0)
+    return;
+  for (int B = 0; B < Histogram::NumBuckets; ++B)
+    Buckets[B] += Other.Buckets[B];
+  if (Count == 0 || Other.Min < Min)
+    Min = Other.Min;
+  if (Count == 0 || Other.Max > Max)
+    Max = Other.Max;
+  Sum += Other.Sum;
+  Count += Other.Count;
+}
+
+double WindowedHistogram::Snapshot::percentile(double P) const {
+  return detail::bucketsPercentile(Buckets, Count, double(Min), double(Max),
+                                   P);
+}
+
+WindowedHistogram::WindowedHistogram(int64_t WindowNs, int Slots) {
+  assert(WindowNs > 0 && Slots > 0 && "degenerate window");
+  SlotNs = std::max<int64_t>(1, WindowNs / Slots);
+  Ring.resize(size_t(Slots));
+}
+
+void WindowedHistogram::record(int64_t AtNs, int64_t Value) {
+  int64_t Index = std::max<int64_t>(0, AtNs) / SlotNs;
+  Slot &S = Ring[size_t(Index % int64_t(Ring.size()))];
+  if (S.Index > Index)
+    return; // Stale sample from before the slot was recycled; drop it.
+  if (S.Index < Index) {
+    S.Index = Index;
+    S.Data = Snapshot();
+  }
+  S.Data.record(Value);
+}
+
+uint64_t WindowedHistogram::countInWindow(int64_t AtNs) const {
+  return snapshot(AtNs).Count;
+}
+
+double WindowedHistogram::percentileInWindow(int64_t AtNs, double P) const {
+  return snapshot(AtNs).percentile(P);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::snapshot(int64_t AtNs) const {
+  int64_t Newest = std::max<int64_t>(0, AtNs) / SlotNs;
+  int64_t Oldest = Newest - int64_t(Ring.size()) + 1;
+  Snapshot Merged;
+  for (const Slot &S : Ring)
+    if (S.Index >= Oldest && S.Index <= Newest)
+      Merged.merge(S.Data);
+  return Merged;
 }
 
 std::string Histogram::str() const {
@@ -101,34 +207,26 @@ std::string Histogram::str() const {
 
 bool parseMetricsSpec(std::string_view Spec, ReportSpec &Out,
                       std::string *BadToken) {
+  std::string_view Path;
+  std::vector<envspec::Option> Opts;
+  if (!envspec::split(Spec, Path, Opts, BadToken))
+    return false;
   auto Fail = [&](std::string_view Token) {
     if (BadToken)
       *BadToken = std::string(Token);
     return false;
   };
-  std::string_view Path = Spec;
-  std::string_view Format;
-  std::string_view FormatToken;
-  if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
-    Path = Spec.substr(0, Comma);
-    std::string_view Rest = Spec.substr(Comma + 1);
-    constexpr std::string_view Key = "format=";
-    if (Rest.substr(0, Key.size()) != Key)
-      return Fail(Rest);
-    Format = Rest.substr(Key.size());
-    FormatToken = Rest;
+  bool Json = Path.size() >= 5 && Path.substr(Path.size() - 5) == ".json";
+  for (const envspec::Option &O : Opts) {
+    if (O.Key != "format")
+      return Fail(O.Token);
+    if (O.Value == "json")
+      Json = true;
+    else if (O.Value == "text")
+      Json = false;
+    else
+      return Fail(O.Token);
   }
-  if (Path.empty())
-    return Fail("<empty path>");
-  bool Json;
-  if (Format.empty() && FormatToken.empty())
-    Json = Path.size() >= 5 && Path.substr(Path.size() - 5) == ".json";
-  else if (Format == "json")
-    Json = true;
-  else if (Format == "text")
-    Json = false;
-  else
-    return Fail(FormatToken);
   Out.Path = std::string(Path);
   Out.Json = Json;
   return true;

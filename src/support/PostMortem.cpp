@@ -1,0 +1,26 @@
+//===- support/PostMortem.cpp - Crash/exhaustion dump hook ----------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PostMortem.h"
+
+namespace parcs::postmortem {
+
+Handler detail::ActiveHandler = nullptr;
+void *detail::ActiveUserData = nullptr;
+
+void setHandler(Handler H, void *UserData) {
+  detail::ActiveHandler = H;
+  detail::ActiveUserData = UserData;
+}
+
+void clearHandler(void *UserData) {
+  if (detail::ActiveUserData != UserData)
+    return;
+  detail::ActiveHandler = nullptr;
+  detail::ActiveUserData = nullptr;
+}
+
+} // namespace parcs::postmortem

@@ -1,0 +1,56 @@
+//===- support/PostMortem.h - Crash/exhaustion dump hook --------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide "something fatal happened" hook.  Failure sites --
+/// vm::Node::crash() when a fault plan kills a node, the remoting engine
+/// when a call exhausts its retries -- fire it with a reason string; the
+/// telemetry flight recorder registers a handler that dumps its recent
+/// event rings and last metrics snapshot to a post-mortem file.  Lives in
+/// support so the failing layers need no dependency on src/telemetry;
+/// with no handler installed a fire() is one load-and-branch.
+///
+/// Handlers must be re-entrant-safe in the trivial sense: fire() clears
+/// nothing and may be called several times per run (one dump per event
+/// is the flight recorder's policy decision, not this hook's).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_POSTMORTEM_H
+#define PARCS_SUPPORT_POSTMORTEM_H
+
+#include <cstdint>
+
+namespace parcs::postmortem {
+
+/// \p Reason is a static string ("crash", "retries_exhausted"), \p Node
+/// the failing node id (-1 when unknown), \p AtNs the sim-time.
+using Handler = void (*)(void *UserData, const char *Reason, int Node,
+                         int64_t AtNs);
+
+namespace detail {
+
+extern Handler ActiveHandler;
+extern void *ActiveUserData;
+
+} // namespace detail
+
+/// Installs the process-wide handler (replacing any previous one).
+void setHandler(Handler H, void *UserData);
+
+/// Removes the handler (no-op if \p UserData does not match the
+/// installed registration, so stale owners cannot clobber a newer one).
+void clearHandler(void *UserData);
+
+/// Reports a fatal event.  One branch when no handler is installed.
+inline void fire(const char *Reason, int Node, int64_t AtNs) {
+  if (detail::ActiveHandler)
+    detail::ActiveHandler(detail::ActiveUserData, Reason, Node, AtNs);
+}
+
+} // namespace parcs::postmortem
+
+#endif // PARCS_SUPPORT_POSTMORTEM_H

@@ -1,0 +1,21 @@
+//===- support/TelemetrySink.cpp - Live-series recording hook -------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TelemetrySink.h"
+
+namespace parcs::telemetry {
+
+Sink::~Sink() = default;
+
+Sink *detail::ActiveSink = nullptr;
+
+Sink *setSink(Sink *S) {
+  Sink *Prev = detail::ActiveSink;
+  detail::ActiveSink = S;
+  return Prev;
+}
+
+} // namespace parcs::telemetry

@@ -6,6 +6,8 @@
 
 #include "support/Trace.h"
 
+#include "support/EnvSpec.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -14,7 +16,7 @@
 
 namespace parcs::trace {
 
-bool detail::Enabled = false;
+uint8_t detail::Mode = 0;
 uint64_t detail::LastCausalId = 0;
 uint64_t detail::HandoffCtx = 0;
 
@@ -62,12 +64,13 @@ public:
   }
 
   void setCapacity(size_t Events) { Cap = Events ? Events : 1; }
+  void setFlightCapacity(size_t Events) { FlightCap = Events ? Events : 1; }
 
   void record(int Node, const Event &E) {
-    Ring &R = ring(Node);
-    R.Buf[R.Next] = E;
-    R.Next = R.Next + 1 == R.Buf.size() ? 0 : R.Next + 1;
-    ++R.Total;
+    if (detail::Mode & detail::ModeTrace)
+      push(ring(Rings, Cap, Node), E);
+    if (detail::Mode & detail::ModeFlight)
+      push(ring(FlightRings, FlightCap, Node), E);
   }
 
   int addTrack(int Node, std::string_view Name) {
@@ -79,33 +82,53 @@ public:
 
   void reset() {
     Rings.clear();
+    FlightRings.clear();
     Tracks.clear();
   }
 
-  /// See trace::reserveNodes.
+  /// See trace::reserveNodes.  Pre-sizes only the ring sets the current
+  /// mode feeds, so a flight-only run never allocates the big rings.
   void reserve(int MaxNodeId) {
-    for (int Node = -1; Node <= MaxNodeId; ++Node)
-      ring(Node);
+    for (int Node = -1; Node <= MaxNodeId; ++Node) {
+      if (detail::Mode & detail::ModeTrace)
+        ring(Rings, Cap, Node);
+      if (detail::Mode & detail::ModeFlight)
+        ring(FlightRings, FlightCap, Node);
+    }
   }
 
-  std::string exportJson() const;
+  std::string exportJson() const { return render(Rings, /*WarnWrap=*/true); }
+  std::string exportFlightJson() const {
+    return render(FlightRings, /*WarnWrap=*/false);
+  }
 
 private:
-  Ring &ring(int Node) {
+  static void push(Ring &R, const Event &E) {
+    R.Buf[R.Next] = E;
+    R.Next = R.Next + 1 == R.Buf.size() ? 0 : R.Next + 1;
+    ++R.Total;
+  }
+
+  Ring &ring(std::vector<Ring> &Set, size_t Capacity, int Node) {
     size_t Index = static_cast<size_t>(Node + 1);
-    if (Index >= Rings.size())
-      Rings.resize(Index + 1);
-    Ring &R = Rings[Index];
+    if (Index >= Set.size())
+      Set.resize(Index + 1);
+    Ring &R = Set[Index];
     if (R.Buf.empty())
-      R.Buf.resize(Cap);
+      R.Buf.resize(Capacity);
     return R;
   }
 
+  std::string render(const std::vector<Ring> &Set, bool WarnWrap) const;
+
   /// Index Node+1, so index 0 / pid 0 is the simulator itself.
   std::vector<Ring> Rings;
+  /// Small always-on rings for post-mortem dumps; same layout.
+  std::vector<Ring> FlightRings;
   /// Tid = index + 1; tid 0 is every node's implicit "main" track.
   std::vector<Track> Tracks;
   size_t Cap = 1 << 16;
+  size_t FlightCap = 512;
 };
 
 //===----------------------------------------------------------------------===//
@@ -231,14 +254,15 @@ void appendMetadata(std::string &Out, const char *What, int Pid, int Tid,
   Out += "}}";
 }
 
-std::string Recorder::exportJson() const {
+std::string Recorder::render(const std::vector<Ring> &Set,
+                             bool WarnWrap) const {
   std::string Out = "{\"traceEvents\": [";
   bool First = true;
 
   // Metadata first: process names for every node with a ring, thread
   // names for tid 0 ("main") and every registered track.
-  for (size_t I = 0; I < Rings.size(); ++I) {
-    if (Rings[I].Total == 0)
+  for (size_t I = 0; I < Set.size(); ++I) {
+    if (Set[I].Total == 0)
       continue;
     int Pid = static_cast<int>(I);
     char NameBuf[32];
@@ -254,13 +278,13 @@ std::string Recorder::exportJson() const {
                    static_cast<int>(T) + 1, Tracks[T].Name, First);
 
   // Events, per node, oldest first.
-  for (size_t I = 0; I < Rings.size(); ++I) {
-    const Ring &R = Rings[I];
+  for (size_t I = 0; I < Set.size(); ++I) {
+    const Ring &R = Set[I];
     if (R.Total == 0)
       continue;
     int Pid = static_cast<int>(I);
     uint64_t Dropped = R.Total > R.Buf.size() ? R.Total - R.Buf.size() : 0;
-    if (Dropped) {
+    if (Dropped && WarnWrap) {
       std::fprintf(stderr,
                    "[parcs:trace] pid %d ring wrapped, oldest %llu of %llu "
                    "events dropped\n",
@@ -326,7 +350,7 @@ struct EnvTracer {
     }
     if (Active) {
       Recorder::instance().setCapacity(Spec.RingCapacity);
-      detail::Enabled = true;
+      detail::Mode |= detail::ModeTrace;
     }
   }
 
@@ -373,19 +397,35 @@ void detail::recordAsync(int Node, const char *Name, int64_t AtNs, uint64_t Id,
              Begin ? EventKind::AsyncBegin : EventKind::AsyncEnd});
 }
 
-void setEnabled(bool On) { detail::Enabled = On; }
+void setEnabled(bool On) {
+  if (On)
+    detail::Mode |= detail::ModeTrace;
+  else
+    detail::Mode &= uint8_t(~detail::ModeTrace);
+}
+
+void setFlightRecording(bool On) {
+  if (On)
+    detail::Mode |= detail::ModeFlight;
+  else
+    detail::Mode &= uint8_t(~detail::ModeFlight);
+}
 
 void setRingCapacity(size_t Events) {
   Recorder::instance().setCapacity(Events);
 }
 
+void setFlightCapacity(size_t Events) {
+  Recorder::instance().setFlightCapacity(Events);
+}
+
 void reserveNodes(int MaxNodeId) {
-  if (detail::Enabled)
+  if (detail::Mode)
     Recorder::instance().reserve(MaxNodeId);
 }
 
 int track(int Node, std::string_view Name) {
-  if (!detail::Enabled)
+  if (!detail::Mode)
     return 0;
   return Recorder::instance().addTrack(Node, Name);
 }
@@ -393,6 +433,10 @@ int track(int Node, std::string_view Name) {
 int trackCount() { return Recorder::instance().trackCount(); }
 
 std::string exportJson() { return Recorder::instance().exportJson(); }
+
+std::string exportFlightJson() {
+  return Recorder::instance().exportFlightJson();
+}
 
 bool writeJson(const std::string &Path) {
   std::FILE *F = std::fopen(Path.c_str(), "w");
@@ -415,28 +459,22 @@ void reset() {
 
 bool parseTraceSpec(std::string_view Spec, TraceSpec &Out,
                     std::string *BadToken) {
+  std::string_view Path;
+  std::vector<envspec::Option> Opts;
+  if (!envspec::split(Spec, Path, Opts, BadToken))
+    return false;
   auto Fail = [&](std::string_view Token) {
     if (BadToken)
       *BadToken = std::string(Token);
     return false;
   };
-  std::string_view Path = Spec;
   size_t Cap = TraceSpec{}.RingCapacity;
-  if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
-    Path = Spec.substr(0, Comma);
-    std::string_view Rest = Spec.substr(Comma + 1);
-    constexpr std::string_view Key = "cap=";
-    if (Rest.substr(0, Key.size()) != Key)
-      return Fail(Rest);
-    std::string Digits(Rest.substr(Key.size()));
-    char *End = nullptr;
-    unsigned long long N = std::strtoull(Digits.c_str(), &End, 10);
-    if (Digits.empty() || *End != '\0' || N == 0)
-      return Fail(Rest);
+  for (const envspec::Option &O : Opts) {
+    uint64_t N = 0;
+    if (O.Key != "cap" || !envspec::parseUint(O.Value, N) || N == 0)
+      return Fail(O.Token);
     Cap = static_cast<size_t>(N);
   }
-  if (Path.empty())
-    return Fail("<empty path>");
   Out.Path = std::string(Path);
   Out.RingCapacity = Cap;
   return true;

@@ -61,8 +61,15 @@ namespace parcs::trace {
 
 namespace detail {
 
-/// The one branch every disabled-path call site pays.
-extern bool Enabled;
+/// Recording mode bits.  Bit 0 (ModeTrace) is full tracing -- the large
+/// rings PARCS_TRACE exports; bit 1 (ModeFlight) is the flight recorder
+/// -- small always-on rings kept for post-mortem dumps (see
+/// telemetry/FlightRecorder).  Every disabled-path call site pays one
+/// load-and-branch on this byte; the per-bit dispatch happens only once
+/// an event is actually being recorded.
+inline constexpr uint8_t ModeTrace = 1;
+inline constexpr uint8_t ModeFlight = 2;
+extern uint8_t Mode;
 
 /// Last causal id handed out by mintCausalId(); reset() zeroes it.
 extern uint64_t LastCausalId;
@@ -80,7 +87,10 @@ void recordAsync(int Node, const char *Name, int64_t AtNs, uint64_t Id,
 
 } // namespace detail
 
-inline bool enabled() { return detail::Enabled; }
+/// True when *full* tracing is on (the flight recorder alone does not
+/// count: it must not change what traced code observes, so wire formats
+/// and causal plumbing key off this, not off flight mode).
+inline bool enabled() { return (detail::Mode & detail::ModeTrace) != 0; }
 
 /// A causal identity carried by an in-flight operation: Id names the
 /// operation in the happens-before DAG, Parent is the Id of the operation
@@ -95,8 +105,10 @@ struct CausalContext {
 /// Mints the next causal id.  Deterministic (a plain process-global
 /// counter) and 0 when tracing is disabled, so call sites may mint
 /// unconditionally and all causal plumbing vanishes from untraced runs.
+/// Keyed on full tracing only: flight-only mode must keep RPC wire bytes
+/// identical to an uninstrumented run.
 inline uint64_t mintCausalId() {
-  return detail::Enabled ? ++detail::LastCausalId : 0;
+  return enabled() ? ++detail::LastCausalId : 0;
 }
 
 /// Publishes \p Ctx for the callee about to run *synchronously* in this
@@ -112,13 +124,23 @@ inline uint64_t takeHandoff() {
   return Ctx;
 }
 
-/// Turns recording on or off.  Turning it on does not clear previously
-/// recorded events; call reset() for a fresh trace.
+/// Turns full-trace recording on or off.  Turning it on does not clear
+/// previously recorded events; call reset() for a fresh trace.
 void setEnabled(bool On);
 
-/// Sets the per-node ring capacity (events).  Takes effect for rings
-/// created afterwards; existing rings keep their size.
+/// Turns the flight recorder on or off: a second, small set of per-node
+/// rings fed by the same record calls, holding only the most recent
+/// events for post-mortem dumps.  Independent of setEnabled -- flight
+/// recording alone leaves enabled() false, so it never perturbs causal
+/// ids or wire formats.
+void setFlightRecording(bool On);
+
+/// Sets the per-node ring capacity (events) for full tracing.  Takes
+/// effect for rings created afterwards; existing rings keep their size.
 void setRingCapacity(size_t Events);
+
+/// Sets the per-node flight-ring capacity (default 512 events).
+void setFlightCapacity(size_t Events);
 
 /// Pre-creates the rings for nodes 0..\p MaxNodeId (and the simulator's
 /// pid-0 ring).  Required before recording from parallel PDES workers:
@@ -143,7 +165,7 @@ int trackCount();
 /// A [StartNs, StartNs+DurNs) span on \p Tid of node \p Node.
 inline void complete(int Node, int Tid, const char *Name, int64_t StartNs,
                      int64_t DurNs) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordComplete(Node, Tid, Name, StartNs, DurNs, 0, 0);
 }
 
@@ -151,13 +173,13 @@ inline void complete(int Node, int Tid, const char *Name, int64_t StartNs,
 /// caused by \p Parent.
 inline void completeCtx(int Node, int Tid, const char *Name, int64_t StartNs,
                         int64_t DurNs, uint64_t Ctx, uint64_t Parent) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordComplete(Node, Tid, Name, StartNs, DurNs, Ctx, Parent);
 }
 
 /// A point marker.
 inline void instant(int Node, int Tid, const char *Name, int64_t AtNs) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordInstant(Node, Tid, Name, AtNs, 0, 0);
 }
 
@@ -165,23 +187,23 @@ inline void instant(int Node, int Tid, const char *Name, int64_t AtNs) {
 /// declaration (ctx gains an extra parent) for joins like reply->caller.
 inline void instantCtx(int Node, int Tid, const char *Name, int64_t AtNs,
                        uint64_t Ctx, uint64_t Parent) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordInstant(Node, Tid, Name, AtNs, Ctx, Parent);
 }
 
 /// One sample of the per-node counter series \p Name.
 inline void counter(int Node, const char *Name, int64_t AtNs, int64_t Value) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordCounter(Node, Name, AtNs, Value);
 }
 
 /// Async interval endpoints, matched by (\p Name, \p Id) within one node.
 inline void asyncBegin(int Node, const char *Name, int64_t AtNs, uint64_t Id) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/true, 0, 0);
 }
 inline void asyncEnd(int Node, const char *Name, int64_t AtNs, uint64_t Id) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/false, 0, 0);
 }
 
@@ -189,12 +211,12 @@ inline void asyncEnd(int Node, const char *Name, int64_t AtNs, uint64_t Id) {
 /// begin; the matched pair forms DAG node \p Ctx).
 inline void asyncBeginCtx(int Node, const char *Name, int64_t AtNs,
                           uint64_t Id, uint64_t Ctx, uint64_t Parent) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/true, Ctx, Parent);
 }
 inline void asyncEndCtx(int Node, const char *Name, int64_t AtNs, uint64_t Id,
                         uint64_t Ctx, uint64_t Parent) {
-  if (detail::Enabled)
+  if (detail::Mode)
     detail::recordAsync(Node, Name, AtNs, Id, /*Begin=*/false, Ctx, Parent);
 }
 
@@ -205,6 +227,13 @@ inline void asyncEndCtx(int Node, const char *Name, int64_t AtNs, uint64_t Id,
 /// async events whose partner was lost to ring wrap carry
 /// "truncated": true in their args.
 std::string exportJson();
+
+/// Same rendering over the flight rings: the most recent events per node
+/// (a suffix of what exportJson() would contain when both modes were on).
+/// Flight rings wrap silently by design -- no truncation warning is
+/// printed, though async halves whose partner fell off the ring still
+/// carry the "truncated" marker.
+std::string exportFlightJson();
 
 /// exportJson() to a file; returns false on I/O error.
 bool writeJson(const std::string &Path);

@@ -1,0 +1,55 @@
+//===- telemetry/Slo.h - Declarative latency objectives ---------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Service-level objectives over the telemetry plane's windowed series,
+/// declared as spec strings of the shape
+///
+///   slo(<series>, p<P> < <duration>, window=<duration>)
+///
+/// e.g. slo(rpc.call.latency, p99 < 2ms, window=100ms).  The collector
+/// evaluates each SLO at every window roll: the *fast* burn looks at the
+/// single just-finalized window, the *slow* burn at the trailing
+/// `window=` span (rounded up to whole plane windows).  The slow burn
+/// drives an in-breach state machine that emits deterministic
+/// `slo.breach` / `slo.recover` trace instants -- the signal ROADMAP
+/// item 2's admission control will consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_TELEMETRY_SLO_H
+#define PARCS_TELEMETRY_SLO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcs::telemetry {
+
+/// One parsed objective.
+struct SloSpec {
+  std::string Series;      ///< Windowed series the percentile reads.
+  double Percentile = 99;  ///< The "p99" in the spec.
+  int64_t ThresholdNs = 0; ///< Breach when percentile exceeds this.
+  int64_t WindowNs = 0;    ///< Trailing evaluation span (slow burn).
+  std::string Text;        ///< Original spec, quoted in reports.
+};
+
+/// Parses one "slo(series, pP < dur, window=dur)" spec (surrounding
+/// whitespace tolerated).  Returns false leaving \p Out untouched on any
+/// malformation.
+bool parseSloSpec(std::string_view Text, SloSpec &Out);
+
+/// Parses a ';'-separated list of specs, appending to \p Out.  On failure
+/// returns false and, when \p BadToken is non-null, stores the offending
+/// spec text.
+bool parseSloSpecs(std::string_view Text, std::vector<SloSpec> &Out,
+                   std::string *BadToken = nullptr);
+
+} // namespace parcs::telemetry
+
+#endif // PARCS_TELEMETRY_SLO_H

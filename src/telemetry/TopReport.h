@@ -1,0 +1,31 @@
+//===- telemetry/TopReport.h - parcs_top rendering --------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a telemetry export (telemetry::Plane::exportJson) back into the
+/// terminal view `tools/parcs_top` prints: one per-window p50/p99/p999
+/// table per histogram series, rate tables for counter series, and the
+/// SLO breach timeline.  Lives in the library (not the tool) so tests can
+/// pin the rendering against a generated export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_TELEMETRY_TOPREPORT_H
+#define PARCS_TELEMETRY_TOPREPORT_H
+
+#include <string>
+#include <string_view>
+
+namespace parcs::telemetry {
+
+/// Renders \p ExportJson (the Plane's export format) as the parcs_top
+/// text view.  Returns false -- leaving \p Out with a diagnostic -- when
+/// the input is not a telemetry export.
+bool renderTopReport(std::string_view ExportJson, std::string &Out);
+
+} // namespace parcs::telemetry
+
+#endif // PARCS_TELEMETRY_TOPREPORT_H

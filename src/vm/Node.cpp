@@ -7,6 +7,7 @@
 #include "vm/Node.h"
 
 #include "support/Logging.h"
+#include "support/PostMortem.h"
 
 #include <algorithm>
 
@@ -83,6 +84,7 @@ void Node::crash() {
   ++Epoch;
   LogNodeScope Scope(Id);
   PARCS_LOG(Info, "node " << Id << ": crashed (epoch " << Epoch << ")");
+  postmortem::fire("crash", Id, Sim.now().nanosecondsCount());
 }
 
 void Node::restart() {

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <map>
 #include <memory>
@@ -272,6 +273,111 @@ TEST(HistogramTest, PercentilesAreMonotonicAndBracketed) {
   // p50 of a uniform 100..100000 spread lands mid-range (bucketed, so only
   // roughly).
   EXPECT_NEAR(H.percentile(50), 50000.0, 20000.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Windowed (sliding sim-time) primitives.
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedCounterTest, EmptyAndBasicWindow) {
+  metrics::WindowedCounter C(/*WindowNs=*/1000, /*Slots=*/10);
+  EXPECT_EQ(C.windowNs(), 1000);
+  EXPECT_EQ(C.slotNs(), 100);
+  EXPECT_EQ(C.inWindow(0), 0u);
+  EXPECT_EQ(C.inWindow(5000), 0u);
+
+  C.add(100);
+  C.add(150, 2);
+  C.add(950);
+  EXPECT_EQ(C.inWindow(1000), 4u);
+  // Aging is slot-granular: once the query moves into slot 11, slot 1
+  // (the 100ns and 150ns samples) falls out of the 10-slot window.
+  EXPECT_EQ(C.inWindow(1199), 1u);
+  EXPECT_EQ(C.inWindow(1849), 1u); // Slot 9 (the 950ns sample) still in.
+  EXPECT_EQ(C.inWindow(1900), 0u); // ...and out one slot later.
+  EXPECT_EQ(C.inWindow(2000), 0u);
+}
+
+TEST(WindowedCounterTest, RingRotationAcrossLongIdleGap) {
+  metrics::WindowedCounter C(1000, 10);
+  C.add(500, 7);
+  // An idle gap many multiples of the window: the stale slots must not
+  // leak into queries after the ring indices lap.
+  int64_t Later = 500 + 1000 * 1000 + 37; // Same ring position, much later.
+  EXPECT_EQ(C.inWindow(Later), 0u) << "stale slot leaked across a lap";
+  C.add(Later, 3);
+  EXPECT_EQ(C.inWindow(Later), 3u);
+  EXPECT_EQ(C.inWindow(Later + 900), 3u); // Within the 10-slot window.
+  EXPECT_EQ(C.inWindow(Later + 1100), 0u);
+}
+
+TEST(WindowedCounterTest, StaleAddIsDropped) {
+  metrics::WindowedCounter C(1000, 10);
+  C.add(10'000, 5);
+  // A sample older than the oldest live slot must be dropped, not recorded
+  // into a recycled slot where it would masquerade as recent data.
+  C.add(100, 99);
+  EXPECT_EQ(C.inWindow(10'000), 5u);
+}
+
+TEST(WindowedHistogramTest, EmptyWindowReportsSentinel) {
+  metrics::WindowedHistogram H(1000, 10);
+  EXPECT_EQ(H.countInWindow(0), 0u);
+  EXPECT_EQ(H.percentileInWindow(0, 50), metrics::Histogram::EmptyPercentile);
+  EXPECT_EQ(H.percentileInWindow(123456, 99),
+            metrics::Histogram::EmptyPercentile);
+  metrics::WindowedHistogram::Snapshot S = H.snapshot(500);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.percentile(50), metrics::Histogram::EmptyPercentile);
+}
+
+TEST(WindowedHistogramTest, BucketBoundaryValues) {
+  metrics::WindowedHistogram H(1000, 10);
+  // Exact powers of two sit on log2 bucket boundaries; make sure both the
+  // count and the percentile clamp stay exact at the edges.
+  for (int64_t V : {1, 2, 4, 1024, 1 << 20})
+    H.record(500, V);
+  EXPECT_EQ(H.countInWindow(1000), 5u);
+  EXPECT_EQ(H.percentileInWindow(1000, 0), 1.0);
+  EXPECT_EQ(H.percentileInWindow(1000, 100), double(1 << 20));
+  double P50 = H.percentileInWindow(1000, 50);
+  EXPECT_GE(P50, 1.0);
+  EXPECT_LE(P50, double(1 << 20));
+}
+
+TEST(WindowedHistogramTest, SamplesAgeOut) {
+  metrics::WindowedHistogram H(1000, 10);
+  H.record(100, 10);
+  H.record(900, 1000);
+  EXPECT_EQ(H.countInWindow(1000), 2u);
+  // After the first slot ages out, only the 1000-valued sample remains and
+  // every percentile collapses onto it.
+  EXPECT_EQ(H.countInWindow(1500), 1u);
+  EXPECT_EQ(H.percentileInWindow(1500, 0), 1000.0);
+  EXPECT_EQ(H.percentileInWindow(1500, 100), 1000.0);
+  EXPECT_EQ(H.countInWindow(5000), 0u);
+}
+
+TEST(WindowedHistogramTest, SnapshotMergeMatchesCombinedRecording) {
+  // Merging two snapshots must equal recording every sample into one --
+  // the property the telemetry collector's cross-node merge relies on.
+  metrics::WindowedHistogram::Snapshot A, B, Both;
+  for (int64_t V : {5, 17, 300})
+    A.record(V), Both.record(V);
+  for (int64_t V : {2, 90000})
+    B.record(V), Both.record(V);
+  A.merge(B);
+  EXPECT_EQ(A.Count, Both.Count);
+  EXPECT_EQ(A.Min, Both.Min);
+  EXPECT_EQ(A.Max, Both.Max);
+  EXPECT_EQ(A.Sum, Both.Sum);
+  for (double P : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(A.percentile(P), Both.percentile(P)) << "P" << P;
+  // Merging an empty snapshot is the identity.
+  metrics::WindowedHistogram::Snapshot Empty;
+  A.merge(Empty);
+  EXPECT_EQ(A.Count, Both.Count);
+  EXPECT_EQ(A.Min, Both.Min);
 }
 
 //===----------------------------------------------------------------------===//
@@ -731,6 +837,71 @@ TEST(TraceTest, HandoffSlotIsOneShot) {
   trace::handoff(77);
   EXPECT_EQ(trace::takeHandoff(), 77u);
   EXPECT_EQ(trace::takeHandoff(), 0u) << "take must clear the slot";
+}
+
+TEST(TraceTest, FlightModeKeepsBoundedTailWithoutMintingIds) {
+  trace::reset();
+  trace::setFlightCapacity(8);
+  trace::setFlightRecording(true);
+  // Flight-only mode must not mint causal ids: the wire bytes of an RPC
+  // run with the recorder shadowing must match an uninstrumented run.
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_EQ(trace::mintCausalId(), 0u);
+  for (int I = 0; I < 40; ++I)
+    trace::instant(0, 0, "tick", I * 10);
+  std::string Flight = trace::exportFlightJson();
+  std::string Full = trace::exportJson();
+  trace::setFlightRecording(false);
+  trace::reset();
+  trace::setFlightCapacity(512);
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Flight).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  int Instants = 0;
+  for (const JsonValue &Ev : Events->Arr)
+    if (Ev.field("ph")->Str == "i")
+      ++Instants;
+  EXPECT_EQ(Instants, 8) << "flight ring must keep only the recent tail";
+
+  // The big rings were off: the full-trace export saw nothing.
+  JsonValue FullRoot;
+  ASSERT_TRUE(JsonParser(Full).parse(FullRoot));
+  EXPECT_TRUE(FullRoot.field("traceEvents")->Arr.empty());
+}
+
+TEST(TraceTest, FlightTailMatchesFullTraceSuffix) {
+  // With both modes on, the flight ring is exactly the tail of the full
+  // trace -- the property the crash-dump acceptance check rests on.
+  trace::reset();
+  trace::setFlightCapacity(4);
+  trace::setEnabled(true);
+  trace::setFlightRecording(true);
+  for (int I = 0; I < 20; ++I)
+    trace::instant(0, 0, "tick", I * 10);
+  std::string Flight = trace::exportFlightJson();
+  std::string Full = trace::exportJson();
+  trace::setFlightRecording(false);
+  trace::setEnabled(false);
+  trace::reset();
+  trace::setFlightCapacity(512);
+
+  JsonValue FlightRoot, FullRoot;
+  ASSERT_TRUE(JsonParser(Flight).parse(FlightRoot));
+  ASSERT_TRUE(JsonParser(Full).parse(FullRoot));
+  std::vector<double> FlightTs, FullTs;
+  for (const JsonValue &Ev : FlightRoot.field("traceEvents")->Arr)
+    if (Ev.field("ph")->Str == "i")
+      FlightTs.push_back(Ev.field("ts")->Num);
+  for (const JsonValue &Ev : FullRoot.field("traceEvents")->Arr)
+    if (Ev.field("ph")->Str == "i")
+      FullTs.push_back(Ev.field("ts")->Num);
+  ASSERT_EQ(FlightTs.size(), 4u);
+  ASSERT_EQ(FullTs.size(), 20u);
+  EXPECT_TRUE(std::equal(FlightTs.begin(), FlightTs.end(),
+                         FullTs.end() - 4))
+      << "flight ring must be the suffix of the full trace";
 }
 
 } // namespace

@@ -347,10 +347,12 @@ TEST(PdesTest, TraceAndMetricsExportsByteIdenticalAcrossThreadCounts) {
   auto [Trace4, Metrics4] = exportsAt(4);
   EXPECT_EQ(Trace1, Trace4) << "trace export depends on thread count";
   EXPECT_EQ(Metrics1, Metrics4) << "metrics export depends on thread count";
-  EXPECT_NE(Trace1.find("fab.deliver"), std::string::npos)
-      << "expected fabric delivery instants in the trace";
+  EXPECT_NE(Trace1.find("net.transfer"), std::string::npos)
+      << "expected fabric transfer spans in the trace";
   EXPECT_NE(Metrics1.find("pdes.windows"), std::string::npos);
-  EXPECT_NE(Metrics1.find("fab.messages_delivered"), std::string::npos);
+  EXPECT_NE(Metrics1.find("net.messages_delivered"), std::string::npos);
+  EXPECT_NE(Metrics1.find("net.frames"), std::string::npos)
+      << "expected Network-parity wire accounting from the PDES fabric";
 }
 
 //===----------------------------------------------------------------------===//

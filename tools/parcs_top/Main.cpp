@@ -1,0 +1,63 @@
+//===- tools/parcs_top/Main.cpp - Telemetry export viewer -----------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Renders the JSON time-series a PARCS_TELEMETRY run exports as per-window
+// percentile tables plus the SLO breach timeline:
+//
+//   parcs_top telemetry.json
+//   some_run | parcs_top -        # read the export from stdin
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TopReport.h"
+
+#include <cstdio>
+#include <string>
+
+static bool readAll(std::FILE *F, std::string &Out) {
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return !std::ferror(F);
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2 || std::string_view(Argv[1]) == "--help" ||
+      std::string_view(Argv[1]) == "-h") {
+    std::fprintf(stderr,
+                 "usage: parcs_top <telemetry.json | ->\n"
+                 "\n"
+                 "Renders a PARCS_TELEMETRY export as per-window p50/p99/p999\n"
+                 "tables and the SLO breach timeline.  '-' reads stdin.\n");
+    return 2;
+  }
+
+  std::string Body;
+  if (std::string_view(Argv[1]) == "-") {
+    if (!readAll(stdin, Body)) {
+      std::fprintf(stderr, "parcs_top: error reading stdin\n");
+      return 1;
+    }
+  } else {
+    std::FILE *F = std::fopen(Argv[1], "rb");
+    if (!F) {
+      std::fprintf(stderr, "parcs_top: cannot open %s\n", Argv[1]);
+      return 1;
+    }
+    bool Ok = readAll(F, Body);
+    std::fclose(F);
+    if (!Ok) {
+      std::fprintf(stderr, "parcs_top: error reading %s\n", Argv[1]);
+      return 1;
+    }
+  }
+
+  std::string Report;
+  bool Ok = parcs::telemetry::renderTopReport(Body, Report);
+  std::fputs(Report.c_str(), Ok ? stdout : stderr);
+  return Ok ? 0 : 1;
+}
