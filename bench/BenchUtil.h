@@ -13,13 +13,17 @@
 #ifndef PARCS_BENCH_BENCHUTIL_H
 #define PARCS_BENCH_BENCHUTIL_H
 
+#include "model/DataSet.h"
 #include "prof/Prof.h"
 #include "support/Trace.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace parcs::bench {
@@ -87,6 +91,62 @@ inline bool criticalPathReport(const char *Label, size_t MaxSegments = 30) {
               prof::textReport(A, MaxSegments).c_str());
   return true;
 }
+
+/// The value of `--sweep-out <file>` ("" when absent): where the bench
+/// should write its measurements as a parcs-model sweep file.
+inline std::string sweepOutPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--sweep-out") == 0)
+      return Argv[I + 1];
+  return {};
+}
+
+/// Collects bench measurements as parcs-model data points and writes the
+/// sweep file `parcs-model fit` ingests.  The machine note records the
+/// toolchain (never wall-clock time: sweep files must be byte-stable
+/// artefacts of the measured values alone).
+class SweepWriter {
+public:
+  explicit SweepWriter(const char *Bench) {
+    Data.Bench = Bench;
+    Data.Machine = "cxx " __VERSION__;
+  }
+
+  /// Records one measurement; repeats are simply repeated calls with the
+  /// same params.
+  void point(
+      std::initializer_list<std::pair<const char *, double>> Params,
+      std::initializer_list<std::pair<const char *, double>> Metrics) {
+    model::DataPoint P;
+    for (const auto &[Name, Value] : Params)
+      P.Params[Name] = Value;
+    for (const auto &[Name, Value] : Metrics)
+      P.Metrics[Name] = Value;
+    Data.Points.push_back(std::move(P));
+  }
+
+  const model::DataSet &data() const { return Data; }
+
+  /// Writes the sweep to \p Path (no-op on "").  Prints where it went;
+  /// complains on stderr and returns false when the file can't be written.
+  bool write(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::ofstream Out(Path, std::ios::binary);
+    if (Out)
+      Out << model::writeSweepJson(Data);
+    if (!Out) {
+      std::fprintf(stderr, "bench: cannot write sweep %s\n", Path.c_str());
+      return false;
+    }
+    std::printf("sweep: wrote %s (%zu points)\n", Path.c_str(),
+                Data.Points.size());
+    return true;
+  }
+
+private:
+  model::DataSet Data;
+};
 
 /// Prints a banner naming the experiment and the paper artefact.
 inline void banner(const char *Id, const char *Title) {

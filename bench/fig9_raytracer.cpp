@@ -74,6 +74,9 @@ int main(int Argc, char **Argv) {
   SequentialResult Reference =
       sequentialRender(*Job, vm::VmKind::SunJvm142);
 
+  // Virtual-time measurements: one run per shape is exact, so the sweep
+  // needs no repeats.
+  SweepWriter Sweep("fig9_raytracer");
   row({"processors", "ParC# s", "JavaRMI s", "ratio"});
   for (int P = 1; P <= 6; ++P) {
     FarmConfig Config;
@@ -87,10 +90,14 @@ int main(int Argc, char **Argv) {
                   P);
       return 1;
     }
+    Sweep.point({{"processors", double(P)}},
+                {{"parcs_s", Parcs.Elapsed.toSecondsF()},
+                 {"rmi_s", Rmi.Elapsed.toSecondsF()}});
     row({std::to_string(P), fmt(Parcs.Elapsed.toSecondsF(), 1),
          fmt(Rmi.Elapsed.toSecondsF(), 1),
          fmt(Parcs.Elapsed.toSecondsF() / Rmi.Elapsed.toSecondsF())});
   }
+  Sweep.write(sweepOutPath(Argc, Argv));
   std::printf("\npaper anchors: Java ~100 s sequential; ParC# ~40%% above "
               "Java at one\nprocessor (Mono VM); both fall with processors; "
               "checksums verified\n");

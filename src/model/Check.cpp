@@ -1,0 +1,151 @@
+//===- model/Check.cpp - Regression gate against a fitted envelope --------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Check.h"
+
+#include "support/EnvSpec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace parcs::model {
+
+namespace {
+
+std::string fmtNum(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// Parses a percentage -- "25", "25.5" or "25%" -- into \p Out.
+bool parsePercent(std::string_view Text, double &Out) {
+  if (!Text.empty() && Text.back() == '%')
+    Text.remove_suffix(1);
+  if (Text.empty())
+    return false;
+  std::string Buf(Text);
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size() || !(V >= 0) || !std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+CheckResult check(const ModelSet &Envelope, const DataSet &Fresh,
+                  double DeviationPct) {
+  CheckResult R;
+  for (const auto &[Metric, M] : Envelope.Models) {
+    // Average the fresh repeats per distinct parameter value: the envelope
+    // was fitted on repeats, single samples would gate on noise.
+    std::map<double, std::pair<double, size_t>> ByX;
+    for (const Sample &S : series(Fresh, Envelope.Param, Metric)) {
+      auto &Acc = ByX[S.X];
+      Acc.first += S.Y;
+      Acc.second += 1;
+    }
+    for (const auto &[X, Acc] : ByX) {
+      CheckRow Row;
+      Row.Metric = Metric;
+      Row.X = X;
+      Row.Actual = Acc.first / double(Acc.second);
+      Row.Predicted = M.predict(X);
+      double Scale = std::max(std::abs(Row.Predicted), 1e-12);
+      Row.DeviationPct = 100.0 * std::abs(Row.Actual - Row.Predicted) / Scale;
+      // Breach only when beyond the threshold AND outside the model's own
+      // confidence band -- honest noise widens the band, real regressions
+      // clear both bars.
+      Row.Breach = Row.DeviationPct > DeviationPct &&
+                   std::abs(Row.Actual - Row.Predicted) > M.bandHalfWidth(X);
+      R.MaxDeviationPct = std::max(R.MaxDeviationPct, Row.DeviationPct);
+      if (Row.Breach)
+        ++R.Breaches;
+      R.Rows.push_back(std::move(Row));
+    }
+  }
+  R.Ok = R.Breaches == 0 && !R.Rows.empty();
+  return R;
+}
+
+std::string checkReport(const CheckResult &R, double DeviationPct) {
+  std::string Out = "parcs-model check -- threshold " + fmtNum(DeviationPct) +
+                    "% deviation\n";
+  size_t MetricW = 6;
+  for (const CheckRow &Row : R.Rows)
+    MetricW = std::max(MetricW, Row.Metric.size());
+  Out += "  ";
+  Out += "metric";
+  Out.append(MetricW - 6, ' ');
+  Out += "         x      actual   predicted  deviation\n";
+  for (const CheckRow &Row : R.Rows) {
+    Out += "  ";
+    Out += Row.Metric;
+    Out.append(MetricW - Row.Metric.size(), ' ');
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "  %8s  %10s  %10s  %8s%%%s\n",
+                  fmtNum(Row.X).c_str(), fmtNum(Row.Actual).c_str(),
+                  fmtNum(Row.Predicted).c_str(),
+                  fmtNum(Row.DeviationPct).c_str(),
+                  Row.Breach ? "  BREACH" : "");
+    Out += Buf;
+  }
+  if (R.Rows.empty())
+    Out += "  (no comparable points: fresh run shares no metric with the "
+           "envelope)\n";
+  Out += R.Ok ? "  OK: within the fitted envelope (max deviation " +
+                    fmtNum(R.MaxDeviationPct) + "%)\n"
+              : "  FAIL: " + std::to_string(R.Breaches) +
+                    " breach(es), max deviation " + fmtNum(R.MaxDeviationPct) +
+                    "%\n";
+  return Out;
+}
+
+bool parseCheckSpec(std::string_view Spec, CheckSpec &Out,
+                    std::string *BadToken) {
+  std::string_view Path;
+  std::vector<envspec::Option> Opts;
+  if (!envspec::split(Spec, Path, Opts, BadToken))
+    return false;
+  CheckSpec Parsed;
+  Parsed.ModelPath = std::string(Path);
+  for (const envspec::Option &O : Opts) {
+    if (O.Key == "deviation") {
+      if (!parsePercent(O.Value, Parsed.DeviationPct)) {
+        if (BadToken)
+          *BadToken = std::string(O.Token);
+        return false;
+      }
+    } else {
+      if (BadToken)
+        *BadToken = std::string(O.Token);
+      return false;
+    }
+  }
+  Out = std::move(Parsed);
+  return true;
+}
+
+bool envCheckSpec(CheckSpec &Out) {
+  const char *Spec = std::getenv("PARCS_MODEL");
+  if (!Spec || !*Spec)
+    return false;
+  std::string BadToken;
+  if (!parseCheckSpec(Spec, Out, &BadToken)) {
+    std::fprintf(stderr,
+                 "parcs: ignoring malformed PARCS_MODEL \"%s\" (bad token "
+                 "\"%s\")\n",
+                 Spec, BadToken.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace parcs::model

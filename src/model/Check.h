@@ -1,0 +1,77 @@
+//===- model/Check.h - Regression gate against a fitted envelope -*- C++ -*-//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The perf-regression gate: a fresh bench run is compared against the
+/// fitted envelope of an earlier sweep, metric by metric.  Repeats in the
+/// fresh run are averaged per parameter value first (single samples are
+/// noise; the envelope was fitted on repeats too), then each averaged
+/// observation is checked against the model's prediction.  A metric
+/// breaches when its deviation exceeds the threshold AND the observation
+/// falls outside the model's own confidence band -- so a tight sweep with
+/// honest noise does not gate on scheduler jitter, while a real
+/// regression (or an overly-noisy baseline that cannot gate anything)
+/// is reported as such.
+///
+/// The threshold comes from the CLI, or from the environment knob
+///
+///   PARCS_MODEL=<model-file>[,deviation=<N>%]
+///
+/// parsed with the standard support/EnvSpec grammar and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_MODEL_CHECK_H
+#define PARCS_MODEL_CHECK_H
+
+#include "model/Report.h"
+
+namespace parcs::model {
+
+/// Outcome of checking one metric at one parameter value.
+struct CheckRow {
+  std::string Metric;
+  double X = 0;         ///< Parameter value of the fresh observation.
+  double Actual = 0;    ///< Mean of the fresh repeats at X.
+  double Predicted = 0; ///< Model prediction at X.
+  double DeviationPct = 0;
+  bool Breach = false;
+};
+
+struct CheckResult {
+  std::vector<CheckRow> Rows; ///< Sorted by metric, then X.
+  double MaxDeviationPct = 0;
+  size_t Breaches = 0;
+  bool Ok = true; ///< No breaches and at least one comparable row.
+};
+
+/// Compares \p Fresh against \p Envelope at threshold \p DeviationPct.
+CheckResult check(const ModelSet &Envelope, const DataSet &Fresh,
+                  double DeviationPct);
+
+/// Byte-stable text rendering of a check (one row per comparison, breach
+/// rows marked, verdict line last).
+std::string checkReport(const CheckResult &R, double DeviationPct);
+
+/// The PARCS_MODEL knob: model file path plus an optional deviation
+/// threshold in percent ("25%" or bare "25").
+struct CheckSpec {
+  std::string ModelPath;
+  double DeviationPct = 20;
+};
+
+/// Parses "<file>[,deviation=N%]".  Returns false (leaving \p Out
+/// untouched) on malformation; \p BadToken receives the offending token.
+bool parseCheckSpec(std::string_view Spec, CheckSpec &Out,
+                    std::string *BadToken = nullptr);
+
+/// Reads PARCS_MODEL.  True when set and well-formed; warns on stderr
+/// naming the bad token when set but malformed; silent false when unset.
+bool envCheckSpec(CheckSpec &Out);
+
+} // namespace parcs::model
+
+#endif // PARCS_MODEL_CHECK_H

@@ -1,0 +1,62 @@
+//===- model/Compose.h - Compositional per-leg models -----------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compositional performance modeling along the profiler's RPC legs: each
+/// "leg.<class>" metric of a sweep (model/Legs.h) is fitted on its own,
+/// and the end-to-end model is their sum -- latency on the critical path
+/// is additive, so the composed prediction at any x is the sum of the leg
+/// predictions, and its confidence band the sum of the leg bands.
+///
+/// The composition is validated against the directly-fitted end-to-end
+/// series ("leg.total", or any metric the caller names): at every sample
+/// x the composed and direct predictions are compared, and the worst
+/// relative gap is the composition error.  A small gap means the legs
+/// really do add up to the whole (the decomposition is sound and the
+/// per-leg models can be trusted for what-if analysis); a large gap
+/// flags a leg whose scaling the lattice cannot express.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_MODEL_COMPOSE_H
+#define PARCS_MODEL_COMPOSE_H
+
+#include "model/Report.h"
+
+namespace parcs::model {
+
+/// Per-leg submodels plus the directly-fitted end-to-end reference.
+struct Composition {
+  std::string Param;
+  std::string EndMetric; ///< The directly-fitted end-to-end series.
+  std::map<std::string, FittedModel, std::less<>> Legs;
+  FittedModel Direct; ///< Direct fit of EndMetric.
+
+  /// Worst relative gap between composed and direct predictions over the
+  /// sample xs the fit saw.
+  double CompositionErr = 0;
+
+  /// Sum of the leg predictions at \p X.
+  double predict(double X) const;
+  /// Sum of the leg bands at \p X (additive composition adds worst-case
+  /// errors).
+  double bandHalfWidth(double X) const;
+};
+
+/// Fits every "leg.*" metric of \p Data (except \p EndMetric itself) as a
+/// submodel, fits \p EndMetric directly, and validates the sum against
+/// the direct fit.  \p Param empty means infer it (fitAll's rule).
+/// \p EndMetric empty means "leg.total".
+ErrorOr<Composition> compose(const DataSet &Data, std::string_view Param,
+                             std::string_view EndMetric);
+
+/// Byte-stable report: the per-leg fitted functions, the direct fit, and
+/// a composed-vs-direct validation table over the sweep's xs.
+std::string compositionReport(const Composition &C, const DataSet &Data);
+
+} // namespace parcs::model
+
+#endif // PARCS_MODEL_COMPOSE_H

@@ -1,0 +1,80 @@
+//===- model/DataSet.h - Sweep data points for performance models -*- C++ -*-//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The raw material of the modeling layer: data points measured by the
+/// bench sweeps (`--sweep-out`) and the telemetry plane's model export
+/// hook.  A point pairs a parameter assignment -- the configuration the
+/// measurement ran at (nodes, threads, msgBytes, grain, ...) -- with the
+/// metrics observed there (latency percentiles, throughput, events/s).
+/// Repeats are simply multiple points with the same parameter assignment;
+/// the fitter sees every repeat, so measurement noise flows into the
+/// cross-validation error and from there into the confidence bands.
+///
+/// Everything is keyed by ordered maps and rendered with fixed %.6g
+/// formatting, so sweep files and every report derived from them are
+/// byte-stable: a pure function of the measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_MODEL_DATASET_H
+#define PARCS_MODEL_DATASET_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcs::model {
+
+/// Named doubles in deterministic (sorted) order.
+using NumberMap = std::map<std::string, double, std::less<>>;
+
+/// One measurement: the configuration it ran at plus what was observed.
+struct DataPoint {
+  NumberMap Params;
+  NumberMap Metrics;
+};
+
+/// A sweep: points plus provenance (which bench produced it, on what
+/// machine/toolchain -- free-form, never parsed).
+struct DataSet {
+  std::string Bench;
+  std::string Machine;
+  std::vector<DataPoint> Points;
+
+  /// Appends \p Other's points (multi-file ingest).  Provenance fields
+  /// keep the first non-empty value seen.
+  void append(const DataSet &Other);
+};
+
+/// One (x, y) observation of a metric against a parameter.
+struct Sample {
+  double X = 0;
+  double Y = 0;
+};
+
+/// Every (param, metric) observation in \p Data, sorted by X then Y --
+/// a deterministic order independent of point order in the file.  Points
+/// missing either name are skipped.
+std::vector<Sample> series(const DataSet &Data, std::string_view Param,
+                           std::string_view Metric);
+
+/// Parameter names that take more than one distinct value across the
+/// points -- the candidate model parameters -- in sorted order.
+std::vector<std::string> varyingParams(const DataSet &Data);
+
+/// Every metric name appearing in any point, in sorted order.
+std::vector<std::string> metricNames(const DataSet &Data);
+
+/// Renders \p Data in the sweep-file JSON format the ingester reads
+/// (byte-stable; `{"parcs_sweep": 1, "bench": ..., "machine": ...,
+/// "points": [{"params": {...}, "metrics": {...}}, ...]}`).
+std::string writeSweepJson(const DataSet &Data);
+
+} // namespace parcs::model
+
+#endif // PARCS_MODEL_DATASET_H

@@ -1,0 +1,44 @@
+//===- model/Legs.h - Profiler attribution as sweep data points -*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge from parcs-prof to the compositional models: one analyzed
+/// trace becomes one data point whose metrics are the per-class
+/// critical-path attribution -- "leg.compute", "leg.serialize", ...,
+/// "leg.send-queue" (prof::segClassName spelling) plus "leg.total", all
+/// in nanoseconds.  A set of traces taken at different scales turns into
+/// a sweep whose legs can be fitted and composed (model/Compose.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_MODEL_LEGS_H
+#define PARCS_MODEL_LEGS_H
+
+#include "model/DataSet.h"
+#include "prof/Prof.h"
+#include "support/Error.h"
+
+namespace parcs::model {
+
+/// Prefix of every leg metric.
+inline constexpr std::string_view LegPrefix = "leg.";
+
+/// Converts one critical-path analysis into a data point: \p Params
+/// become the point's parameters (the caller knows the scale the trace
+/// was taken at), the ByClass attribution becomes "leg.<class>" metrics
+/// (nanoseconds, zeros included -- the fixed class layout keeps sweeps
+/// rectangular), and "leg.total" is CriticalNs.
+DataPoint pointFromProfAnalysis(const prof::Analysis &A,
+                                const NumberMap &Params);
+
+/// Loads the trace at \p Path, analyzes it, and returns the data point at
+/// \p Params.
+ErrorOr<DataPoint> pointFromTraceFile(const std::string &Path,
+                                      const NumberMap &Params);
+
+} // namespace parcs::model
+
+#endif // PARCS_MODEL_LEGS_H

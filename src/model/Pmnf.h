@@ -1,0 +1,79 @@
+//===- model/Pmnf.h - Performance-model-normal-form fitting -----*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Extra-P-style fitter: human-readable scaling laws in performance
+/// model normal form (PMNF), restricted -- as Extra-P's default search
+/// space is in practice -- to a constant plus one term,
+///
+///   f(x) = c0 + c1 * x^i * log2(x)^j
+///
+/// with i drawn from a small lattice of polynomial exponents and j from
+/// {0, 1, 2}.  Every hypothesis is fitted by ordinary least squares
+/// (linear in c0, c1, so a closed-form 2x2 solve -- no iteration, no
+/// tolerance knobs, bit-reproducible) and scored by leave-one-out
+/// cross-validation: each point is predicted from a fit of the others,
+/// and the hypothesis with the lowest LOO RMSE wins.  Ties -- within a
+/// relative epsilon -- go to the simpler hypothesis (the lattice is
+/// ordered constant first, then ascending (i, j)), so repeated fits of
+/// the same data pick the same model and every report is byte-stable.
+///
+/// The LOO residuals double as the model's honesty about itself: the
+/// confidence band at any x is derived from the worst relative and
+/// absolute LOO errors, so noisy sweeps widen their own bands and an
+/// extrapolation carries the measured noise with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_MODEL_PMNF_H
+#define PARCS_MODEL_PMNF_H
+
+#include "model/DataSet.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace parcs::model {
+
+/// A fitted PMNF model for one (param, metric) series.
+struct FittedModel {
+  std::string Param;  ///< The x of the scaling law ("nodes", "threads", ...).
+  std::string Metric; ///< The y ("p99", "events_per_sec", ...).
+
+  double C0 = 0; ///< Constant coefficient.
+  double C1 = 0; ///< Term coefficient (0 for the constant model).
+  double Exp = 0; ///< Polynomial exponent i of the term.
+  int Log = 0;    ///< log2 power j of the term.
+
+  size_t Points = 0;    ///< Samples the fit saw (repeats included).
+  double CvRmse = 0;    ///< Leave-one-out RMSE.
+  double MaxRelErr = 0; ///< Worst LOO relative error (vs |y|).
+  double R2 = 0;        ///< Coefficient of determination of the full fit.
+
+  /// The model value at \p X.
+  double predict(double X) const;
+
+  /// Half-width of the confidence band at \p X, from the LOO residuals:
+  /// max of the worst relative error and the worst absolute error, with
+  /// a small floor so exact fits still quote a non-empty band.
+  double bandHalfWidth(double X) const;
+
+  /// Human-readable normal form, e.g. "120 + 3.5 * nodes * log2(nodes)".
+  /// Byte-stable (%.6g coefficients).
+  std::string functionStr() const;
+};
+
+/// Fits the PMNF hypothesis lattice to \p Samples (the (x, y) series of
+/// \p Metric against \p Param) and returns the cross-validation winner.
+/// Requires at least 4 samples, at least 3 distinct x values, and every
+/// x > 0 (parameters are counts and sizes).
+ErrorOr<FittedModel> fitPmnf(const std::vector<Sample> &Samples,
+                             std::string_view Param, std::string_view Metric);
+
+} // namespace parcs::model
+
+#endif // PARCS_MODEL_PMNF_H

@@ -1,0 +1,74 @@
+//===- support/Json.h - Minimal JSON reader for our own exports -*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader shared by the offline consumers
+/// of this repo's own export formats: parcs_top over telemetry exports,
+/// and the parcs-model ingester over bench sweeps, fitted-model files and
+/// telemetry exports.  It covers exactly what those writers emit --
+/// objects, arrays, strings, numbers, bools, null; the common escapes but
+/// no \uXXXX, which no exporter produces -- and is deliberately not a
+/// general-purpose JSON library.
+///
+/// Object members keep their document order (vector of pairs, not a map):
+/// every export in this repo is already deterministically ordered, and
+/// consumers that re-render (parcs_top tables, model reports) must not
+/// reorder what the writer laid out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_SUPPORT_JSON_H
+#define PARCS_SUPPORT_JSON_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parcs::json {
+
+/// One parsed JSON value; a tagged union kept simple (all alternatives
+/// inline) because export files are small.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  /// Members in document order.
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// The named member, or nullptr (also for non-objects).
+  const Value *field(std::string_view Name) const {
+    for (const auto &[Key, Member] : Obj)
+      if (Key == Name)
+        return &Member;
+    return nullptr;
+  }
+  /// The named number member, or \p Default when absent or non-numeric.
+  double num(std::string_view Name, double Default = 0) const {
+    const Value *V = field(Name);
+    return V && V->K == Kind::Number ? V->Num : Default;
+  }
+  /// The named string member, or an empty view when absent or non-string.
+  std::string_view str(std::string_view Name) const {
+    const Value *V = field(Name);
+    return V && V->K == Kind::String ? std::string_view(V->Str)
+                                     : std::string_view();
+  }
+};
+
+/// Parses \p Text (which must be one complete JSON document) into \p Out.
+/// Returns false on any syntax error or trailing garbage.
+bool parse(std::string_view Text, Value &Out);
+
+} // namespace parcs::json
+
+#endif // PARCS_SUPPORT_JSON_H

@@ -53,6 +53,10 @@ bool parseTelemetrySpec(std::string_view SpecText, TelemetrySpec &Out,
       if (!envspec::parseUint(O.Value, N) || N == 0 || N > 65535)
         return Fail(O.Token);
       Spec.Port = int(N);
+    } else if (O.Key == "model") {
+      if (O.Value.empty())
+        return Fail(O.Token);
+      Spec.ModelPath = std::string(O.Value);
     } else if (O.Key == "slo") {
       std::string BadSlo;
       if (!parseSloSpecs(O.Value, Spec.Slos, &BadSlo))
@@ -470,19 +474,22 @@ void Plane::finish() {
     Reg.counter("slo.breaches").add(Breaches);
   }
 
-  if (Spec.Path.empty())
-    return;
-  std::string Body = exportJson();
-  std::FILE *F = std::fopen(Spec.Path.c_str(), "w");
-  if (!F) {
-    std::fprintf(stderr, "[parcs:telemetry] cannot write %s\n",
-                 Spec.Path.c_str());
-    return;
-  }
-  size_t Written = std::fwrite(Body.data(), 1, Body.size(), F);
-  if (std::fclose(F) != 0 || Written != Body.size())
-    std::fprintf(stderr, "[parcs:telemetry] cannot write %s\n",
-                 Spec.Path.c_str());
+  auto WriteFile = [](const std::string &Path, const std::string &Body) {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "[parcs:telemetry] cannot write %s\n",
+                   Path.c_str());
+      return;
+    }
+    size_t Written = std::fwrite(Body.data(), 1, Body.size(), F);
+    if (std::fclose(F) != 0 || Written != Body.size())
+      std::fprintf(stderr, "[parcs:telemetry] cannot write %s\n",
+                   Path.c_str());
+  };
+  if (!Spec.Path.empty())
+    WriteFile(Spec.Path, exportJson());
+  if (!Spec.ModelPath.empty())
+    WriteFile(Spec.ModelPath, modelPointsJson());
 }
 
 std::string Plane::exportJson() {
@@ -578,6 +585,56 @@ std::string Plane::exportJson() {
     Out += "]}";
   }
   Out += "\n  ]\n}\n";
+  return Out;
+}
+
+std::string Plane::modelPointsJson() {
+  finish();
+  // The run's extent: the last merged window bounds when anything was
+  // recorded.  Rates divide by it, so two runs of different lengths at
+  // the same throughput model the same.
+  int64_t SpanWindows = 0;
+  for (const auto &[Name, Windows] : Merged)
+    if (!Windows.empty())
+      SpanWindows = std::max(SpanWindows, Windows.rbegin()->first + 1);
+  double SpanS = double(SpanWindows) * double(Spec.WindowNs) / 1e9;
+
+  std::string Out = "{\n  \"parcs_sweep\": 1,\n  \"bench\": "
+                    "\"telemetry\",\n  \"machine\": \"\",\n  \"points\": [\n"
+                    "    {\"params\": {\"nodes\": ";
+  appendInt(Out, int64_t(Agents.size()));
+  Out += "}, \"metrics\": {";
+  bool First = true;
+  for (const auto &[Name, Windows] : Merged) {
+    // Whole-run exact summary: merge every window's buckets, then take
+    // percentiles -- no window-average approximation.
+    metrics::WindowedHistogram::Snapshot Hist;
+    uint64_t Count = 0;
+    for (const auto &[W, D] : Windows) {
+      Hist.merge(D.Hist);
+      Count += D.Count;
+    }
+    uint64_t N = Hist.Count ? Hist.Count : Count;
+    if (N == 0)
+      continue;
+    auto Metric = [&](const std::string &Suffix, double V) {
+      Out += First ? "\n      " : ",\n      ";
+      First = false;
+      appendEscaped(Out, Name + Suffix);
+      Out += ": ";
+      appendDouble(Out, V);
+    };
+    Metric(".n", double(N));
+    if (SpanS > 0)
+      Metric(".rate_per_s", double(N) / SpanS);
+    if (Hist.Count != 0) {
+      Metric(".p50", Hist.percentile(50));
+      Metric(".p99", Hist.percentile(99));
+      Metric(".p999", Hist.percentile(99.9));
+      Metric(".mean", Hist.mean());
+    }
+  }
+  Out += "\n    }}\n  ]\n}\n";
   return Out;
 }
 

@@ -39,12 +39,16 @@
 /// Enable with
 ///
 ///   PARCS_TELEMETRY=<file>[,window=<dur>][,flush=<dur>][,collector=<node>]
-///                        [,port=<port>][,slo=slo(<series>, p<P> < <dur>,
-///                                                window=<dur>)]...
+///                        [,port=<port>][,model=<file>]
+///                        [,slo=slo(<series>, p<P> < <dur>, window=<dur>)]...
 ///
 /// which exports the cluster time-series as JSON to <file> at teardown
 /// and writes a crash flight-recorder dump to <file>.flight.json (see
 /// telemetry/FlightRecorder.h).  tools/parcs_top renders the export.
+/// model=<file> additionally writes a one-point parcs-model sweep whose
+/// metrics are *exact* whole-run series summaries (percentiles from the
+/// merged buckets, not window averages) -- feed files from runs at
+/// several scales to `parcs-model fit` to get scaling laws.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +77,7 @@ struct TelemetrySpec {
   int64_t FlushNs = 0;             ///< Heartbeat period (0 = WindowNs).
   int CollectorNode = 0;           ///< Node hosting the collector object.
   int Port = 9700;                 ///< Fabric port the collector binds.
+  std::string ModelPath;           ///< Sweep-point file ("" = none).
   std::vector<SloSpec> Slos;
 };
 
@@ -116,6 +121,13 @@ public:
   /// The cluster time-series as JSON (calls finish()).  Deterministic:
   /// a pure function of the recorded (node, time, value) stream.
   std::string exportJson();
+
+  /// The run summarized as a one-point parcs-model sweep (calls
+  /// finish()): params {nodes}, metrics "<series>.n" / ".rate_per_s" and,
+  /// for histogram series, exact whole-run ".p50/.p99/.p999/.mean"
+  /// computed from the merged buckets.  Written to spec().ModelPath at
+  /// teardown when the model= option names a file.  Deterministic.
+  std::string modelPointsJson();
 
   // Collector health, for tests and reports.
   uint64_t snapshotsReceived() const { return SnapshotsReceived; }

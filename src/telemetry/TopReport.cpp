@@ -6,176 +6,18 @@
 
 #include "telemetry/TopReport.h"
 
+#include "support/Json.h"
+#include "support/Metrics.h"
+
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <vector>
 
 namespace parcs::telemetry {
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Minimal JSON reader -- just enough for the telemetry export format
-// (objects, arrays, strings, numbers, bools, null; no \uXXXX escapes,
-// which the export never emits).
-//===----------------------------------------------------------------------===//
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
-  bool B = false;
-  double Num = 0;
-  std::string Str;
-  std::vector<JsonValue> Arr;
-  // Vector-of-pairs keeps the export's (already deterministic) key order.
-  std::vector<std::pair<std::string, JsonValue>> Obj;
-
-  const JsonValue *field(std::string_view Name) const {
-    for (const auto &[Key, Value] : Obj)
-      if (Key == Name)
-        return &Value;
-    return nullptr;
-  }
-  double num(std::string_view Name, double Default = 0) const {
-    const JsonValue *V = field(Name);
-    return V && V->K == Kind::Number ? V->Num : Default;
-  }
-  std::string_view str(std::string_view Name) const {
-    const JsonValue *V = field(Name);
-    return V && V->K == Kind::String ? std::string_view(V->Str)
-                                     : std::string_view();
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(std::string_view Text) : Text(Text) {}
-
-  bool parse(JsonValue &Out) {
-    if (!value(Out))
-      return false;
-    skipWs();
-    return Pos == Text.size();
-  }
-
-private:
-  void skipWs() {
-    while (Pos < Text.size() &&
-           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
-            Text[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool consume(char C) {
-    skipWs();
-    if (Pos >= Text.size() || Text[Pos] != C)
-      return false;
-    ++Pos;
-    return true;
-  }
-
-  bool literal(std::string_view Word) {
-    if (Text.substr(Pos, Word.size()) != Word)
-      return false;
-    Pos += Word.size();
-    return true;
-  }
-
-  bool string(std::string &Out) {
-    if (!consume('"'))
-      return false;
-    Out.clear();
-    while (Pos < Text.size() && Text[Pos] != '"') {
-      char C = Text[Pos++];
-      if (C == '\\') {
-        if (Pos >= Text.size())
-          return false;
-        char E = Text[Pos++];
-        switch (E) {
-        case '"': C = '"'; break;
-        case '\\': C = '\\'; break;
-        case '/': C = '/'; break;
-        case 'n': C = '\n'; break;
-        case 't': C = '\t'; break;
-        case 'r': C = '\r'; break;
-        default: return false;
-        }
-      }
-      Out += C;
-    }
-    return consume('"');
-  }
-
-  bool value(JsonValue &Out) {
-    skipWs();
-    if (Pos >= Text.size())
-      return false;
-    char C = Text[Pos];
-    if (C == '{') {
-      ++Pos;
-      Out.K = JsonValue::Kind::Object;
-      skipWs();
-      if (consume('}'))
-        return true;
-      do {
-        std::string Key;
-        JsonValue Member;
-        if (!string(Key) || !consume(':') || !value(Member))
-          return false;
-        Out.Obj.emplace_back(std::move(Key), std::move(Member));
-      } while (consume(','));
-      return consume('}');
-    }
-    if (C == '[') {
-      ++Pos;
-      Out.K = JsonValue::Kind::Array;
-      skipWs();
-      if (consume(']'))
-        return true;
-      do {
-        JsonValue Item;
-        if (!value(Item))
-          return false;
-        Out.Arr.push_back(std::move(Item));
-      } while (consume(','));
-      return consume(']');
-    }
-    if (C == '"') {
-      Out.K = JsonValue::Kind::String;
-      return string(Out.Str);
-    }
-    if (C == 't') {
-      Out.K = JsonValue::Kind::Bool;
-      Out.B = true;
-      return literal("true");
-    }
-    if (C == 'f') {
-      Out.K = JsonValue::Kind::Bool;
-      return literal("false");
-    }
-    if (C == 'n')
-      return literal("null");
-    // Number.
-    size_t Start = Pos;
-    if (C == '-')
-      ++Pos;
-    while (Pos < Text.size() &&
-           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
-            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
-            Text[Pos] == '-'))
-      ++Pos;
-    if (Pos == Start)
-      return false;
-    Out.K = JsonValue::Kind::Number;
-    Out.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
-                          nullptr);
-    return true;
-  }
-
-  std::string_view Text;
-  size_t Pos = 0;
-};
+using json::Value;
 
 //===----------------------------------------------------------------------===//
 // Rendering
@@ -198,14 +40,24 @@ void appendLine(std::string &Out, const char *Fmt, ...) {
 /// microsecond precision (sim runs are ms-scale).
 double toMs(double Ns) { return Ns / 1e6; }
 
+/// One percentile cell in microseconds.  An empty window reports the
+/// Histogram::EmptyPercentile sentinel (-1, impossible for real samples);
+/// render it as "-" rather than a negative latency.
+std::string pctCell(double Ns) {
+  if (Ns < 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", Ns / 1e3);
+  return Buf;
+}
+
 } // namespace
 
 bool renderTopReport(std::string_view ExportJson, std::string &Out) {
   Out.clear();
-  JsonValue Root;
-  if (!JsonParser(ExportJson).parse(Root) ||
-      Root.K != JsonValue::Kind::Object || !Root.field("window_ns") ||
-      !Root.field("series")) {
+  Value Root;
+  if (!json::parse(ExportJson, Root) || !Root.isObject() ||
+      !Root.field("window_ns") || !Root.field("series")) {
     Out = "parcs_top: input is not a telemetry export "
           "(expected the PARCS_TELEMETRY JSON format)\n";
     return false;
@@ -222,7 +74,7 @@ bool renderTopReport(std::string_view ExportJson, std::string &Out) {
                int(Root.num("late_windows")),
                int(Root.num("corrupt_snapshots")));
 
-  const JsonValue *Series = Root.field("series");
+  const Value *Series = Root.field("series");
   for (const auto &[Name, S] : Series->Obj) {
     bool IsHist = S.str("kind") == "histogram";
     Out += '\n';
@@ -232,36 +84,44 @@ bool renderTopReport(std::string_view ExportJson, std::string &Out) {
                  "p50(us)", "p99(us)", "p999(us)", "max(us)");
     else
       appendLine(Out, "  %10s %8s %12s", "win(ms)", "n", "rate(1/ms)");
-    const JsonValue *Windows = S.field("windows");
+    const Value *Windows = S.field("windows");
     if (!Windows)
       continue;
-    for (const JsonValue &W : Windows->Arr) {
+    for (const Value &W : Windows->Arr) {
       double StartMs = toMs(W.num("start_ns"));
       if (IsHist)
-        appendLine(Out, "  %10.3f %8d %10.1f %10.1f %10.1f %10.1f", StartMs,
-                   int(W.num("n")), W.num("p50") / 1e3, W.num("p99") / 1e3,
-                   W.num("p999") / 1e3, W.num("max") / 1e3);
+        appendLine(Out, "  %10.3f %8d %10s %10s %10s %10s", StartMs,
+                   int(W.num("n")),
+                   pctCell(W.num("p50", metrics::Histogram::EmptyPercentile))
+                       .c_str(),
+                   pctCell(W.num("p99", metrics::Histogram::EmptyPercentile))
+                       .c_str(),
+                   pctCell(W.num("p999", metrics::Histogram::EmptyPercentile))
+                       .c_str(),
+                   pctCell(W.num("n") > 0 ? W.num("max")
+                                          : metrics::Histogram::EmptyPercentile)
+                       .c_str());
       else
         appendLine(Out, "  %10.3f %8d %12.3g", StartMs, int(W.num("n")),
                    WindowNs > 0 ? W.num("n") / toMs(WindowNs) : 0.0);
     }
   }
 
-  const JsonValue *Slos = Root.field("slos");
+  const Value *Slos = Root.field("slos");
   if (Slos && !Slos->Arr.empty()) {
     Out += '\n';
     appendLine(Out, "SLO timeline");
-    for (const JsonValue &S : Slos->Arr) {
+    for (const Value &S : Slos->Arr) {
       appendLine(Out, "  %s  [fast-burn %d, slow-burn %d windows]",
                  std::string(S.str("spec")).c_str(),
                  int(S.num("fast_burn_windows")),
                  int(S.num("slow_burn_windows")));
-      const JsonValue *Events = S.field("events");
+      const Value *Events = S.field("events");
       if (!Events || Events->Arr.empty()) {
         appendLine(Out, "    (no breaches)");
         continue;
       }
-      for (const JsonValue &E : Events->Arr)
+      for (const Value &E : Events->Arr)
         appendLine(Out, "    %10.3f ms  %s", toMs(E.num("at_ns")),
                    E.str("kind") == "breach" ? "BREACH" : "recover");
     }
