@@ -1,0 +1,96 @@
+//===- lint/Analysis.h - Tree-wide interprocedural analyses -----*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program layer of parcs-lint v2.  A Program holds every scanned
+/// file with its per-function CFGs (lint/Cfg.h), attributes functions to
+/// their enclosing classes, and runs the two interprocedural rules:
+///
+///   sync-call-deadlock   joins parcgen facts (lint/Facts.h) with the C++
+///                        call graph: a cycle of *synchronous* invokes
+///                        between parallel classes (A sync-calls B which
+///                        sync-calls A, including A -> A) can never be
+///                        serviced -- the classic active-object
+///                        self-deadlock.  Helper functions propagate: a
+///                        method that calls a local helper which performs
+///                        the sync invoke still owns the edge.
+///
+///   determinism-taint    wall-clock/randomness sources (banned clock
+///                        calls, variables of audited source types) flowing
+///                        through assignments and taint-returning functions
+///                        into export sinks (trace:: / metrics:: / prof::
+///                        / serial:: / telemetry:: call arguments), plus
+///                        unordered containers passed straight into a sink.
+///                        Generalizes the per-file prefix rules
+///                        interprocedurally.
+///
+/// Findings are inline-suppression filtered (same `// parcs-lint:
+/// allow(...)` directives as the per-file rules); baseline filtering stays
+/// with the caller.  The Program also renders the deterministic --dump-cfg
+/// and --dump-callgraph listings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_LINT_ANALYSIS_H
+#define PARCS_LINT_ANALYSIS_H
+
+#include "lint/Cfg.h"
+#include "lint/CppScanner.h"
+#include "lint/Facts.h"
+#include "lint/Lint.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parcs::lint {
+
+/// One scanned file with its CFGs.  Owns the source text (tokens hold
+/// string_views into it), so units are heap-allocated and never moved.
+struct FileUnit {
+  std::string RelPath;
+  std::string Source;
+  std::vector<CppToken> Toks;
+  std::vector<CppComment> Comments;
+  std::map<int, std::set<std::string>> Suppressed;
+  std::vector<FunctionCfg> Fns;
+  /// Scope of each function in Fns: out-of-line `X::f` scope, or the
+  /// innermost enclosing class/struct body for inline definitions.
+  std::vector<std::string> FnScopes;
+};
+
+class Program {
+public:
+  /// Scans \p Source and adds it (with CFGs and class attribution).
+  void addFile(std::string RelPath, std::string Source,
+               const LintConfig &Config);
+
+  /// Runs both interprocedural rules.  The deadlock rule is skipped when
+  /// \p Facts is empty (no .pci facts, no parallel classes to reason
+  /// about).  Findings are inline-suppression filtered and sorted.
+  std::vector<Finding> analyze(const FactsDb &Facts,
+                               const LintConfig &Config) const;
+
+  /// Deterministic listings for --dump-cfg / --dump-callgraph.
+  std::string dumpCfgs() const;
+  std::string dumpCallGraph() const;
+
+  const std::vector<std::unique_ptr<FileUnit>> &files() const {
+    return Units;
+  }
+
+private:
+  std::vector<Finding> analyzeDeadlocks(const FactsDb &Facts) const;
+  std::vector<Finding> analyzeTaint(const LintConfig &Config) const;
+
+  std::vector<std::unique_ptr<FileUnit>> Units;
+};
+
+} // namespace parcs::lint
+
+#endif // PARCS_LINT_ANALYSIS_H

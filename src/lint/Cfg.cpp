@@ -1,0 +1,1305 @@
+//===- lint/Cfg.cpp - CFG builder over the token stream -------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace parcs;
+using namespace parcs::lint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+struct TokStream {
+  const std::vector<CppToken> &Toks;
+  const CppToken &at(size_t I) const {
+    return I < Toks.size() ? Toks[I] : Toks.back(); // back() is EndOfFile
+  }
+  size_t size() const { return Toks.size(); }
+};
+
+/// Index of the token matching the opener at \p I (same punct pair); the
+/// last token when unbalanced.
+size_t matchForward(const TokStream &TS, size_t I, const char *Open,
+                    const char *Close) {
+  int Depth = 0;
+  for (; I < TS.size(); ++I) {
+    const CppToken &T = TS.at(I);
+    if (T.is(TokKind::EndOfFile))
+      break;
+    if (T.isPunct(Open))
+      ++Depth;
+    else if (T.isPunct(Close) && --Depth == 0)
+      return I;
+  }
+  return TS.size() == 0 ? 0 : TS.size() - 1;
+}
+
+/// Index of the '(' matching the ')' at \p CloseIdx, walking backwards.
+size_t matchParenBack(const TokStream &TS, size_t CloseIdx) {
+  int Depth = 0;
+  for (size_t I = CloseIdx + 1; I-- > 0;) {
+    const CppToken &T = TS.at(I);
+    if (T.isPunct(")"))
+      ++Depth;
+    else if (T.isPunct("(") && --Depth == 0)
+      return I;
+  }
+  return 0;
+}
+
+/// Tokens that may legally sit between the ')' of a parameter list and the
+/// '{' of the function body (cv/ref qualifiers, noexcept, trailing return
+/// types).
+bool isFunctionTailToken(const CppToken &T) {
+  if (T.is(TokKind::Identifier))
+    return true; // const, noexcept, override, final, type names...
+  return T.isPunct("::") || T.isPunct("<") || T.isPunct(">") ||
+         T.isPunct(">>") || T.isPunct(",") || T.isPunct("*") ||
+         T.isPunct("&") || T.isPunct("&&") || T.isPunct("->");
+}
+
+bool isControlKeyword(const CppToken &T) {
+  return T.isIdent("if") || T.isIdent("while") || T.isIdent("for") ||
+         T.isIdent("switch") || T.isIdent("catch");
+}
+
+enum class BraceKind { Other, FunctionBody, ControlBody, LambdaBody };
+
+struct BraceInfo {
+  BraceKind Kind = BraceKind::Other;
+  size_t NameIdx = static_cast<size_t>(-1);
+  size_t ScopeIdx = static_cast<size_t>(-1);
+};
+
+/// Classifies the '{' at \p BraceIdx: does it open a function body, a
+/// lambda body, a control-statement body (`if (...) {`), or something else
+/// (class/namespace/initializer braces)?
+BraceInfo classifyBrace(const TokStream &TS, size_t BraceIdx) {
+  BraceInfo Info;
+  size_t J = BraceIdx;
+  size_t Steps = 0;
+  constexpr size_t MaxLookback = 96;
+  while (J > 0 && Steps++ < MaxLookback) {
+    const CppToken &P = TS.at(--J);
+    if (P.isPunct("]")) { // `] {`: lambda with no parameter list.
+      Info.Kind = BraceKind::LambdaBody;
+      return Info;
+    }
+    if (P.isPunct(")")) {
+      size_t Open = matchParenBack(TS, J);
+      if (Open == 0 && !TS.at(0).isPunct("("))
+        return Info;
+      if (Open == 0) {
+        Info.Kind = BraceKind::FunctionBody;
+        return Info;
+      }
+      const CppToken &Before = TS.at(Open - 1);
+      if (Before.is(TokKind::Identifier)) {
+        if (isControlKeyword(Before)) {
+          Info.Kind = BraceKind::ControlBody;
+          return Info;
+        }
+        // Constructor-init-list entry (`: Member(x), Other(y) {`): keep
+        // walking back past the entry towards the real parameter list.
+        if (Open >= 2 &&
+            (TS.at(Open - 2).isPunct(",") || TS.at(Open - 2).isPunct(":"))) {
+          J = Open - 1;
+          continue;
+        }
+        Info.Kind = BraceKind::FunctionBody;
+        Info.NameIdx = Open - 1;
+        if (Open >= 3 && TS.at(Open - 2).isPunct("::") &&
+            TS.at(Open - 3).is(TokKind::Identifier))
+          Info.ScopeIdx = Open - 3;
+        return Info;
+      }
+      if (Before.isPunct("]")) {
+        Info.Kind = BraceKind::LambdaBody;
+        return Info;
+      }
+      // `operator()(...) {` and similar: a function body without a plain
+      // identifier name.
+      Info.Kind = BraceKind::FunctionBody;
+      return Info;
+    }
+    if (!isFunctionTailToken(P))
+      return Info;
+  }
+  return Info;
+}
+
+/// Spellings that suspend the enclosing coroutine when called.
+bool isSuspensionCallName(const CppToken &T) {
+  return T.isIdent("await") || T.isIdent("yield") || T.isIdent("suspend") ||
+         T.isIdent("scheduleResume");
+}
+
+/// Container members whose result stays inside the container's own storage
+/// (element access / iterators): a reference built from such a chain rooted
+/// at a frame-local value refers to frame-owned storage.
+bool isElementAccessMember(const CppToken &T) {
+  return T.isIdent("front") || T.isIdent("back") || T.isIdent("at") ||
+         T.isIdent("begin") || T.isIdent("cbegin") || T.isIdent("end") ||
+         T.isIdent("cend") || T.isIdent("rbegin") || T.isIdent("rend") ||
+         T.isIdent("find") || T.isIdent("data") || T.isIdent("top") ||
+         T.isIdent("first") || T.isIdent("second") || T.isIdent("value") ||
+         T.isIdent("get") || T.isIdent("operator");
+}
+
+/// Container members that structurally mutate it (and so may invalidate
+/// references/iterators into it).
+bool isMutatorMember(const CppToken &T) {
+  return T.isIdent("push_back") || T.isIdent("emplace_back") ||
+         T.isIdent("pop_back") || T.isIdent("push_front") ||
+         T.isIdent("pop_front") || T.isIdent("erase") ||
+         T.isIdent("insert") || T.isIdent("emplace") || T.isIdent("clear") ||
+         T.isIdent("resize") || T.isIdent("reserve") ||
+         T.isIdent("assign") || T.isIdent("swap") ||
+         T.isIdent("shrink_to_fit");
+}
+
+/// Identifiers that can precede a name without making it a declaration.
+bool isDeclBlockingKeyword(const CppToken &T) {
+  return T.isIdent("return") || T.isIdent("co_return") ||
+         T.isIdent("co_await") || T.isIdent("co_yield") ||
+         T.isIdent("new") || T.isIdent("delete") || T.isIdent("throw") ||
+         T.isIdent("else") || T.isIdent("goto") || T.isIdent("case") ||
+         T.isIdent("sizeof") || T.isIdent("typedef") || T.isIdent("using");
+}
+
+//===----------------------------------------------------------------------===//
+// Function builder
+//===----------------------------------------------------------------------===//
+
+class FileBuilder {
+public:
+  FileBuilder(const TokStream &TS, const CfgConfig &Config)
+      : TS(TS), Config(Config) {}
+
+  std::vector<FunctionCfg> run();
+
+  /// Parses one function body whose '{' sits at \p BraceIdx; returns the
+  /// index one past the closing '}'.
+  size_t buildFunction(size_t BraceIdx, const BraceInfo &Info);
+
+private:
+  //===--- per-function state -------------------------------------------===//
+
+  struct Scope {
+    std::vector<std::pair<std::string, int>> Risky; // name -> decl id
+    std::set<std::string> Values;                   // frame-local values
+  };
+
+  FunctionCfg *Fn = nullptr;
+  int Cur = 0;
+  std::vector<Scope> Scopes;
+  std::vector<int> BreakTargets;
+  std::vector<int> ContinueTargets;
+  std::map<std::string, std::vector<int>> RootDecls;
+
+  //===--- small helpers --------------------------------------------------===//
+
+  int newBlock() {
+    Fn->Blocks.emplace_back();
+    return static_cast<int>(Fn->Blocks.size()) - 1;
+  }
+  void addEdge(int From, int To) {
+    if (From < 0 || To < 0)
+      return;
+    auto &S = Fn->Blocks[static_cast<size_t>(From)].Succs;
+    if (std::find(S.begin(), S.end(), To) == S.end())
+      S.push_back(To);
+  }
+  void emit(CfgEventKind Kind, int DeclId, const CppToken &At) {
+    Fn->Blocks[static_cast<size_t>(Cur)].Events.push_back(
+        CfgEvent{Kind, DeclId, At.Line, At.Col});
+    if (Kind == CfgEventKind::Suspend)
+      Fn->HasSuspension = true;
+  }
+
+  int resolveRisky(std::string_view Name) const {
+    for (size_t S = Scopes.size(); S-- > 0;)
+      for (size_t I = Scopes[S].Risky.size(); I-- > 0;)
+        if (Scopes[S].Risky[I].first == Name)
+          return Scopes[S].Risky[I].second;
+    return -1;
+  }
+  bool isFrameLocalValue(std::string_view Name) const {
+    for (size_t S = Scopes.size(); S-- > 0;)
+      if (Scopes[S].Values.count(std::string(Name)) != 0)
+        return true;
+    return false;
+  }
+
+  /// Records a declaration of an audited-stable type: visible in --dump-cfg
+  /// but never registered as risky and never the subject of events.
+  void recordStableDecl(const CppToken &NameTok, const char *What) {
+    CfgDecl D;
+    D.Name = std::string(NameTok.Text);
+    D.What = What;
+    D.Line = NameTok.Line;
+    D.Col = NameTok.Col;
+    D.Stable = true;
+    Fn->Decls.push_back(std::move(D));
+  }
+
+  int declare(const CppToken &NameTok, const char *What, bool FrameLocal,
+              std::string Root) {
+    CfgDecl D;
+    D.Name = std::string(NameTok.Text);
+    D.What = What;
+    D.Line = NameTok.Line;
+    D.Col = NameTok.Col;
+    D.FrameLocalRoot = FrameLocal;
+    D.Root = std::move(Root);
+    int Id = static_cast<int>(Fn->Decls.size());
+    Fn->Decls.push_back(std::move(D));
+    Scopes.back().Risky.emplace_back(std::string(NameTok.Text), Id);
+    if (FrameLocal)
+      RootDecls[Fn->Decls.back().Root].push_back(Id);
+    emit(CfgEventKind::Decl, Id, NameTok);
+    return Id;
+  }
+
+  bool isStableType(size_t AmpIdx) const {
+    const CppToken &Prev = TS.at(AmpIdx - 1);
+    if (!Prev.is(TokKind::Identifier))
+      return false;
+    for (const std::string &T : Config.StableTypes)
+      if (Prev.Text == T)
+        return true;
+    return false;
+  }
+
+  //===--- statement / expression parsing ---------------------------------===//
+
+  void parseStmtList(size_t &I, size_t End);
+  void parseStmt(size_t &I, size_t End);
+  void parseSwitchBody(size_t &I, size_t End, int Head, int After);
+
+  size_t endOfSimpleStmt(size_t I, size_t End);
+  size_t endOfSubexpr(size_t I, size_t End);
+
+  void emitStmt(size_t Begin, size_t End);
+  void emitExpr(size_t Begin, size_t End);
+
+  /// Tries the risky-declaration patterns at position \p I inside
+  /// [Begin, End); on a match emits initializer events followed by the Decl
+  /// and returns the index to resume from.  Returns SIZE_MAX on no match.
+  size_t tryDeclPatterns(size_t I, size_t End, bool AtStmtStart);
+
+  /// Range-for declaration `for (T &Name : Range)`: the decl tokens live in
+  /// [DeclBegin, DeclEnd) and the range expression in [RangeBegin, RangeEnd).
+  /// Emits the Decl event into the current (per-iteration header) block.
+  size_t tryDeclPatternsRange(size_t DeclBegin, size_t DeclEnd,
+                              size_t RangeBegin, size_t RangeEnd);
+
+  /// Processes the single token (or composite construct) at \p I in
+  /// expression context; returns the next index.
+  size_t emitOneExprToken(size_t I, size_t End);
+
+  /// Records the call site whose callee name sits at \p NameIdx.
+  void recordCall(size_t NameIdx);
+
+  /// Classifies the initializer [Begin, End) as an element-access chain
+  /// rooted at a frame-local value; fills \p RootOut on success.
+  bool isFrameLocalChain(size_t Begin, size_t End, std::string &RootOut);
+
+  void registerParams(size_t BraceIdx);
+
+  const TokStream &TS;
+  const CfgConfig &Config;
+  std::vector<FunctionCfg> Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Top level: find function bodies
+//===----------------------------------------------------------------------===//
+
+std::vector<FunctionCfg> FileBuilder::run() {
+  for (size_t I = 0; I < TS.size(); ++I) {
+    if (!TS.at(I).isPunct("{"))
+      continue;
+    BraceInfo Info = classifyBrace(TS, I);
+    if (Info.Kind == BraceKind::FunctionBody ||
+        Info.Kind == BraceKind::LambdaBody)
+      I = buildFunction(I, Info) - 1;
+    // Class/namespace/control braces: keep scanning inside.
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const FunctionCfg &A, const FunctionCfg &B) {
+              return A.BodyBegin < B.BodyBegin;
+            });
+  return std::move(Out);
+}
+
+void FileBuilder::registerParams(size_t BraceIdx) {
+  // Walk back from the body's '{' to the ')' of the parameter list (over
+  // tail tokens), then split the parameter range on depth-1 commas.  A
+  // chunk containing no '&' or '*' passes its object by value: its last
+  // identifier names frame-owned storage.
+  size_t J = BraceIdx;
+  size_t Steps = 0;
+  while (J > 0 && Steps++ < 96) {
+    const CppToken &P = TS.at(--J);
+    if (P.isPunct(")"))
+      break;
+    if (!isFunctionTailToken(P))
+      return;
+  }
+  if (!TS.at(J).isPunct(")"))
+    return;
+  size_t Open = matchParenBack(TS, J);
+  size_t ChunkBegin = Open + 1;
+  bool ChunkByValue = true;
+  size_t LastIdent = static_cast<size_t>(-1);
+  int Depth = 0;
+  for (size_t I = Open + 1; I <= J; ++I) {
+    const CppToken &T = TS.at(I);
+    bool ChunkEnd = I == J || (Depth == 0 && T.isPunct(","));
+    if (T.isPunct("("))
+      ++Depth;
+    else if (T.isPunct(")") && I != J)
+      --Depth;
+    else if (T.isPunct("&") || T.isPunct("&&") || T.isPunct("*"))
+      ChunkByValue = false;
+    else if (T.is(TokKind::Identifier))
+      LastIdent = I;
+    if (ChunkEnd) {
+      if (ChunkByValue && LastIdent != static_cast<size_t>(-1) &&
+          LastIdent >= ChunkBegin)
+        Scopes.back().Values.insert(std::string(TS.at(LastIdent).Text));
+      ChunkBegin = I + 1;
+      ChunkByValue = true;
+      LastIdent = static_cast<size_t>(-1);
+    }
+  }
+}
+
+size_t FileBuilder::buildFunction(size_t BraceIdx, const BraceInfo &Info) {
+  size_t Close = matchForward(TS, BraceIdx, "{", "}");
+
+  // Save the enclosing function's state (nested lambdas / local classes).
+  FunctionCfg *SavedFn = Fn;
+  int SavedCur = Cur;
+  auto SavedScopes = std::move(Scopes);
+  auto SavedBreak = std::move(BreakTargets);
+  auto SavedContinue = std::move(ContinueTargets);
+  auto SavedRoots = std::move(RootDecls);
+
+  FunctionCfg NewFn;
+  if (Info.NameIdx != static_cast<size_t>(-1)) {
+    NewFn.Name = std::string(TS.at(Info.NameIdx).Text);
+    if (Info.ScopeIdx != static_cast<size_t>(-1))
+      NewFn.Scope = std::string(TS.at(Info.ScopeIdx).Text);
+  } else {
+    NewFn.Name = Info.Kind == BraceKind::LambdaBody ? "<lambda>" : "<fn>";
+  }
+  NewFn.Line = TS.at(BraceIdx).Line;
+  NewFn.BodyBegin = BraceIdx;
+  NewFn.BodyEnd = Close + 1;
+
+  Fn = &NewFn;
+  Scopes.clear();
+  BreakTargets.clear();
+  ContinueTargets.clear();
+  RootDecls.clear();
+  Scopes.emplace_back();
+  newBlock(); // 0: entry
+  newBlock(); // 1: exit
+  Cur = 0;
+  registerParams(BraceIdx);
+
+  size_t I = BraceIdx + 1;
+  parseStmtList(I, Close);
+  addEdge(Cur, 1);
+
+  Out.push_back(std::move(NewFn));
+
+  Fn = SavedFn;
+  Cur = SavedCur;
+  Scopes = std::move(SavedScopes);
+  BreakTargets = std::move(SavedBreak);
+  ContinueTargets = std::move(SavedContinue);
+  RootDecls = std::move(SavedRoots);
+  return Close + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FileBuilder::parseStmtList(size_t &I, size_t End) {
+  while (I < End && !TS.at(I).is(TokKind::EndOfFile)) {
+    size_t Before = I;
+    parseStmt(I, End);
+    if (I <= Before)
+      I = Before + 1; // Defensive: always advance.
+  }
+  I = End + 1; // One past the closing brace.
+}
+
+void FileBuilder::parseStmt(size_t &I, size_t End) {
+  const CppToken &T = TS.at(I);
+
+  if (T.is(TokKind::Directive) || T.isPunct(";")) {
+    ++I;
+    return;
+  }
+
+  if (T.isPunct("{")) {
+    size_t Close = matchForward(TS, I, "{", "}");
+    Scopes.emplace_back();
+    size_t J = I + 1;
+    parseStmtList(J, Close);
+    Scopes.pop_back();
+    I = Close + 1;
+    return;
+  }
+
+  if (T.isIdent("if")) {
+    size_t P = I + 1;
+    if (TS.at(P).isIdent("constexpr"))
+      ++P;
+    if (!TS.at(P).isPunct("(")) {
+      ++I;
+      return;
+    }
+    size_t CondClose = matchForward(TS, P, "(", ")");
+    Scopes.emplace_back(); // if-init declarations scope to the statement
+    emitStmt(P + 1, CondClose);
+    int CondBlk = Cur;
+    int Then = newBlock();
+    addEdge(CondBlk, Then);
+    Cur = Then;
+    I = CondClose + 1;
+    parseStmt(I, End);
+    int AfterThen = Cur;
+    int Join = newBlock();
+    addEdge(AfterThen, Join);
+    if (TS.at(I).isIdent("else")) {
+      int Else = newBlock();
+      addEdge(CondBlk, Else);
+      Cur = Else;
+      ++I;
+      parseStmt(I, End);
+      addEdge(Cur, Join);
+    } else {
+      addEdge(CondBlk, Join);
+    }
+    Scopes.pop_back();
+    Cur = Join;
+    return;
+  }
+
+  if (T.isIdent("while")) {
+    if (!TS.at(I + 1).isPunct("(")) {
+      ++I;
+      return;
+    }
+    size_t CondClose = matchForward(TS, I + 1, "(", ")");
+    int Hdr = newBlock();
+    addEdge(Cur, Hdr);
+    Cur = Hdr;
+    Scopes.emplace_back();
+    emitStmt(I + 2, CondClose);
+    int Body = newBlock();
+    int After = newBlock();
+    addEdge(Hdr, Body);
+    addEdge(Hdr, After);
+    BreakTargets.push_back(After);
+    ContinueTargets.push_back(Hdr);
+    Cur = Body;
+    I = CondClose + 1;
+    parseStmt(I, End);
+    addEdge(Cur, Hdr);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    Scopes.pop_back();
+    Cur = After;
+    return;
+  }
+
+  if (T.isIdent("do")) {
+    int Body = newBlock();
+    addEdge(Cur, Body);
+    int CondBlk = newBlock();
+    int After = newBlock();
+    BreakTargets.push_back(After);
+    ContinueTargets.push_back(CondBlk);
+    Scopes.emplace_back();
+    Cur = Body;
+    ++I;
+    parseStmt(I, End);
+    addEdge(Cur, CondBlk);
+    Scopes.pop_back();
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    Cur = CondBlk;
+    if (TS.at(I).isIdent("while") && TS.at(I + 1).isPunct("(")) {
+      size_t CondClose = matchForward(TS, I + 1, "(", ")");
+      emitStmt(I + 2, CondClose);
+      I = CondClose + 1;
+      if (TS.at(I).isPunct(";"))
+        ++I;
+    }
+    addEdge(CondBlk, Body);
+    addEdge(CondBlk, After);
+    Cur = After;
+    return;
+  }
+
+  if (T.isIdent("for")) {
+    if (!TS.at(I + 1).isPunct("(")) {
+      ++I;
+      return;
+    }
+    size_t Close = matchForward(TS, I + 1, "(", ")");
+    // Range-for has no depth-1 ';' but a depth-1 ':'.
+    size_t Semi1 = 0, Semi2 = 0, Colon = 0;
+    {
+      int Depth = 0;
+      for (size_t J = I + 1; J < Close; ++J) {
+        const CppToken &U = TS.at(J);
+        if (U.isPunct("(") || U.isPunct("[") || U.isPunct("{"))
+          ++Depth;
+        else if (U.isPunct(")") || U.isPunct("]") || U.isPunct("}"))
+          --Depth;
+        else if (Depth == 1 && J > I + 1) {
+          if (U.isPunct(";")) {
+            if (!Semi1)
+              Semi1 = J;
+            else if (!Semi2)
+              Semi2 = J;
+          } else if (U.isPunct(":") && !Semi1 && !Colon) {
+            Colon = J;
+          }
+        }
+      }
+    }
+    Scopes.emplace_back();
+    if (Semi1) {
+      // Classic for: init runs once in the current block.
+      emitStmt(I + 2, Semi1);
+      int Hdr = newBlock();
+      addEdge(Cur, Hdr);
+      Cur = Hdr;
+      emitStmt(Semi1 + 1, Semi2 ? Semi2 : Close);
+      int Body = newBlock();
+      int Inc = newBlock();
+      int After = newBlock();
+      addEdge(Hdr, Body);
+      addEdge(Hdr, After);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Inc);
+      Cur = Body;
+      I = Close + 1;
+      parseStmt(I, End);
+      addEdge(Cur, Inc);
+      Cur = Inc;
+      if (Semi2)
+        emitStmt(Semi2 + 1, Close);
+      addEdge(Inc, Hdr);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = After;
+    } else if (Colon) {
+      // Range-for: the range expression is evaluated once; the loop
+      // variable is re-initialised on every pass, so its Decl event lives
+      // in the per-iteration header block.
+      emitExpr(Colon + 1, Close);
+      int IterHdr = newBlock();
+      addEdge(Cur, IterHdr);
+      Cur = IterHdr;
+      // Declaration pattern inside the iteration header.
+      size_t DeclResume = tryDeclPatternsRange(I + 2, Colon, Colon + 1, Close);
+      (void)DeclResume;
+      int Body = newBlock();
+      int After = newBlock();
+      addEdge(IterHdr, Body);
+      addEdge(IterHdr, After);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(IterHdr);
+      Cur = Body;
+      I = Close + 1;
+      parseStmt(I, End);
+      addEdge(Cur, IterHdr);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = After;
+    } else {
+      // for (;;) with nothing recognisable: treat as while(true).
+      int Hdr = newBlock();
+      addEdge(Cur, Hdr);
+      int Body = newBlock();
+      int After = newBlock();
+      addEdge(Hdr, Body);
+      addEdge(Hdr, After);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Hdr);
+      Cur = Body;
+      I = Close + 1;
+      parseStmt(I, End);
+      addEdge(Cur, Hdr);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = After;
+    }
+    Scopes.pop_back();
+    return;
+  }
+
+  if (T.isIdent("switch") && TS.at(I + 1).isPunct("(")) {
+    size_t CondClose = matchForward(TS, I + 1, "(", ")");
+    emitStmt(I + 2, CondClose);
+    int Head = Cur;
+    int After = newBlock();
+    I = CondClose + 1;
+    if (TS.at(I).isPunct("{")) {
+      size_t Close = matchForward(TS, I, "{", "}");
+      Scopes.emplace_back();
+      BreakTargets.push_back(After);
+      size_t J = I + 1;
+      parseSwitchBody(J, Close, Head, After);
+      BreakTargets.pop_back();
+      Scopes.pop_back();
+      I = Close + 1;
+    }
+    addEdge(Head, After); // No-case-taken path.
+    Cur = After;
+    return;
+  }
+
+  if (T.isIdent("return") || T.isIdent("co_return")) {
+    size_t Semi = endOfSimpleStmt(I + 1, End);
+    emitStmt(I + 1, Semi);
+    addEdge(Cur, 1);
+    Cur = newBlock(); // Unreachable continuation.
+    I = Semi + 1;
+    return;
+  }
+
+  if (T.isIdent("break") || T.isIdent("continue")) {
+    const auto &Targets = T.isIdent("break") ? BreakTargets : ContinueTargets;
+    if (!Targets.empty())
+      addEdge(Cur, Targets.back());
+    Cur = newBlock();
+    I += TS.at(I + 1).isPunct(";") ? 2 : 1;
+    return;
+  }
+
+  if (T.isIdent("try")) {
+    ++I;
+    int TryB = newBlock();
+    addEdge(Cur, TryB);
+    Cur = TryB;
+    parseStmt(I, End); // The try compound.
+    int Join = newBlock();
+    addEdge(Cur, Join);
+    while (TS.at(I).isIdent("catch")) {
+      size_t P = I + 1;
+      if (TS.at(P).isPunct("("))
+        P = matchForward(TS, P, "(", ")") + 1;
+      int CatchB = newBlock();
+      addEdge(TryB, CatchB); // Approximation: a throw from anywhere inside.
+      Cur = CatchB;
+      I = P;
+      parseStmt(I, End);
+      addEdge(Cur, Join);
+    }
+    Cur = Join;
+    return;
+  }
+
+  if ((T.isIdent("struct") || T.isIdent("class") || T.isIdent("union") ||
+       T.isIdent("enum"))) {
+    // A local type definition: scan its body for member function bodies
+    // (extracted as separate functions), emit no events.
+    size_t J = I + 1;
+    while (J < End && !TS.at(J).isPunct("{") && !TS.at(J).isPunct(";") &&
+           !TS.at(J).is(TokKind::EndOfFile))
+      ++J;
+    if (J < End && TS.at(J).isPunct("{")) {
+      size_t Close = matchForward(TS, J, "{", "}");
+      for (size_t K = J + 1; K < Close; ++K) {
+        if (!TS.at(K).isPunct("{"))
+          continue;
+        BraceInfo Inner = classifyBrace(TS, K);
+        if (Inner.Kind == BraceKind::FunctionBody ||
+            Inner.Kind == BraceKind::LambdaBody)
+          K = buildFunction(K, Inner) - 1;
+        else
+          K = matchForward(TS, K, "{", "}");
+      }
+      I = Close + 1;
+      if (TS.at(I).isPunct(";"))
+        ++I;
+    } else {
+      size_t Semi = endOfSimpleStmt(I, End);
+      emitStmt(I, Semi);
+      I = Semi + 1;
+    }
+    return;
+  }
+
+  if (T.isIdent("using") || T.isIdent("typedef")) {
+    I = endOfSimpleStmt(I, End) + 1;
+    return;
+  }
+
+  // Plain (expression / declaration) statement.
+  size_t Semi = endOfSimpleStmt(I, End);
+  emitStmt(I, Semi);
+  I = Semi + 1;
+}
+
+void FileBuilder::parseSwitchBody(size_t &I, size_t End, int Head,
+                                  int After) {
+  (void)After;
+  bool CurReachable = false; // Until the first label, nothing runs.
+  while (I < End && !TS.at(I).is(TokKind::EndOfFile)) {
+    const CppToken &T = TS.at(I);
+    if (T.isIdent("case") || T.isIdent("default")) {
+      while (I < End && !TS.at(I).isPunct(":") &&
+             !TS.at(I).is(TokKind::EndOfFile))
+        ++I;
+      ++I; // past ':'
+      int CaseBlk = newBlock();
+      addEdge(Head, CaseBlk);
+      if (CurReachable)
+        addEdge(Cur, CaseBlk); // Fallthrough.
+      Cur = CaseBlk;
+      CurReachable = true;
+      continue;
+    }
+    size_t Before = I;
+    parseStmt(I, End);
+    if (I <= Before)
+      I = Before + 1;
+  }
+  I = End + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Simple statements and expressions
+//===----------------------------------------------------------------------===//
+
+/// One past the last token of the simple statement starting at \p I: stops
+/// at ';' with all brackets balanced; nested lambda/local-function bodies
+/// count as balanced groups.
+size_t FileBuilder::endOfSimpleStmt(size_t I, size_t End) {
+  int Depth = 0;
+  for (; I < End; ++I) {
+    const CppToken &T = TS.at(I);
+    if (T.is(TokKind::EndOfFile))
+      return I;
+    if (T.isPunct("(") || T.isPunct("[") || T.isPunct("{"))
+      ++Depth;
+    else if (T.isPunct(")") || T.isPunct("]") || T.isPunct("}")) {
+      if (Depth == 0)
+        return I; // Ran into the enclosing closer.
+      --Depth;
+    } else if (Depth == 0 && T.isPunct(";"))
+      return I;
+  }
+  return End;
+}
+
+/// One past the last token of the subexpression starting at \p I: stops at
+/// a depth-0 ',' or ';' or an unbalanced closer.
+size_t FileBuilder::endOfSubexpr(size_t I, size_t End) {
+  int Depth = 0;
+  for (; I < End; ++I) {
+    const CppToken &T = TS.at(I);
+    if (T.is(TokKind::EndOfFile))
+      return I;
+    if (T.isPunct("(") || T.isPunct("[") || T.isPunct("{"))
+      ++Depth;
+    else if (T.isPunct(")") || T.isPunct("]") || T.isPunct("}")) {
+      if (Depth == 0)
+        return I;
+      --Depth;
+    } else if (Depth == 0 && (T.isPunct(",") || T.isPunct(";")))
+      return I;
+  }
+  return End;
+}
+
+bool FileBuilder::isFrameLocalChain(size_t Begin, size_t End,
+                                    std::string &RootOut) {
+  size_t I = Begin;
+  while (I < End && (TS.at(I).isPunct("*") || TS.at(I).isPunct("(")))
+    ++I; // Leading derefs / grouping parens.
+  if (I >= End || !TS.at(I).is(TokKind::Identifier))
+    return false;
+  if (!isFrameLocalValue(TS.at(I).Text))
+    return false;
+  RootOut = std::string(TS.at(I).Text);
+  ++I;
+  while (I < End) {
+    const CppToken &T = TS.at(I);
+    if (T.isPunct(")")) { // Closing a leading grouping paren.
+      ++I;
+      continue;
+    }
+    if (T.isPunct("[")) {
+      I = matchForward(TS, I, "[", "]") + 1;
+      continue;
+    }
+    if (T.isPunct(".") || T.isPunct("->")) {
+      const CppToken &M = TS.at(I + 1);
+      if (!M.is(TokKind::Identifier) || !isElementAccessMember(M))
+        return false;
+      I += 2;
+      if (TS.at(I).isPunct("("))
+        I = matchForward(TS, I, "(", ")") + 1;
+      continue;
+    }
+    if (T.isPunct(";") || T.is(TokKind::EndOfFile))
+      break;
+    return false; // Anything else breaks the element-access chain.
+  }
+  return true;
+}
+
+size_t FileBuilder::tryDeclPatternsRange(size_t DeclBegin, size_t DeclEnd,
+                                         size_t RangeBegin, size_t RangeEnd) {
+  // The declared name is the last identifier of [DeclBegin, DeclEnd).
+  size_t NameIdx = static_cast<size_t>(-1);
+  size_t RefIdx = static_cast<size_t>(-1);
+  for (size_t J = DeclBegin; J < DeclEnd; ++J) {
+    const CppToken &U = TS.at(J);
+    if (U.is(TokKind::Identifier))
+      NameIdx = J;
+    else if (U.isPunct("&") || U.isPunct("&&"))
+      RefIdx = J;
+  }
+  if (NameIdx == static_cast<size_t>(-1))
+    return DeclEnd;
+  if (RefIdx == static_cast<size_t>(-1)) {
+    // By-value loop variable: a fresh frame-owned copy on every pass.
+    Scopes.back().Values.insert(std::string(TS.at(NameIdx).Text));
+    return DeclEnd;
+  }
+  if (isStableType(RefIdx)) {
+    recordStableDecl(TS.at(NameIdx), "reference");
+    return DeclEnd;
+  }
+  // `T &Name : Range` -- a reference re-bound on every pass.  When the
+  // range is an element-access chain rooted at a frame-local value, the
+  // referent lives in the coroutine frame and only RootMutate invalidates.
+  std::string Root;
+  bool FrameLocal = isFrameLocalChain(RangeBegin, RangeEnd, Root);
+  declare(TS.at(NameIdx), "reference", FrameLocal, std::move(Root));
+  return DeclEnd;
+}
+
+size_t FileBuilder::tryDeclPatterns(size_t I, size_t End, bool AtStmtStart) {
+  const CppToken &T = TS.at(I);
+  const size_t NoMatch = static_cast<size_t>(-1);
+
+  // `T &Name = init` / `auto &&Name = init` (the ':' spelling is handled by
+  // the range-for parser, which calls tryDeclPatternsRange).
+  if ((T.isPunct("&") || T.isPunct("&&")) && I > 0) {
+    const CppToken &Prev = TS.at(I - 1);
+    const CppToken &Name = TS.at(I + 1);
+    const CppToken &After = TS.at(I + 2);
+    if ((Prev.is(TokKind::Identifier) || Prev.isPunct(">")) &&
+        !isDeclBlockingKeyword(Prev) && Name.is(TokKind::Identifier) &&
+        After.isPunct("=")) {
+      if (isStableType(I)) {
+        // Audited stable runtime service: not risky; still walk the init.
+        recordStableDecl(Name, "reference");
+        size_t InitEnd = endOfSubexpr(I + 3, End);
+        emitExpr(I + 3, InitEnd);
+        return InitEnd;
+      }
+      size_t InitEnd = endOfSubexpr(I + 3, End);
+      std::string Root;
+      bool FrameLocal = isFrameLocalChain(I + 3, InitEnd, Root);
+      emitExpr(I + 3, InitEnd); // Initializer evaluates before the binding.
+      declare(Name, "reference", FrameLocal, std::move(Root));
+      return InitEnd;
+    }
+  }
+
+  // `string_view Name ...`
+  if (T.isIdent("string_view") && TS.at(I + 1).is(TokKind::Identifier)) {
+    const CppToken &After = TS.at(I + 2);
+    if (After.isPunct("=") || After.isPunct(";") || After.isPunct("{") ||
+        After.isPunct("(")) {
+      size_t InitBegin = After.isPunct("=") ? I + 3 : I + 2;
+      size_t InitEnd = endOfSubexpr(InitBegin, End);
+      std::string Root;
+      bool FrameLocal = isFrameLocalChain(InitBegin, InitEnd, Root);
+      emitExpr(InitBegin, InitEnd);
+      declare(TS.at(I + 1), "string_view", FrameLocal, std::move(Root));
+      return InitEnd;
+    }
+  }
+
+  // `span<...> Name`
+  if (T.isIdent("span") && TS.at(I + 1).isPunct("<")) {
+    int Depth = 0;
+    size_t J = I + 1;
+    for (; J < End; ++J) {
+      const CppToken &U = TS.at(J);
+      if (U.isPunct("<"))
+        ++Depth;
+      else if (U.isPunct(">"))
+        --Depth;
+      else if (U.isPunct(">>"))
+        Depth -= 2;
+      else if (U.isPunct(";") || U.is(TokKind::EndOfFile))
+        return NoMatch;
+      if (Depth <= 0) {
+        ++J;
+        break;
+      }
+    }
+    if (J < End && TS.at(J).is(TokKind::Identifier)) {
+      size_t InitBegin = TS.at(J + 1).isPunct("=") ? J + 2 : J + 1;
+      size_t InitEnd = endOfSubexpr(InitBegin, End);
+      std::string Root;
+      bool FrameLocal = isFrameLocalChain(InitBegin, InitEnd, Root);
+      emitExpr(InitBegin, InitEnd);
+      declare(TS.at(J), "span", FrameLocal, std::move(Root));
+      return InitEnd;
+    }
+  }
+
+  // `X::iterator Name` / `const_iterator Name`
+  if ((T.isIdent("iterator") || T.isIdent("const_iterator")) &&
+      TS.at(I + 1).is(TokKind::Identifier)) {
+    size_t InitBegin = TS.at(I + 2).isPunct("=") ? I + 3 : I + 2;
+    size_t InitEnd = endOfSubexpr(InitBegin, End);
+    std::string Root;
+    bool FrameLocal = isFrameLocalChain(InitBegin, InitEnd, Root);
+    emitExpr(InitBegin, InitEnd);
+    declare(TS.at(I + 1), "iterator", FrameLocal, std::move(Root));
+    return InitEnd;
+  }
+
+  // `auto Name = <expr containing .begin()/.find()>;` -> iterator.
+  if (T.isIdent("auto") && TS.at(I + 1).is(TokKind::Identifier) &&
+      TS.at(I + 2).isPunct("=")) {
+    size_t InitEnd = endOfSubexpr(I + 3, End);
+    bool IsIterator = false;
+    for (size_t J = I + 3; J + 1 < InitEnd; ++J) {
+      bool MemberAccess =
+          TS.at(J).isPunct(".") || TS.at(J).isPunct("->");
+      const CppToken &M = TS.at(J + 1);
+      if (MemberAccess &&
+          (M.isIdent("begin") || M.isIdent("end") || M.isIdent("cbegin") ||
+           M.isIdent("cend") || M.isIdent("rbegin") || M.isIdent("rend") ||
+           M.isIdent("find")) &&
+          TS.at(J + 2).isPunct("(")) {
+        IsIterator = true;
+        break;
+      }
+    }
+    std::string Root;
+    bool FrameLocal = isFrameLocalChain(I + 3, InitEnd, Root);
+    emitExpr(I + 3, InitEnd);
+    if (IsIterator)
+      declare(TS.at(I + 1), "iterator", FrameLocal, std::move(Root));
+    else if (AtStmtStart)
+      Scopes.back().Values.insert(std::string(TS.at(I + 1).Text));
+    return InitEnd;
+  }
+
+  // Plain value declaration `Type Name (=|{|(|;)` at statement start: the
+  // name owns frame storage (tracked as a frame-local root).
+  if (AtStmtStart && T.is(TokKind::Identifier) && !isDeclBlockingKeyword(T)) {
+    // Find the declared name: the last identifier of a run of type tokens
+    // immediately followed by '=', '{', '(' or ';'.
+    size_t J = I;
+    size_t LastIdent = static_cast<size_t>(-1);
+    int Angle = 0;
+    constexpr size_t MaxTypeTokens = 24;
+    while (J < End && J < I + MaxTypeTokens) {
+      const CppToken &U = TS.at(J);
+      if (U.is(TokKind::Identifier)) {
+        if (isDeclBlockingKeyword(U))
+          return NoMatch;
+        LastIdent = J;
+        ++J;
+        continue;
+      }
+      if (U.isPunct("::")) {
+        ++J;
+        continue;
+      }
+      if (U.isPunct("<")) {
+        ++Angle;
+        ++J;
+        continue;
+      }
+      if (U.isPunct(">") || U.isPunct(">>")) {
+        Angle -= U.isPunct(">>") ? 2 : 1;
+        if (Angle < 0)
+          return NoMatch;
+        ++J;
+        continue;
+      }
+      break;
+    }
+    if (Angle != 0 || LastIdent == static_cast<size_t>(-1) ||
+        LastIdent == I || J >= End)
+      return NoMatch;
+    const CppToken &After = TS.at(J);
+    if (LastIdent != J - 1)
+      return NoMatch;
+    if (After.isPunct("=") || After.isPunct("{") || After.isPunct("(") ||
+        After.isPunct(";")) {
+      const CppToken &BeforeName = TS.at(LastIdent - 1);
+      if (BeforeName.isPunct("&") || BeforeName.isPunct("&&") ||
+          BeforeName.isPunct("*"))
+        return NoMatch;
+      // A name directly preceded by '::' is a qualified reference
+      // (`trace::counter(...)` is a call), never `Type Name`.
+      if (BeforeName.isPunct("::"))
+        return NoMatch;
+      // A qualified spelling of a view/iterator type (std::string_view X,
+      // std::vector<int>::iterator It, std::span<int> S) reaches here with
+      // the qualifier tokens consumed as part of the type run; the run's
+      // tail decides whether the declared value is itself risky.
+      const char *Risky = nullptr;
+      if (BeforeName.isIdent("string_view"))
+        Risky = "string_view";
+      else if (BeforeName.isIdent("iterator") ||
+               BeforeName.isIdent("const_iterator"))
+        Risky = "iterator";
+      else if (BeforeName.isPunct(">"))
+        for (size_t K = I; K + 1 < LastIdent; ++K)
+          if (TS.at(K).isIdent("span") && TS.at(K + 1).isPunct("<")) {
+            Risky = "span";
+            break;
+          }
+      if (Risky) {
+        size_t InitBegin = After.isPunct("=") ? J + 1 : J;
+        size_t InitEnd = endOfSubexpr(InitBegin, End);
+        std::string Root;
+        bool FrameLocal = isFrameLocalChain(InitBegin, InitEnd, Root);
+        emitExpr(InitBegin, InitEnd);
+        declare(TS.at(LastIdent), Risky, FrameLocal, std::move(Root));
+        return InitEnd;
+      }
+      Scopes.back().Values.insert(std::string(TS.at(LastIdent).Text));
+      // Walk the initializer for events; the name itself is not risky.
+      return J;
+    }
+  }
+
+  return NoMatch;
+}
+
+void FileBuilder::emitStmt(size_t Begin, size_t End) {
+  size_t I = Begin;
+  bool AtStart = true;
+  while (I < End && !TS.at(I).is(TokKind::EndOfFile)) {
+    size_t Resume = tryDeclPatterns(I, End, AtStart);
+    if (Resume != static_cast<size_t>(-1)) {
+      I = Resume;
+      AtStart = false;
+      continue;
+    }
+    size_t Next = emitOneExprToken(I, End);
+    AtStart = TS.at(I).isPunct(";") || TS.at(I).isPunct(",");
+    I = Next;
+  }
+}
+
+void FileBuilder::emitExpr(size_t Begin, size_t End) {
+  size_t I = Begin;
+  while (I < End && !TS.at(I).is(TokKind::EndOfFile))
+    I = emitOneExprToken(I, End);
+}
+
+/// Processes the single token (or composite construct) at \p I in
+/// expression context; returns the next index.
+size_t FileBuilder::emitOneExprToken(size_t I, size_t End) {
+  const CppToken &T = TS.at(I);
+
+  // co_await / co_yield: the operand evaluates before the coroutine parks.
+  if (T.isIdent("co_await") || T.isIdent("co_yield")) {
+    size_t OperandEnd = endOfSubexpr(I + 1, End);
+    emitExpr(I + 1, OperandEnd);
+    emit(CfgEventKind::Suspend, -1, T);
+    return OperandEnd;
+  }
+
+  // Suspension-call spellings: arguments evaluate, then the caller parks.
+  if (T.is(TokKind::Identifier) && isSuspensionCallName(T) &&
+      TS.at(I + 1).isPunct("(")) {
+    size_t Close = matchForward(TS, I + 1, "(", ")");
+    recordCall(I);
+    emitExpr(I + 2, Close);
+    emit(CfgEventKind::Suspend, -1, T);
+    return Close + 1;
+  }
+
+  // Nested lambda / local-function body: extract separately, skip here.
+  if (T.isPunct("{")) {
+    BraceInfo Info = classifyBrace(TS, I);
+    if (Info.Kind == BraceKind::FunctionBody ||
+        Info.Kind == BraceKind::LambdaBody)
+      return buildFunction(I, Info);
+    return I + 1; // Initializer braces: walk the contents inline.
+  }
+
+  if (!T.is(TokKind::Identifier))
+    return I + 1;
+
+  bool MemberName = I > 0 && (TS.at(I - 1).isPunct(".") ||
+                              TS.at(I - 1).isPunct("->") ||
+                              TS.at(I - 1).isPunct("::"));
+
+  // Call site?
+  if (TS.at(I + 1).isPunct("("))
+    recordCall(I);
+
+  if (MemberName)
+    return I + 1;
+
+  // Assignment to a tracked name: RHS evaluates first, then the store.
+  if (TS.at(I + 1).isPunct("=")) {
+    int DeclId = resolveRisky(T.Text);
+    bool IsRoot = RootDecls.count(std::string(T.Text)) != 0;
+    size_t RhsEnd = endOfSubexpr(I + 2, End);
+    emitExpr(I + 2, RhsEnd);
+    if (DeclId >= 0)
+      emit(CfgEventKind::Assign, DeclId, T);
+    else if (IsRoot)
+      for (int Id : RootDecls[std::string(T.Text)])
+        emit(CfgEventKind::RootMutate, Id, T);
+    return RhsEnd;
+  }
+
+  // Structural mutation of a container that roots frame-local references.
+  if ((TS.at(I + 1).isPunct(".") || TS.at(I + 1).isPunct("->")) &&
+      TS.at(I + 2).is(TokKind::Identifier) && isMutatorMember(TS.at(I + 2)) &&
+      TS.at(I + 3).isPunct("(")) {
+    auto It = RootDecls.find(std::string(T.Text));
+    if (It != RootDecls.end())
+      for (int Id : It->second)
+        emit(CfgEventKind::RootMutate, Id, T);
+  }
+
+  if (int DeclId = resolveRisky(T.Text); DeclId >= 0)
+    emit(CfgEventKind::Use, DeclId, T);
+  return I + 1;
+}
+
+void FileBuilder::recordCall(size_t NameIdx) {
+  CfgCallSite C;
+  C.Callee = std::string(TS.at(NameIdx).Text);
+  C.Line = TS.at(NameIdx).Line;
+  C.Col = TS.at(NameIdx).Col;
+  if (NameIdx > 0) {
+    const CppToken &Prev = TS.at(NameIdx - 1);
+    if (Prev.isPunct(".") || Prev.isPunct("->")) {
+      C.Member = true;
+      if (NameIdx >= 2 && TS.at(NameIdx - 2).is(TokKind::Identifier))
+        C.Receiver = std::string(TS.at(NameIdx - 2).Text);
+    } else if (Prev.isPunct("::") && NameIdx >= 2 &&
+               TS.at(NameIdx - 2).is(TokKind::Identifier)) {
+      C.Qualifier = std::string(TS.at(NameIdx - 2).Text);
+    }
+  }
+  size_t Close = matchForward(TS, NameIdx + 1, "(", ")");
+  C.ArgsBegin = NameIdx + 2;
+  C.ArgsEnd = Close;
+  Fn->Calls.push_back(std::move(C));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+std::vector<FunctionCfg> parcs::lint::buildFileCfgs(
+    const std::vector<CppToken> &Toks, const CfgConfig &Config) {
+  if (Toks.empty())
+    return {};
+  TokStream TS{Toks};
+  FileBuilder Builder(TS, Config);
+  return Builder.run();
+}
+
+std::string parcs::lint::renderCfg(const FunctionCfg &Fn,
+                                   std::string_view File) {
+  std::string Out;
+  Out += "cfg ";
+  Out += File;
+  Out += ":";
+  Out += std::to_string(Fn.Line);
+  Out += " ";
+  Out += Fn.qualifiedName();
+  Out += Fn.HasSuspension ? " [suspends]" : "";
+  Out += "\n";
+  for (size_t I = 0; I < Fn.Decls.size(); ++I) {
+    const CfgDecl &D = Fn.Decls[I];
+    Out += "  decl d" + std::to_string(I) + " " + D.What + " '" + D.Name +
+           "' line " + std::to_string(D.Line);
+    if (D.Stable)
+      Out += " stable";
+    if (D.FrameLocalRoot)
+      Out += " frame-local root='" + D.Root + "'";
+    Out += "\n";
+  }
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    const CfgBlock &Blk = Fn.Blocks[B];
+    Out += "  block " + std::to_string(B);
+    if (B == 0)
+      Out += " (entry)";
+    else if (B == 1)
+      Out += " (exit)";
+    Out += " ->";
+    std::vector<int> Succs = Blk.Succs;
+    std::sort(Succs.begin(), Succs.end());
+    for (int S : Succs) {
+      Out += ' ';
+      Out += std::to_string(S);
+    }
+    Out += "\n";
+    for (const CfgEvent &E : Blk.Events) {
+      const char *Kind = "?";
+      switch (E.Kind) {
+      case CfgEventKind::Decl:
+        Kind = "decl";
+        break;
+      case CfgEventKind::Use:
+        Kind = "use";
+        break;
+      case CfgEventKind::Assign:
+        Kind = "assign";
+        break;
+      case CfgEventKind::RootMutate:
+        Kind = "root-mutate";
+        break;
+      case CfgEventKind::Suspend:
+        Kind = "suspend";
+        break;
+      }
+      Out += "    ";
+      Out += Kind;
+      if (E.DeclId >= 0)
+        Out += " d" + std::to_string(E.DeclId);
+      Out += " @" + std::to_string(E.Line) + ":" + std::to_string(E.Col);
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- lint/Dataflow.h - Worklist dataflow over CFGs ------------*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward may-analysis framework over FunctionCfg: per-declaration
+/// bitmask states, merge by bitwise OR, fixpoint by worklist.  A rule
+/// supplies the transfer step (one event at a time); the solver returns the
+/// block-entry states, which the rule then replays through each block to
+/// judge individual events with the exact state holding at that point.
+///
+/// The state vector is one byte of rule-defined flags per CfgDecl.  OR-merge
+/// makes every property "may hold on some path", which is the conservative
+/// direction for the suspension rule (a use is flagged iff some path
+/// suspends between the declaration and the use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_LINT_DATAFLOW_H
+#define PARCS_LINT_DATAFLOW_H
+
+#include "lint/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parcs::lint {
+
+/// One byte of rule-defined flags per declaration.
+using DeclStates = std::vector<uint8_t>;
+
+/// Forward worklist fixpoint.  \p Step applies one event to a state vector;
+/// it must be monotone (only set bits, or clear them deterministically from
+/// the event alone) for termination, which holds for any transfer built
+/// from assignment of constants and OR-ing -- states are bytes, so the
+/// lattice is finite either way and the solver additionally bounds the
+/// number of passes.  Returns the entry state of every block.
+template <typename StepFn>
+std::vector<DeclStates> solveForward(const FunctionCfg &Fn, StepFn &&Step) {
+  size_t NBlocks = Fn.Blocks.size();
+  size_t NDecls = Fn.Decls.size();
+  std::vector<DeclStates> In(NBlocks, DeclStates(NDecls, 0));
+  if (NBlocks == 0)
+    return In;
+
+  std::vector<char> OnWorklist(NBlocks, 0);
+  std::vector<int> Worklist;
+  Worklist.push_back(0);
+  OnWorklist[0] = 1;
+
+  // Defensive bound: each of the 8 bits per (block, decl) can flip at most
+  // once per direction in a monotone run; anything past this is a transfer
+  // bug, and we stop rather than spin.
+  size_t MaxPops = (NBlocks + 1) * (NDecls + 1) * 16 + 64;
+
+  while (!Worklist.empty() && MaxPops-- > 0) {
+    int B = Worklist.back();
+    Worklist.pop_back();
+    OnWorklist[static_cast<size_t>(B)] = 0;
+
+    DeclStates State = In[static_cast<size_t>(B)];
+    for (const CfgEvent &E : Fn.Blocks[static_cast<size_t>(B)].Events)
+      Step(State, E);
+
+    for (int S : Fn.Blocks[static_cast<size_t>(B)].Succs) {
+      if (S < 0 || static_cast<size_t>(S) >= NBlocks)
+        continue;
+      DeclStates &SuccIn = In[static_cast<size_t>(S)];
+      bool Changed = false;
+      for (size_t D = 0; D < NDecls; ++D) {
+        uint8_t Merged = static_cast<uint8_t>(SuccIn[D] | State[D]);
+        if (Merged != SuccIn[D]) {
+          SuccIn[D] = Merged;
+          Changed = true;
+        }
+      }
+      if (Changed && !OnWorklist[static_cast<size_t>(S)]) {
+        OnWorklist[static_cast<size_t>(S)] = 1;
+        Worklist.push_back(S);
+      }
+    }
+  }
+  return In;
+}
+
+} // namespace parcs::lint
+
+#endif // PARCS_LINT_DATAFLOW_H

@@ -1,0 +1,89 @@
+//===- lint/Facts.cpp - parcgen facts loader ------------------------------===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Facts.h"
+
+#include "support/Json.h"
+
+using namespace parcs;
+using namespace parcs::lint;
+
+const FactsClass *FactsDb::classWithSyncMethod(std::string_view Method) const {
+  for (const Module &M : Modules)
+    for (const FactsClass &C : M.Classes) {
+      if (C.Passive)
+        continue;
+      for (const FactsMethod &F : C.Methods)
+        if (F.Sync && F.Name == Method)
+          return &C;
+    }
+  return nullptr;
+}
+
+const FactsClass *FactsDb::findClass(std::string_view Name) const {
+  for (const Module &M : Modules)
+    for (const FactsClass &C : M.Classes)
+      if (C.Name == Name)
+        return &C;
+  return nullptr;
+}
+
+bool parcs::lint::parseFacts(std::string_view Text, FactsDb &Db,
+                             std::string &Error) {
+  json::Value Doc;
+  if (!json::parse(Text, Doc) || !Doc.isObject()) {
+    Error = "facts file is not a JSON object";
+    return false;
+  }
+  FactsDb::Module M;
+  M.Name = std::string(Doc.str("module"));
+  if (M.Name.empty()) {
+    Error = "facts file has no \"module\" member";
+    return false;
+  }
+  const json::Value *Classes = Doc.field("classes");
+  if (!Classes || !Classes->isArray()) {
+    Error = "facts file has no \"classes\" array";
+    return false;
+  }
+  for (const json::Value &CV : Classes->Arr) {
+    if (!CV.isObject()) {
+      Error = "facts class entry is not an object";
+      return false;
+    }
+    FactsClass C;
+    C.Name = std::string(CV.str("name"));
+    if (C.Name.empty()) {
+      Error = "facts class entry has no \"name\"";
+      return false;
+    }
+    const json::Value *Ext = CV.field("extern");
+    C.Extern = Ext && Ext->K == json::Value::Kind::Bool && Ext->B;
+    const json::Value *Pas = CV.field("passive");
+    C.Passive = Pas && Pas->K == json::Value::Kind::Bool && Pas->B;
+    if (const json::Value *Methods = CV.field("methods");
+        Methods && Methods->isArray()) {
+      for (const json::Value &MV : Methods->Arr) {
+        if (!MV.isObject()) {
+          Error = "facts method entry is not an object";
+          return false;
+        }
+        FactsMethod F;
+        F.Name = std::string(MV.str("name"));
+        F.Sync = MV.str("kind") == "sync";
+        F.ReturnType = std::string(MV.str("returns"));
+        if (F.Name.empty()) {
+          Error = "facts method entry has no \"name\"";
+          return false;
+        }
+        C.Methods.push_back(std::move(F));
+      }
+    }
+    M.Classes.push_back(std::move(C));
+  }
+  Db.Modules.push_back(std::move(M));
+  return true;
+}

@@ -1,0 +1,64 @@
+//===- lint/Facts.h - parcgen-exported parallel-class facts -----*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linter's view of what parcgen knows about `.pci` sources: which
+/// classes are parallel (active), which of their methods are synchronous.
+/// `parcgen --facts-out <file>` emits one JSON document per module (see
+/// docs/static-analysis.md for the format); the CLI loads any number of
+/// them with `--facts` and the interprocedural deadlock rule joins them
+/// with the C++ call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_LINT_FACTS_H
+#define PARCS_LINT_FACTS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcs::lint {
+
+struct FactsMethod {
+  std::string Name;
+  bool Sync = false;       ///< Caller blocks until the reply arrives.
+  std::string ReturnType;  ///< Rendered .pci type ("double", "int[]").
+};
+
+struct FactsClass {
+  std::string Name;
+  bool Extern = false;   ///< Instantiated on a remote node.
+  bool Passive = false;  ///< Plain data; no methods, never a deadlock party.
+  std::vector<FactsMethod> Methods;
+};
+
+/// Everything loaded from one or more --facts-out documents.
+struct FactsDb {
+  struct Module {
+    std::string Name; ///< "examples.matrix"
+    std::vector<FactsClass> Classes;
+  };
+  std::vector<Module> Modules;
+
+  bool empty() const { return Modules.empty(); }
+
+  /// The active (non-passive) class declaring \p Method as sync, or nullptr.
+  /// When several classes declare the name, the first in load order wins --
+  /// callers that need all of them iterate themselves.
+  const FactsClass *classWithSyncMethod(std::string_view Method) const;
+
+  /// The class named \p Name, or nullptr.
+  const FactsClass *findClass(std::string_view Name) const;
+};
+
+/// Parses one --facts-out JSON document and appends its module to \p Db.
+/// Returns false (with \p Error set) on malformed input.
+bool parseFacts(std::string_view Text, FactsDb &Db, std::string &Error);
+
+} // namespace parcs::lint
+
+#endif // PARCS_LINT_FACTS_H

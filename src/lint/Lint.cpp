@@ -6,9 +6,12 @@
 
 #include "lint/Lint.h"
 
+#include "lint/Cfg.h"
 #include "lint/CppScanner.h"
+#include "lint/Dataflow.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -100,8 +103,8 @@ struct FileCtx {
 /// True when no token starts on \p Line before column \p Col (i.e. a comment
 /// at (Line, Col) stands alone on its line and its directives apply to the
 /// *next* line).
-bool commentAloneOnLine(const FileCtx &Ctx, int Line, int Col) {
-  for (const CppToken &T : Ctx.Toks) {
+bool commentAloneOnLine(const std::vector<CppToken> &Toks, int Line, int Col) {
+  for (const CppToken &T : Toks) {
     if (T.Line > Line)
       break; // Tokens are in source order.
     if (T.Line == Line && T.Col < Col)
@@ -113,8 +116,8 @@ bool commentAloneOnLine(const FileCtx &Ctx, int Line, int Col) {
 /// Line of the first token after \p Line -- the line a standalone directive
 /// comment applies to.  Skipping over intervening comment-only lines lets a
 /// justification span several comment lines.
-int nextCodeLine(const FileCtx &Ctx, int Line) {
-  for (const CppToken &T : Ctx.Toks)
+int nextCodeLine(const std::vector<CppToken> &Toks, int Line) {
+  for (const CppToken &T : Toks)
     if (T.Line > Line && !T.is(TokKind::EndOfFile))
       return T.Line;
   return Line + 1;
@@ -125,36 +128,22 @@ int nextCodeLine(const FileCtx &Ctx, int Line) {
 //===----------------------------------------------------------------------===//
 
 void parseDirectives(FileCtx &Ctx) {
+  Ctx.Suppressed = collectSuppressions(Ctx.Toks, Ctx.Comments);
   std::vector<std::pair<int, std::string>> OpenRegions; // (line, name)
   for (const CppComment &C : Ctx.Comments) {
     std::string_view T = C.Text;
 
     if (startsWith(T, "parcs-lint:")) {
+      // collectSuppressions recorded the well-formed ones; only diagnose
+      // malformed directives here.
       std::string_view Rest = trimView(T.substr(std::string_view("parcs-lint:").size()));
       if (!startsWith(Rest, "allow(")) {
         Ctx.report(rules::HotPathRegion, C.Line, C.Col,
                    "malformed parcs-lint directive (expected "
                    "'parcs-lint: allow(<rule>[, <rule>...])')");
-        continue;
-      }
-      size_t Close = Rest.find(')');
-      if (Close == std::string_view::npos) {
+      } else if (Rest.find(')') == std::string_view::npos) {
         Ctx.report(rules::HotPathRegion, C.Line, C.Col,
                    "unterminated parcs-lint allow(...) directive");
-        continue;
-      }
-      std::string_view List = Rest.substr(6, Close - 6);
-      int Target = commentAloneOnLine(Ctx, C.Line, C.Col)
-                       ? nextCodeLine(Ctx, C.Line)
-                       : C.Line;
-      while (!List.empty()) {
-        size_t Comma = List.find(',');
-        std::string_view Rule = trimView(List.substr(0, Comma));
-        if (!Rule.empty())
-          Ctx.Suppressed[Target].insert(std::string(Rule));
-        if (Comma == std::string_view::npos)
-          break;
-        List.remove_prefix(Comma + 1);
       }
       continue;
     }
@@ -495,212 +484,93 @@ void checkCrossPartitionSharedState(FileCtx &Ctx) {
 }
 
 //===----------------------------------------------------------------------===//
-// Rule: suspension-ref
+// Rule: suspension-ref (v2: path-sensitive, over the CFG from lint/Cfg.h)
 //===----------------------------------------------------------------------===//
 
-/// Tokens that may legally sit between the ')' of a parameter list and the
-/// '{' of the function body (cv/ref qualifiers, noexcept, trailing return
-/// types, attributes are collapsed into these kinds).
-bool isFunctionTailToken(const CppToken &T) {
-  if (T.is(TokKind::Identifier))
-    return true; // const, noexcept, override, final, type names...
-  return T.isPunct("::") || T.isPunct("<") || T.isPunct(">") ||
-         T.isPunct(">>") || T.isPunct(",") || T.isPunct("*") ||
-         T.isPunct("&") || T.isPunct("&&") || T.isPunct("->");
-}
+/// Per-declaration dataflow bits.  A use is flagged iff DECLARED and SUSP
+/// hold (some path suspends between the live declaration and this use) and
+/// -- for frame-local-rooted references -- the root container may have been
+/// structurally mutated in between (MUT).
+constexpr uint8_t SuspDeclared = 1; ///< The declaration is live.
+constexpr uint8_t SuspSuspended = 2; ///< A suspension happened since.
+constexpr uint8_t SuspRootMutated = 4; ///< The rooting container mutated.
 
-/// True when the '{' at Toks[I] opens a function (or lambda) body: walking
-/// back over tail tokens reaches the ')' of a parameter list within a small
-/// window.
-bool opensFunctionBody(const FileCtx &Ctx, size_t I) {
-  constexpr size_t MaxLookback = 32;
-  size_t Steps = 0;
-  while (I > 0 && Steps++ < MaxLookback) {
-    const CppToken &P = Ctx.tok(--I);
-    if (P.isPunct(")"))
-      return true;
-    if (!isFunctionTailToken(P))
-      return false;
-  }
-  return false;
-}
-
-/// Calls that suspend the enclosing coroutine (or hand control to the
-/// scheduler, after which other activities may run and invalidate
-/// references into shared state).
-bool isSuspensionPoint(const FileCtx &Ctx, size_t I) {
-  const CppToken &T = Ctx.Toks[I];
-  if (!T.is(TokKind::Identifier))
-    return false;
-  if (T.Text == "co_await" || T.Text == "co_yield")
-    return true;
-  if ((T.Text == "await" || T.Text == "yield" || T.Text == "scheduleResume" ||
-       T.Text == "suspend") &&
-      Ctx.tok(I + 1).isPunct("(")) {
-    // Member spellings (obj.yield()) count too; only std:: qualification of
-    // an unrelated function would be a false hit, and none of these live in
-    // std with these call shapes in this codebase.
-    return true;
-  }
-  return false;
-}
-
-struct RiskyDecl {
-  std::string Name;
-  int Depth = 0;        ///< Brace depth at declaration (for scope pop).
-  size_t DeclIndex = 0; ///< Token index of the declared name.
-  int Line = 0;
-  std::string What;     ///< "reference", "string_view", ...
-  bool Suspended = false;
-  bool Reported = false;
-};
-
-void scanFunctionBody(FileCtx &Ctx, size_t &I) {
-  // Toks[I] is the '{' opening the body.
-  int Depth = 0;
-  std::vector<RiskyDecl> Decls;
-
-  auto declare = [&](size_t NameIdx, const char *What) {
-    const CppToken &Name = Ctx.tok(NameIdx);
-    // Shadowing: the innermost declaration wins for subsequent uses.
-    RiskyDecl D;
-    D.Name = std::string(Name.Text);
-    D.Depth = Depth;
-    D.DeclIndex = NameIdx;
-    D.Line = Name.Line;
-    D.What = What;
-    Decls.push_back(std::move(D));
-  };
-
-  for (; I < Ctx.Toks.size(); ++I) {
-    const CppToken &T = Ctx.Toks[I];
-    if (T.is(TokKind::EndOfFile))
-      return;
-    if (T.isPunct("{")) {
-      ++Depth;
-      continue;
-    }
-    if (T.isPunct("}")) {
-      if (--Depth == 0)
-        return; // End of function body.
-      for (size_t D = Decls.size(); D-- > 0;)
-        if (Decls[D].Depth > Depth)
-          Decls.erase(Decls.begin() + static_cast<long>(D));
-      continue;
-    }
-
-    // Suspension point: everything risky declared so far is now suspect.
-    if (isSuspensionPoint(Ctx, I)) {
-      for (RiskyDecl &D : Decls)
-        D.Suspended = true;
-      continue;
-    }
-
-    // --- Declaration patterns -------------------------------------------
-
-    // `T &Name = ...` / `auto &&Name = ...` / `for (auto &Name : ...)`.
-    if ((T.isPunct("&") || T.isPunct("&&")) && I > 0) {
-      const CppToken &Prev = Ctx.tok(I - 1);
-      const CppToken &Name = Ctx.tok(I + 1);
-      const CppToken &After = Ctx.tok(I + 2);
-      if ((Prev.is(TokKind::Identifier) || Prev.isPunct(">")) &&
-          Name.is(TokKind::Identifier) &&
-          (After.isPunct("=") || After.isPunct(":"))) {
-        declare(I + 1, "reference");
-        I += 1; // Skip the name so it is not seen as a use.
-        continue;
-      }
-    }
-
-    // `string_view Name ...` (std::string_view / any *_view alias spelled
-    // literally).
-    if (T.isIdent("string_view") && Ctx.tok(I + 1).is(TokKind::Identifier)) {
-      const CppToken &After = Ctx.tok(I + 2);
-      if (After.isPunct("=") || After.isPunct(";") || After.isPunct("{") ||
-          After.isPunct("(") || After.isPunct(":")) {
-        declare(I + 1, "string_view");
-        I += 1;
-        continue;
-      }
-    }
-
-    // `span<...> Name`.
-    if (T.isIdent("span") && Ctx.tok(I + 1).isPunct("<")) {
-      size_t J = skipTemplateArgs(Ctx, I + 1);
-      if (Ctx.tok(J).is(TokKind::Identifier)) {
-        declare(J, "span");
-        I = J;
-        continue;
-      }
-    }
-
-    // `X::iterator Name` / `const_iterator Name`.
-    if ((T.isIdent("iterator") || T.isIdent("const_iterator")) &&
-        Ctx.tok(I + 1).is(TokKind::Identifier)) {
-      declare(I + 1, "iterator");
-      I += 1;
-      continue;
-    }
-
-    // `auto Name = <expr containing .begin()/.end()/.find(>;`.
-    if (T.isIdent("auto") && Ctx.tok(I + 1).is(TokKind::Identifier) &&
-        Ctx.tok(I + 2).isPunct("=")) {
-      constexpr size_t MaxExprTokens = 64;
-      for (size_t J = I + 3; J < I + 3 + MaxExprTokens && J < Ctx.Toks.size();
-           ++J) {
-        const CppToken &E = Ctx.Toks[J];
-        if (E.isPunct(";") || E.is(TokKind::EndOfFile))
-          break;
-        bool MemberAccess = Ctx.tok(J - 1).isPunct(".") ||
-                            Ctx.tok(J - 1).isPunct("->");
-        if (MemberAccess &&
-            (E.isIdent("begin") || E.isIdent("end") || E.isIdent("cbegin") ||
-             E.isIdent("cend") || E.isIdent("rbegin") || E.isIdent("rend") ||
-             E.isIdent("find")) &&
-            Ctx.tok(J + 1).isPunct("(")) {
-          declare(I + 1, "iterator");
-          I += 1;
-          break;
-        }
-      }
-      // Fall through: if not declared as risky, the name token is harmless.
-      continue;
-    }
-
-    // --- Use of a suspended risky local ---------------------------------
-    if (T.is(TokKind::Identifier)) {
-      for (size_t D = Decls.size(); D-- > 0;) {
-        RiskyDecl &Decl = Decls[D];
-        if (Decl.Name != T.Text || I == Decl.DeclIndex)
-          continue;
-        if (Decl.Suspended && !Decl.Reported) {
-          Decl.Reported = true;
-          // A suppression on the declaration line covers every later use:
-          // "this local refers to storage that is stable across
-          // suspensions" is a property of the declaration.
-          auto DeclSupp = Ctx.Suppressed.find(Decl.Line);
-          if (DeclSupp != Ctx.Suppressed.end() &&
-              DeclSupp->second.count(rules::SuspensionRef) != 0)
-            break;
-          char Buf[32];
-          std::snprintf(Buf, sizeof(Buf), "%d", Decl.Line);
-          Ctx.report(rules::SuspensionRef, T,
-                     Decl.What + " '" + Decl.Name + "' (declared line " +
-                         Buf +
-                         ") used after a suspension point; the storage it "
-                         "refers to may have moved or been freed while "
-                         "suspended");
-        }
-        break; // Innermost match decides.
-      }
-    }
+void suspensionStep(DeclStates &S, const CfgEvent &E) {
+  switch (E.Kind) {
+  case CfgEventKind::Decl:
+  case CfgEventKind::Assign:
+    // A (re)binding: fresh referent, nothing suspended it yet.  Loop
+    // headers re-execute the Decl each pass, which is exactly the
+    // per-iteration re-declaration semantics.
+    if (E.DeclId >= 0 && static_cast<size_t>(E.DeclId) < S.size())
+      S[static_cast<size_t>(E.DeclId)] = SuspDeclared;
+    break;
+  case CfgEventKind::Suspend:
+    for (uint8_t &B : S)
+      if (B & SuspDeclared)
+        B |= SuspSuspended;
+    break;
+  case CfgEventKind::RootMutate:
+    if (E.DeclId >= 0 && static_cast<size_t>(E.DeclId) < S.size() &&
+        (S[static_cast<size_t>(E.DeclId)] & SuspDeclared))
+      S[static_cast<size_t>(E.DeclId)] |= SuspRootMutated;
+    break;
+  case CfgEventKind::Use:
+    break;
   }
 }
 
 void checkSuspensionRef(FileCtx &Ctx) {
-  for (size_t I = 0; I < Ctx.Toks.size(); ++I) {
-    if (Ctx.Toks[I].isPunct("{") && opensFunctionBody(Ctx, I))
-      scanFunctionBody(Ctx, I); // Advances I past the body.
+  CfgConfig CC;
+  CC.StableTypes = Ctx.Config->SuspensionStableTypes;
+  std::vector<FunctionCfg> Fns = buildFileCfgs(Ctx.Toks, CC);
+  for (const FunctionCfg &Fn : Fns) {
+    if (!Fn.HasSuspension || Fn.Decls.empty())
+      continue;
+
+    std::vector<DeclStates> In = solveForward(Fn, suspensionStep);
+
+    // Replay each block from its fixpoint entry state; remember the
+    // earliest violating use of every declaration (one finding per decl).
+    std::vector<std::pair<int, int>> FirstUse(Fn.Decls.size(),
+                                              {INT_MAX, INT_MAX});
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+      DeclStates S = In[B];
+      for (const CfgEvent &E : Fn.Blocks[B].Events) {
+        if (E.Kind == CfgEventKind::Use && E.DeclId >= 0 &&
+            static_cast<size_t>(E.DeclId) < Fn.Decls.size()) {
+          const CfgDecl &D = Fn.Decls[static_cast<size_t>(E.DeclId)];
+          uint8_t St = S[static_cast<size_t>(E.DeclId)];
+          bool Dangles = (St & SuspDeclared) && (St & SuspSuspended) &&
+                         (!D.FrameLocalRoot || (St & SuspRootMutated));
+          if (Dangles) {
+            auto &FU = FirstUse[static_cast<size_t>(E.DeclId)];
+            if (std::pair<int, int>(E.Line, E.Col) < FU)
+              FU = {E.Line, E.Col};
+          }
+        }
+        suspensionStep(S, E);
+      }
+    }
+
+    for (size_t D = 0; D < Fn.Decls.size(); ++D) {
+      if (FirstUse[D].first == INT_MAX)
+        continue;
+      const CfgDecl &Decl = Fn.Decls[D];
+      // A suppression on the declaration line covers every later use:
+      // "this local refers to storage that is stable across suspensions"
+      // is a property of the declaration.
+      auto DeclSupp = Ctx.Suppressed.find(Decl.Line);
+      if (DeclSupp != Ctx.Suppressed.end() &&
+          DeclSupp->second.count(rules::SuspensionRef) != 0)
+        continue;
+      Ctx.report(rules::SuspensionRef, FirstUse[D].first, FirstUse[D].second,
+                 Decl.What + " '" + Decl.Name + "' (declared line " +
+                     std::to_string(Decl.Line) +
+                     ") used after a suspension point; the storage it "
+                     "refers to may have moved or been freed while "
+                     "suspended");
+    }
   }
 }
 
@@ -745,9 +615,70 @@ const std::vector<std::string> &parcs::lint::allRules() {
       rules::WallClock,        rules::UnorderedIteration,
       rules::HotPathAlloc,     rules::CrossPartitionSharedState,
       rules::SuspensionRef,    rules::NonreentrantCall,
-      rules::HotPathRegion,
+      rules::HotPathRegion,    rules::SyncCallDeadlock,
+      rules::DeterminismTaint,
   };
   return Rules;
+}
+
+std::map<int, std::set<std::string>>
+parcs::lint::collectSuppressions(const std::vector<CppToken> &Toks,
+                                 const std::vector<CppComment> &Comments) {
+  std::map<int, std::set<std::string>> Out;
+  for (const CppComment &C : Comments) {
+    std::string_view T = C.Text;
+    if (!startsWith(T, "parcs-lint:"))
+      continue;
+    std::string_view Rest =
+        trimView(T.substr(std::string_view("parcs-lint:").size()));
+    if (!startsWith(Rest, "allow("))
+      continue; // Malformed; parseDirectives diagnoses it.
+    size_t Close = Rest.find(')');
+    if (Close == std::string_view::npos)
+      continue;
+    std::string_view List = Rest.substr(6, Close - 6);
+    int Target = commentAloneOnLine(Toks, C.Line, C.Col)
+                     ? nextCodeLine(Toks, C.Line)
+                     : C.Line;
+    while (!List.empty()) {
+      size_t Comma = List.find(',');
+      std::string_view Rule = trimView(List.substr(0, Comma));
+      if (!Rule.empty())
+        Out[Target].insert(std::string(Rule));
+      if (Comma == std::string_view::npos)
+        break;
+      List.remove_prefix(Comma + 1);
+    }
+  }
+  return Out;
+}
+
+uint32_t parcs::lint::fnv1a(std::string_view S) {
+  uint32_t H = 2166136261u;
+  for (char C : S) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 16777619u;
+  }
+  return H;
+}
+
+uint32_t parcs::lint::flaggedLineHash(std::string_view Source, int Line) {
+  if (Line <= 0)
+    return 0;
+  int Cur = 1;
+  size_t Begin = 0;
+  while (Cur < Line) {
+    size_t Eol = Source.find('\n', Begin);
+    if (Eol == std::string_view::npos)
+      return 0;
+    Begin = Eol + 1;
+    ++Cur;
+  }
+  size_t Eol = Source.find('\n', Begin);
+  std::string_view Content = Source.substr(
+      Begin, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Begin);
+  return fnv1a(trimView(Content));
 }
 
 bool Finding::operator<(const Finding &O) const {
@@ -802,13 +733,15 @@ std::vector<Finding> parcs::lint::lintSource(std::string_view RelPath,
         Ctx.Findings.end());
   }
 
-  // Apply inline suppressions.
+  // Apply inline suppressions, then stamp every survivor with the hash of
+  // the line it points at (for the shift-resilient baseline keying).
   std::vector<Finding> Kept;
   Kept.reserve(Ctx.Findings.size());
   for (Finding &F : Ctx.Findings) {
     auto It = Ctx.Suppressed.find(F.Line);
     if (It != Ctx.Suppressed.end() && It->second.count(F.Rule) != 0)
       continue;
+    F.LineHash = flaggedLineHash(Source, F.Line);
     Kept.push_back(std::move(F));
   }
   std::sort(Kept.begin(), Kept.end());
@@ -836,51 +769,162 @@ bool parcs::lint::lintFile(const std::string &AbsPath, std::string_view RelPath,
 // Baseline
 //===----------------------------------------------------------------------===//
 
-bool Baseline::Key::operator<(const Key &O) const {
-  if (File != O.File)
-    return File < O.File;
-  if (Line != O.Line)
-    return Line < O.Line;
-  return Rule < O.Rule;
+namespace {
+
+/// Formats a 32-bit hash as the 8 lowercase hex digits used in baselines.
+std::string hash8(uint32_t H) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%08x", H);
+  return Buf;
 }
+
+bool parseUint(std::string_view S, int &Out) {
+  if (S.empty())
+    return false;
+  long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (C - '0');
+    if (V > INT_MAX)
+      return false;
+  }
+  Out = static_cast<int>(V);
+  return true;
+}
+
+bool parseHash8(std::string_view S, uint32_t &Out) {
+  if (S.size() != 8)
+    return false;
+  uint32_t V = 0;
+  for (char C : S) {
+    V <<= 4;
+    if (C >= '0' && C <= '9')
+      V |= static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V |= static_cast<uint32_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// One baseline entry matches one finding: exact (rule, file, line) first
+/// (hashes must agree when both sides carry one), then shift-resilient
+/// (rule, file, hash) with the nearest line as tiebreaker.  Returns, for
+/// each finding (in the given order), the index of its consumed entry or
+/// -1.  Findings are visited in sorted order so the result is independent
+/// of caller ordering.
+std::vector<int> matchEntries(const std::vector<Finding> &Findings,
+                              const std::vector<Baseline::Entry> &Entries) {
+  std::vector<int> Matched(Findings.size(), -1);
+  std::vector<char> Consumed(Entries.size(), 0);
+
+  std::vector<size_t> Order(Findings.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Findings[A] < Findings[B];
+  });
+
+  // Pass 1: exact line.
+  for (size_t FI : Order) {
+    const Finding &F = Findings[FI];
+    for (size_t E = 0; E < Entries.size(); ++E) {
+      const Baseline::Entry &En = Entries[E];
+      if (Consumed[E] || En.Rule != F.Rule || En.File != F.File ||
+          En.Line != F.Line)
+        continue;
+      if (En.HasHash && F.LineHash != 0 && En.Hash != F.LineHash)
+        continue; // Same line, different content: the code changed.
+      Consumed[E] = 1;
+      Matched[FI] = static_cast<int>(E);
+      break;
+    }
+  }
+
+  // Pass 2: same content, shifted line.
+  for (size_t FI : Order) {
+    if (Matched[FI] >= 0)
+      continue;
+    const Finding &F = Findings[FI];
+    if (F.LineHash == 0)
+      continue;
+    int Best = -1;
+    long BestDist = 0;
+    for (size_t E = 0; E < Entries.size(); ++E) {
+      const Baseline::Entry &En = Entries[E];
+      if (Consumed[E] || !En.HasHash || En.Hash != F.LineHash ||
+          En.Rule != F.Rule || En.File != F.File)
+        continue;
+      long Dist = En.Line > F.Line ? En.Line - F.Line : F.Line - En.Line;
+      if (Best < 0 || Dist < BestDist ||
+          (Dist == BestDist && En.Line < Entries[static_cast<size_t>(Best)].Line)) {
+        Best = static_cast<int>(E);
+        BestDist = Dist;
+      }
+    }
+    if (Best >= 0) {
+      Consumed[static_cast<size_t>(Best)] = 1;
+      Matched[FI] = Best;
+    }
+  }
+  return Matched;
+}
+
+} // namespace
 
 Baseline Baseline::parse(std::string_view Text,
                          std::vector<std::string> &Errors) {
   Baseline B;
   int LineNo = 0;
+  std::vector<std::string> Pending; // Comment block being accumulated.
   while (!Text.empty()) {
     size_t Eol = Text.find('\n');
-    std::string_view Line = trimView(Text.substr(0, Eol));
+    std::string_view Raw = Text.substr(0, Eol);
+    std::string_view Line = trimView(Raw);
     Text.remove_prefix(Eol == std::string_view::npos ? Text.size() : Eol + 1);
     ++LineNo;
-    if (Line.empty() || Line.front() == '#')
+    if (Line.empty()) {
+      Pending.clear(); // A blank line detaches the block above it.
       continue;
+    }
+    if (Line.front() == '#') {
+      Pending.emplace_back(Line);
+      continue;
+    }
     size_t P1 = Line.find('|');
     size_t P2 = P1 == std::string_view::npos ? std::string_view::npos
                                              : Line.find('|', P1 + 1);
     if (P2 == std::string_view::npos) {
       Errors.push_back("baseline line " + std::to_string(LineNo) +
-                       ": expected '<rule>|<file>|<line>'");
+                       ": expected '<rule>|<file>|<line>[|<hash8>]'");
+      Pending.clear();
       continue;
     }
-    Key K;
-    K.Rule = std::string(trimView(Line.substr(0, P1)));
-    K.File = std::string(trimView(Line.substr(P1 + 1, P2 - P1 - 1)));
-    std::string_view Num = trimView(Line.substr(P2 + 1));
-    K.Line = 0;
-    for (char C : Num) {
-      if (C < '0' || C > '9') {
-        K.Line = -1;
-        break;
-      }
-      K.Line = K.Line * 10 + (C - '0');
+    size_t P3 = Line.find('|', P2 + 1);
+    Entry En;
+    En.Rule = std::string(trimView(Line.substr(0, P1)));
+    En.File = std::string(trimView(Line.substr(P1 + 1, P2 - P1 - 1)));
+    std::string_view Num = trimView(
+        Line.substr(P2 + 1, P3 == std::string_view::npos ? std::string_view::npos
+                                                         : P3 - P2 - 1));
+    bool Ok = parseUint(Num, En.Line) && En.Line > 0 && !En.Rule.empty() &&
+              !En.File.empty();
+    if (Ok && P3 != std::string_view::npos) {
+      En.HasHash = parseHash8(trimView(Line.substr(P3 + 1)), En.Hash);
+      Ok = En.HasHash;
     }
-    if (K.Rule.empty() || K.File.empty() || K.Line <= 0) {
+    if (!Ok) {
       Errors.push_back("baseline line " + std::to_string(LineNo) +
-                       ": expected '<rule>|<file>|<line>'");
+                       ": expected '<rule>|<file>|<line>[|<hash8>]'");
+      Pending.clear();
       continue;
     }
-    B.Entries.insert(std::move(K));
+    En.Comments = std::move(Pending);
+    Pending.clear();
+    B.Entries.push_back(std::move(En));
   }
   return B;
 }
@@ -890,39 +934,123 @@ std::string Baseline::write(const std::vector<Finding> &Findings) {
   std::sort(Sorted.begin(), Sorted.end());
   std::string Out;
   Out += "# parcs-lint baseline: grandfathered findings.\n";
-  Out += "# Format: <rule>|<file>|<line>.  Keep the one-line justification\n";
-  Out += "# comment above each entry up to date; entries are line-exact on\n";
-  Out += "# purpose, so moving grandfathered code forces a re-audit.\n";
+  Out += "# Format: <rule>|<file>|<line>|<hash8>, where <hash8> is the\n";
+  Out += "# FNV-1a hash of the trimmed flagged source line.  Entries match\n";
+  Out += "# on (rule, file, hash), so pure line shifts keep matching, while\n";
+  Out += "# any edit to the flagged line itself forces a re-audit.  Keep\n";
+  Out += "# the justification comment above each entry up to date; refresh\n";
+  Out += "# lines and hashes with `parcs-lint --update-baseline <file>`.\n";
   for (const Finding &F : Sorted) {
     Out += "\n# JUSTIFY: " + F.Message + "\n";
-    Out += F.Rule + "|" + F.File + "|" + std::to_string(F.Line) + "\n";
+    Out += F.Rule + "|" + F.File + "|" + std::to_string(F.Line);
+    if (F.LineHash != 0)
+      Out += "|" + hash8(F.LineHash);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string Baseline::update(std::string_view OldText,
+                             const std::vector<Finding> &Findings) {
+  std::vector<std::string> Errors;
+  Baseline Old = parse(OldText, Errors);
+
+  // The file header: everything before the first entry's comment block.
+  // Reconstruct it by walking the text again with the same state machine.
+  std::string Header;
+  {
+    std::string_view Text = OldText;
+    std::vector<std::string_view> Pending;
+    bool Done = Old.Entries.empty();
+    std::string Acc;
+    while (!Text.empty() && !Done) {
+      size_t Eol = Text.find('\n');
+      std::string_view Raw = Text.substr(0, Eol);
+      std::string_view Line = trimView(Raw);
+      Text.remove_prefix(Eol == std::string_view::npos ? Text.size()
+                                                       : Eol + 1);
+      if (Line.empty()) {
+        for (std::string_view P : Pending)
+          Acc += std::string(P) + "\n";
+        Pending.clear();
+        Acc += std::string(Raw) + "\n";
+        continue;
+      }
+      if (Line.front() == '#') {
+        Pending.push_back(Raw);
+        continue;
+      }
+      // First non-comment, non-blank line: the first entry (or junk);
+      // either way the header ends before its pending comment block.
+      Done = true;
+    }
+    if (!Done) // No entries: the whole old text is header.
+      for (std::string_view P : Pending)
+        Acc += std::string(P) + "\n";
+    Header = std::move(Acc);
+    // Drop trailing blank lines; entry blocks add their own separation.
+    while (Header.size() >= 2 && Header[Header.size() - 1] == '\n' &&
+           Header[Header.size() - 2] == '\n')
+      Header.pop_back();
+  }
+
+  std::vector<Finding> Sorted = Findings;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::vector<int> Matched = matchEntries(Sorted, Old.Entries);
+
+  std::string Out = Header;
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    const Finding &F = Sorted[I];
+    Out += "\n";
+    if (Matched[I] >= 0 &&
+        !Old.Entries[static_cast<size_t>(Matched[I])].Comments.empty()) {
+      for (const std::string &C :
+           Old.Entries[static_cast<size_t>(Matched[I])].Comments)
+        Out += C + "\n";
+    } else {
+      Out += "# JUSTIFY: " + F.Message + "\n";
+    }
+    Out += F.Rule + "|" + F.File + "|" + std::to_string(F.Line);
+    if (F.LineHash != 0)
+      Out += "|" + hash8(F.LineHash);
+    Out += "\n";
   }
   return Out;
 }
 
 bool Baseline::contains(const Finding &F) const {
-  Key K;
-  K.Rule = F.Rule;
-  K.File = F.File;
-  K.Line = F.Line;
-  return Entries.count(K) != 0;
+  for (const Entry &En : Entries) {
+    if (En.Rule != F.Rule || En.File != F.File)
+      continue;
+    if (En.HasHash && F.LineHash != 0) {
+      if (En.Hash == F.LineHash)
+        return true;
+      continue;
+    }
+    if (En.Line == F.Line)
+      return true;
+  }
+  return false;
 }
 
 void Baseline::add(const Finding &F) {
-  Key K;
-  K.Rule = F.Rule;
-  K.File = F.File;
-  K.Line = F.Line;
-  Entries.insert(std::move(K));
+  Entry En;
+  En.Rule = F.Rule;
+  En.File = F.File;
+  En.Line = F.Line;
+  En.Hash = F.LineHash;
+  En.HasHash = F.LineHash != 0;
+  Entries.push_back(std::move(En));
 }
 
 std::vector<Finding> parcs::lint::applyBaseline(
     const std::vector<Finding> &Findings, const Baseline &B) {
+  std::vector<int> Matched = matchEntries(Findings, B.Entries);
   std::vector<Finding> Kept;
   Kept.reserve(Findings.size());
-  for (const Finding &F : Findings)
-    if (!B.contains(F))
-      Kept.push_back(F);
+  for (size_t I = 0; I < Findings.size(); ++I)
+    if (Matched[I] < 0)
+      Kept.push_back(Findings[I]);
   return Kept;
 }
 

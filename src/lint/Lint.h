@@ -38,12 +38,17 @@
 #ifndef PARCS_LINT_LINT_H
 #define PARCS_LINT_LINT_H
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace parcs::lint {
+
+struct CppToken;
+struct CppComment;
 
 /// Stable rule identifiers (these strings appear in suppressions, baselines
 /// and reports; renaming one is a breaking change).
@@ -64,6 +69,13 @@ inline constexpr const char *HotPathRegion = "hot-path-region";
 /// best.
 inline constexpr const char *CrossPartitionSharedState =
     "cross-partition-shared-state";
+/// Interprocedural (lint/Analysis.h): a cycle of synchronous invokes
+/// between parallel classes -- joined from parcgen facts and the C++ call
+/// graph -- deadlocks the active objects.
+inline constexpr const char *SyncCallDeadlock = "sync-call-deadlock";
+/// Interprocedural (lint/Analysis.h): wall-clock/randomness/unordered
+/// sources flowing through assignments and calls into export sinks.
+inline constexpr const char *DeterminismTaint = "determinism-taint";
 } // namespace rules
 
 /// All checkable rule names, in report order.
@@ -77,11 +89,22 @@ struct Finding {
   int Line = 0;
   int Col = 0;
   std::string Message;
+  /// FNV-1a hash of the trimmed source line the finding points at (0 when
+  /// the source is unavailable).  Baseline entries key on it so pure line
+  /// shifts keep matching; it does not participate in ordering/equality.
+  uint32_t LineHash = 0;
 
   /// Stable ordering for reports: (file, line, col, rule, message).
   bool operator<(const Finding &O) const;
   bool operator==(const Finding &O) const;
 };
+
+/// FNV-1a over \p S (the baseline's line-content hash function).
+uint32_t fnv1a(std::string_view S);
+
+/// Hash of the trimmed content of 1-based \p Line in \p Source; 0 when the
+/// line does not exist.
+uint32_t flaggedLineHash(std::string_view Source, int Line);
 
 /// Policy knobs.  Defaults encode this repository's layout; tests override
 /// them to exercise rules in isolation.
@@ -105,6 +128,25 @@ struct LintConfig {
   };
   /// Path prefixes where non-reentrant libc calls are banned.
   std::vector<std::string> NonreentrantPrefixes = {"src/"};
+  /// Types whose references are audited as stable across coroutine
+  /// suspensions: runtime services owned by the World/Runtime that outlive
+  /// every coroutine frame (see docs/static-analysis.md for the audit).
+  /// suspension-ref does not track references of these types.
+  std::vector<std::string> SuspensionStableTypes = {
+      "Simulator",
+      "ObjectManager",
+  };
+  /// Namespace qualifiers whose calls are export sinks for the
+  /// determinism-taint rule (`trace::counter(...)`, `metrics::gauge(...)`).
+  std::vector<std::string> TaintSinkQualifiers = {
+      "trace", "metrics", "prof", "serial", "telemetry",
+  };
+  /// Types whose member calls yield wall-clock/randomness values (taint
+  /// sources for determinism-taint).
+  std::vector<std::string> TaintSourceTypes = {
+      "WallTimer",       "random_device", "mt19937",
+      "mt19937_64",      "minstd_rand",   "default_random_engine",
+  };
   /// Rules disabled wholesale (by name).  Empty by default.
   std::set<std::string> DisabledRules;
 };
@@ -122,17 +164,41 @@ bool lintFile(const std::string &AbsPath, std::string_view RelPath,
               const LintConfig &Config, std::vector<Finding> &FindingsOut,
               std::string &ErrorOut);
 
+/// Inline-suppression map for a scanned file: line -> rules suppressed
+/// there via `// parcs-lint: allow(...)`.  Exposed for the program-level
+/// (interprocedural) analyses in lint/Analysis.h, which filter their own
+/// findings with the same directives as the per-file rules.
+std::map<int, std::set<std::string>>
+collectSuppressions(const std::vector<CppToken> &Toks,
+                    const std::vector<CppComment> &Comments);
+
 //===----------------------------------------------------------------------===//
 // Baseline
 //===----------------------------------------------------------------------===//
 
 /// Grandfathered findings.  Text format, one entry per line:
-///   <rule>|<file>|<line>
-/// '#' starts a comment; every entry must be preceded by a justification
-/// comment when written by writeBaseline.  Line numbers make entries
-/// brittle on purpose: moving grandfathered code forces a re-audit.
+///   <rule>|<file>|<line>|<hash8>
+/// where <hash8> is the FNV-1a hash (8 lowercase hex digits) of the
+/// trimmed flagged source line.  Entries key on (rule, file, hash): a pure
+/// line shift keeps matching (the line number is a tiebreaker when the
+/// same content appears more than once), while any edit to the flagged
+/// line changes the hash and forces a re-audit.  Legacy 3-field entries
+/// (`<rule>|<file>|<line>`) stay line-exact.  '#' starts a comment; the
+/// comment block immediately above an entry is its justification and is
+/// preserved by Baseline::update.
 class Baseline {
 public:
+  struct Entry {
+    std::string Rule;
+    std::string File;
+    int Line = 0;
+    uint32_t Hash = 0;
+    bool HasHash = false;
+    /// Contiguous '#' lines immediately above the entry (verbatim,
+    /// including the leading '#'), preserved across --update-baseline.
+    std::vector<std::string> Comments;
+  };
+
   /// Parses baseline text.  Unparseable lines are reported in \p Errors
   /// (the caller decides whether that is fatal).
   static Baseline parse(std::string_view Text,
@@ -142,21 +208,32 @@ public:
   /// preceded by a justification stub comment carrying the message.
   static std::string write(const std::vector<Finding> &Findings);
 
+  /// Rewrites baseline text from current findings while preserving the
+  /// justification comment block of every entry that still matches.
+  /// Matched entries are re-emitted with the finding's current line and
+  /// hash; unmatched entries are dropped; new findings get a JUSTIFY stub.
+  /// Everything above the first entry block (the file header) is kept.
+  static std::string update(std::string_view OldText,
+                            const std::vector<Finding> &Findings);
+
+  /// True when some entry matches \p F (exact line for legacy entries,
+  /// hash with any line for hashed ones).  Non-consuming; applyBaseline
+  /// does the one-entry-per-finding consumption matching.
   bool contains(const Finding &F) const;
   size_t size() const { return Entries.size(); }
   void add(const Finding &F);
+  const std::vector<Entry> &entries() const { return Entries; }
 
 private:
-  struct Key {
-    std::string Rule;
-    std::string File;
-    int Line = 0;
-    bool operator<(const Key &O) const;
-  };
-  std::set<Key> Entries;
+  friend std::vector<Finding> applyBaseline(const std::vector<Finding> &,
+                                            const Baseline &);
+  std::vector<Entry> Entries;
 };
 
-/// Removes findings present in \p B; returns the survivors (order kept).
+/// Removes findings matched by \p B; returns the survivors (order kept).
+/// Matching consumes entries (one finding per entry): exact
+/// (rule, file, line) first -- requiring the hash to agree when both sides
+/// have one -- then (rule, file, hash) with the nearest line as tiebreak.
 std::vector<Finding> applyBaseline(const std::vector<Finding> &Findings,
                                    const Baseline &B);
 

@@ -63,8 +63,13 @@ MpiWorld::rankMain(MpiComm Comm,
 sim::Task<void> MpiWorld::sendImpl(int SrcRank, int DstRank, int Tag,
                                    Bytes Data) {
   assert(DstRank >= 0 && DstRank < size() && "send to invalid rank");
-  RankState &Src = Ranks[static_cast<size_t>(SrcRank)];
-  RankState &Dst = Ranks[static_cast<size_t>(DstRank)];
+  // Copy the routing scalars out of the rank table before suspending:
+  // Ranks may reallocate while this coroutine is parked on the compute
+  // queue, and a dangling RankState& would then route the datagram through
+  // freed memory.
+  int SrcNode = Ranks[static_cast<size_t>(SrcRank)].NodeId;
+  int DstNode = Ranks[static_cast<size_t>(DstRank)].NodeId;
+  int DstPort = Ranks[static_cast<size_t>(DstRank)].Port;
   serial::OutputArchive Packed;
   Packed.write(static_cast<int32_t>(SrcRank));
   Packed.write(static_cast<int32_t>(Tag));
@@ -73,8 +78,8 @@ sim::Task<void> MpiWorld::sendImpl(int SrcRank, int DstRank, int Tag,
   Bytes Wire =
       serial::encodeEnvelope(serial::WireFormat::MpiPack, "", Packed.bytes());
   BytesSent += Data.size();
-  co_await Cluster.node(Src.NodeId).compute(mpiSideCost(Wire.size()));
-  Net.send(Src.NodeId, Dst.NodeId, Dst.Port, std::move(Wire));
+  co_await Cluster.node(SrcNode).compute(mpiSideCost(Wire.size()));
+  Net.send(SrcNode, DstNode, DstPort, std::move(Wire));
 }
 
 void MpiWorld::postRecv(int Rank, int Src, int Tag,

@@ -34,6 +34,66 @@ std::string DiagnosticEngine::render(const std::string &FileName) const {
   return Out;
 }
 
+namespace {
+
+/// Minimal JSON string escaping (facts values are identifiers and type
+/// renderings, but stay safe on arbitrary input).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string parcs::pcc::renderFactsJson(const ModuleDecl &Module) {
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"module\": \"" + jsonEscape(Module.Name) + "\",\n";
+  Out += "  \"classes\": [";
+  for (size_t CI = 0; CI < Module.Classes.size(); ++CI) {
+    const ClassDecl &C = Module.Classes[CI];
+    Out += CI == 0 ? "\n" : ",\n";
+    Out += "    {\n";
+    Out += "      \"name\": \"" + jsonEscape(C.Name) + "\",\n";
+    Out += std::string("      \"extern\": ") + (C.IsExtern ? "true" : "false") +
+           ",\n";
+    Out += std::string("      \"passive\": ") +
+           (C.IsPassive ? "true" : "false") + ",\n";
+    Out += "      \"methods\": [";
+    for (size_t MI = 0; MI < C.Methods.size(); ++MI) {
+      const MethodDecl &M = C.Methods[MI];
+      Out += MI == 0 ? "\n" : ",\n";
+      Out += "        {\"name\": \"" + jsonEscape(M.Name) + "\", \"kind\": \"";
+      Out += M.Kind == MethodKind::Sync ? "sync" : "async";
+      Out += "\", \"returns\": \"" + jsonEscape(M.ReturnType.str()) + "\"}";
+    }
+    Out += C.Methods.empty() ? "]\n" : "\n      ]\n";
+    Out += "    }";
+  }
+  Out += Module.Classes.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
 CompileResult parcs::pcc::compilePci(std::string_view Source) {
   CompileResult Result;
   Parser TheParser(Source, Result.Diags);
@@ -81,6 +141,7 @@ int parcs::pcc::runParcgenTool(const std::string &InputPath,
                  OutputPath.c_str());
     return 1;
   }
-  Out << Result.Code;
+  Out << (Mode == ToolMode::Facts ? renderFactsJson(Result.Module)
+                                  : Result.Code);
   return Out ? 0 : 1;
 }

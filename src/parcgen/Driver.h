@@ -32,7 +32,19 @@ enum class ToolMode {
   Generate, ///< Compile and write the generated header (default).
   Check,    ///< Parse + sema only; no output file.
   DumpAst,  ///< Parse and print the AST to stdout.
+  Facts,    ///< Compile and write the module facts JSON (--facts-out).
 };
+
+/// Renders the module's interface facts as deterministic JSON for
+/// downstream tools (parcs-lint joins these with the C++ call graph for
+/// its sync-call-deadlock rule).  Shape:
+///   {"module": "<name>",
+///    "classes": [{"name", "extern", "passive",
+///                 "methods": [{"name", "kind": "sync"|"async",
+///                              "returns"}]}]}
+/// Classes and methods appear in declaration order; output is
+/// byte-identical across runs for identical input.
+std::string renderFactsJson(const ModuleDecl &Module);
 
 /// Command-line entry used by the `parcgen` tool: reads \p InputPath and,
 /// in Generate mode, writes the generated header to \p OutputPath.

@@ -10,6 +10,7 @@
 /// Usage: parcgen <input.pci> -o <output.h>
 ///        parcgen --check <input.pci>
 ///        parcgen --dump-ast <input.pci>
+///        parcgen --facts-out <facts.json> <input.pci>
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,10 +36,16 @@ int main(int Argc, char **Argv) {
       Mode = parcs::pcc::ToolMode::DumpAst;
       continue;
     }
+    if (std::strcmp(Argv[I], "--facts-out") == 0 && I + 1 < Argc) {
+      Mode = parcs::pcc::ToolMode::Facts;
+      Output = Argv[++I];
+      continue;
+    }
     if (std::strcmp(Argv[I], "--help") == 0 || std::strcmp(Argv[I], "-h") == 0) {
       std::printf("usage: parcgen <input.pci> -o <output.h>\n"
                   "       parcgen --check <input.pci>\n"
-                  "       parcgen --dump-ast <input.pci>\n");
+                  "       parcgen --dump-ast <input.pci>\n"
+                  "       parcgen --facts-out <facts.json> <input.pci>\n");
       return 0;
     }
     if (!Input) {
@@ -48,7 +55,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "parcgen: unexpected argument '%s'\n", Argv[I]);
     return 1;
   }
-  bool NeedsOutput = Mode == parcs::pcc::ToolMode::Generate;
+  bool NeedsOutput = Mode == parcs::pcc::ToolMode::Generate ||
+                     Mode == parcs::pcc::ToolMode::Facts;
   if (!Input || (NeedsOutput && !Output)) {
     std::fprintf(stderr, "usage: parcgen <input.pci> -o <output.h>\n");
     return 1;

@@ -1,0 +1,22 @@
+// Fixture: sync-call-deadlock -- a seeded cycle of synchronous invokes
+// between parallel classes.  facts.json (produced by `parcgen --facts-out`)
+// declares Pinger.ping / Ponger.pong / Loopback.depth as sync methods; the
+// linter joins those facts with this file's call graph.  poke()/fire() are
+// async and contribute no edge.
+struct PongerProxy { int pong(); void fire(); };
+struct PingerProxy { int ping(); };
+
+struct PingerImpl {
+  PongerProxy Peer;
+  int ping() { return Peer.pong(); } // edge Pinger -> Ponger
+  void poke() { Peer.fire(); }       // async method: no edge
+};
+
+struct PongerImpl {
+  PingerProxy Back;
+  int pong() { return Back.ping(); } // edge Ponger -> Pinger: cycle
+};
+
+struct LoopbackImpl {
+  int depth() { return invokeSyncTyped("depth", 0); } // self-cycle
+};

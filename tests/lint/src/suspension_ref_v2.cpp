@@ -1,0 +1,67 @@
+// Fixture: suspension-ref v2 -- flow-sensitive refinements over the CFG.
+// Each function isolates one refinement: kill-on-reassign, path
+// sensitivity, per-iteration range-for declarations, frame-local roots
+// (only structural mutation invalidates), await-initializer ordering, and
+// audited stable runtime services.
+#include <map>
+#include <string>
+#include <vector>
+struct Aw { bool await_ready(); void await_suspend(int); int await_resume(); };
+Aw tick();
+
+int reboundAfterResume(std::map<int, std::string> &M) {
+  auto It = M.find(1);
+  int X = co_await tick();
+  It = M.find(2);
+  return X + static_cast<int>(It->second.size()); // clean: re-bound
+}
+
+int useOnlyOnColdPath(std::map<int, std::string> &M, bool C) {
+  std::string &N = M[0];
+  if (C) {
+    int X = co_await tick();
+    return X;
+  }
+  return static_cast<int>(N.size()); // clean: never crossed a suspension
+}
+
+int useOnHotPath(std::map<int, std::string> &M, bool C) {
+  std::string &N = M[0];
+  if (C) {
+    int X = co_await tick();
+    (void)X;
+  }
+  return static_cast<int>(N.size()); // FINDING: may have crossed
+}
+
+int rangeForFrameLocal() {
+  std::vector<int> V = {1, 2, 3};
+  int S = 0;
+  for (int &E : V) {
+    S += co_await tick();
+    S += E; // clean: V is frame-local and never resized
+  }
+  return S;
+}
+
+int frameLocalRootMutated() {
+  std::vector<int> V = {1, 2, 3};
+  int &E = V[0];
+  int X = co_await tick();
+  V.push_back(4);
+  return X + E; // FINDING: root mutated while/after suspension
+}
+
+int awaitInitializer() {
+  const std::string &Value = co_await tick2();
+  return static_cast<int>(Value.size()); // clean: bound after resume
+}
+
+struct Simulator { void step(); };
+Simulator &simOf();
+int stableService() {
+  Simulator &Sim = simOf();
+  int X = co_await tick();
+  Sim.step(); // clean: audited stable type
+  return X;
+}

@@ -11,18 +11,27 @@
 ///
 /// Usage:
 ///   parcs-lint [options] <path>...
-///     --root <dir>            repo root; paths are reported and matched
-///                             against rule policy relative to it (default:
-///                             current directory)
-///     --baseline <file>       filter findings through a committed baseline
-///     --write-baseline <file> write current findings as a fresh baseline
-///     --json                  JSON report instead of text
-///     --list-rules            print rule names and exit
+///     --root <dir>             repo root; paths are reported and matched
+///                              against rule policy relative to it (default:
+///                              current directory)
+///     --baseline <file>        filter findings through a committed baseline
+///     --write-baseline <file>  write current findings as a fresh baseline
+///     --update-baseline <file> rewrite <file> in place from current
+///                              findings, preserving each surviving entry's
+///                              justification comment
+///     --facts <file>           parcgen facts JSON (repeatable); enables the
+///                              sync-call-deadlock rule
+///     --dump-cfg               print per-function CFGs and exit
+///     --dump-callgraph         print the call graph and exit
+///     --json                   JSON report instead of text
+///     --list-rules             print rule names and exit
 ///
 /// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "lint/Analysis.h"
+#include "lint/Facts.h"
 #include "lint/Lint.h"
 
 #include <algorithm>
@@ -47,8 +56,20 @@ bool isLintableFile(const fs::path &P) {
 int usageError(const char *Msg) {
   std::cerr << "parcs-lint: " << Msg << "\n"
             << "usage: parcs-lint [--root <dir>] [--baseline <file>] "
-               "[--write-baseline <file>] [--json] [--list-rules] <path>...\n";
+               "[--write-baseline <file>] [--update-baseline <file>] "
+               "[--facts <file>]... [--dump-cfg] [--dump-callgraph] "
+               "[--json] [--list-rules] <path>...\n";
   return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
 }
 
 } // namespace
@@ -57,7 +78,11 @@ int main(int Argc, char **Argv) {
   std::string Root = ".";
   std::string BaselinePath;
   std::string WriteBaselinePath;
+  std::string UpdateBaselinePath;
+  std::vector<std::string> FactsPaths;
   bool Json = false;
+  bool DumpCfg = false;
+  bool DumpCallGraph = false;
   std::vector<std::string> Paths;
 
   for (int I = 1; I < Argc; ++I) {
@@ -84,6 +109,20 @@ int main(int Argc, char **Argv) {
       if (!V)
         return 2;
       WriteBaselinePath = V;
+    } else if (Arg == "--update-baseline") {
+      const char *V = NextValue("--update-baseline");
+      if (!V)
+        return 2;
+      UpdateBaselinePath = V;
+    } else if (Arg == "--facts") {
+      const char *V = NextValue("--facts");
+      if (!V)
+        return 2;
+      FactsPaths.push_back(V);
+    } else if (Arg == "--dump-cfg") {
+      DumpCfg = true;
+    } else if (Arg == "--dump-callgraph") {
+      DumpCallGraph = true;
     } else if (Arg == "--json") {
       Json = true;
     } else if (Arg == "--list-rules") {
@@ -141,15 +180,48 @@ int main(int Argc, char **Argv) {
   std::sort(Files.begin(), Files.end());
   Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
 
-  lint::LintConfig Config;
-  std::vector<lint::Finding> Findings;
-  for (const auto &[Rel, Abs] : Files) {
+  lint::FactsDb Facts;
+  for (const std::string &FP : FactsPaths) {
+    std::string Text;
+    if (!readFile(FP, Text)) {
+      std::cerr << "parcs-lint: cannot open facts '" << FP << "'\n";
+      return 2;
+    }
     std::string Error;
-    if (!lint::lintFile(Abs.string(), Rel, Config, Findings, Error)) {
-      std::cerr << "parcs-lint: " << Error << "\n";
+    if (!lint::parseFacts(Text, Facts, Error)) {
+      std::cerr << "parcs-lint: " << FP << ": " << Error << "\n";
       return 2;
     }
   }
+
+  // Each file is read once; the same source feeds the per-file rules and
+  // the whole-program layer.
+  lint::LintConfig Config;
+  lint::Program Prog;
+  std::vector<lint::Finding> Findings;
+  for (const auto &[Rel, Abs] : Files) {
+    std::string Source;
+    if (!readFile(Abs.string(), Source)) {
+      std::cerr << "parcs-lint: cannot read '" << Abs.string() << "'\n";
+      return 2;
+    }
+    std::vector<lint::Finding> FileFindings =
+        lint::lintSource(Rel, Source, Config);
+    Findings.insert(Findings.end(), FileFindings.begin(), FileFindings.end());
+    Prog.addFile(Rel, std::move(Source), Config);
+  }
+
+  if (DumpCfg || DumpCallGraph) {
+    if (DumpCfg)
+      std::cout << Prog.dumpCfgs();
+    if (DumpCallGraph)
+      std::cout << Prog.dumpCallGraph();
+    return 0;
+  }
+
+  std::vector<lint::Finding> ProgramFindings = Prog.analyze(Facts, Config);
+  Findings.insert(Findings.end(), ProgramFindings.begin(),
+                  ProgramFindings.end());
   std::sort(Findings.begin(), Findings.end());
 
   if (!WriteBaselinePath.empty()) {
@@ -165,17 +237,34 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (!UpdateBaselinePath.empty()) {
+    std::string OldText;
+    if (!readFile(UpdateBaselinePath, OldText)) {
+      std::cerr << "parcs-lint: cannot open baseline '" << UpdateBaselinePath
+                << "'\n";
+      return 2;
+    }
+    std::ofstream Out(UpdateBaselinePath, std::ios::binary);
+    if (!Out) {
+      std::cerr << "parcs-lint: cannot write '" << UpdateBaselinePath << "'\n";
+      return 2;
+    }
+    Out << lint::Baseline::update(OldText, Findings);
+    std::cerr << "parcs-lint: updated " << UpdateBaselinePath << " ("
+              << Findings.size() << " entr"
+              << (Findings.size() == 1 ? "y" : "ies") << ")\n";
+    return 0;
+  }
+
   if (!BaselinePath.empty()) {
-    std::ifstream In(BaselinePath, std::ios::binary);
-    if (!In) {
+    std::string Text;
+    if (!readFile(BaselinePath, Text)) {
       std::cerr << "parcs-lint: cannot open baseline '" << BaselinePath
                 << "'\n";
       return 2;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
     std::vector<std::string> Errors;
-    lint::Baseline B = lint::Baseline::parse(Buf.str(), Errors);
+    lint::Baseline B = lint::Baseline::parse(Text, Errors);
     if (!Errors.empty()) {
       for (const std::string &E : Errors)
         std::cerr << "parcs-lint: " << BaselinePath << ": " << E << "\n";
