@@ -1,0 +1,81 @@
+//===- apps/loadgen/LoadGen.h - Open-loop traffic generator -----*- C++ -*-===//
+//
+// Part of the ParC# reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overload workhorse: an *open-loop* traffic generator over the
+/// SCOOPP runtime.  Calls arrive by a Poisson process at a configured
+/// offered rate, independent of completions -- exactly the regime where
+/// an unprotected queue grows without bound once the offered rate passes
+/// the service capacity, while an admission-controlled runtime sheds the
+/// excess and keeps the latency of *admitted* calls flat.  The generator
+/// reports the admitted-call latency distribution (p50/p99/p999) plus the
+/// shed / deferred / failed counts, all in virtual time and fully
+/// deterministic (seeded arrivals, no wall clock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCS_APPS_LOADGEN_LOADGEN_H
+#define PARCS_APPS_LOADGEN_LOADGEN_H
+
+#include "sim/SimTime.h"
+
+#include <cstdint>
+
+namespace parcs::apps::loadgen {
+
+/// One load-generation run.
+struct LoadGenConfig {
+  /// Serving nodes: the saturated resource.  Worker objects are pinned
+  /// here and never share a CPU with the generators.
+  int Nodes = 4;
+  /// Generator-only nodes appended after the serving nodes.  Keeping the
+  /// clients off the serving fleet matters: client-side marshalling is
+  /// paid *before* the admission check, so a co-located generator would
+  /// add CPU queueing that no admission budget can bound.
+  int ClientNodes = 3;
+  /// Worker objects spread round-robin over the serving nodes at setup.
+  int Workers = 8;
+  /// Offered call rate, calls per simulated second (cluster-wide).
+  double OfferedRate = 100'000;
+  /// How long the arrival process runs (virtual time); completions are
+  /// then drained before the run reports.
+  sim::SimTime Duration = sim::SimTime::milliseconds(20);
+  /// Simulated compute charged by each worker call.
+  sim::SimTime WorkCost = sim::SimTime::microseconds(30);
+  /// Per-node admission budget; 0 runs the *unprotected* baseline
+  /// (no admission control, queues grow without bound).
+  size_t MaxPending = 0;
+  uint64_t Seed = 42;
+};
+
+/// What one run measured.  Latencies cover admitted (completed) calls
+/// only -- overload rejections are accounted separately, which is the
+/// point: the protected runtime trades completions for bounded latency.
+struct LoadGenResult {
+  uint64_t Offered = 0;   ///< Calls the arrival process generated.
+  uint64_t Completed = 0; ///< Calls that returned a result.
+  uint64_t Rejected = 0;  ///< Calls refused by admission control.
+  uint64_t Failed = 0;    ///< Calls lost to anything else.
+  double P50Us = 0;       ///< Admitted-call latency percentiles.
+  double P99Us = 0;
+  double P999Us = 0;
+  uint64_t SloWaits = 0;      ///< Retry-after waits taken (client side).
+  uint64_t ServerShed = 0;    ///< Server-side refusals (both kinds).
+  uint64_t CreationsDeferred = 0; ///< Placement skips of saturated nodes.
+};
+
+/// Runs the generator against a fresh cluster per \p Cfg.
+LoadGenResult runLoadGen(const LoadGenConfig &Cfg);
+
+/// The offered rate that saturates one run of \p Cfg exactly: the rate
+/// at which offered work equals the *serving* fleet's capacity (the
+/// per-call server-side demand over the pooled server cores).  Sweeps
+/// express their x-axis as multiples of this.
+double saturationRate(const LoadGenConfig &Cfg);
+
+} // namespace parcs::apps::loadgen
+
+#endif // PARCS_APPS_LOADGEN_LOADGEN_H

@@ -65,9 +65,20 @@ public:
   ~ImplAdapter() override { Om.noteObjectReleased(); }
 
   CallHandler &inner() { return *Inner; }
+  const std::string &className() const { return ClassName; }
 
   sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
                                        const Bytes &Args) override;
+
+  /// Migration state capture passes straight through to the user IO; the
+  /// adapter itself is reconstructed fresh at the destination (its lock
+  /// and grain feedback are per-node runtime state, not object state).
+  void saveState(serial::OutputArchive &Out) override {
+    Inner->saveState(Out);
+  }
+  bool restoreState(serial::InputArchive &In) override {
+    return Inner->restoreState(In);
+  }
 
 private:
   /// Runs one real call on the inner IO, timing it for the OM and emitting

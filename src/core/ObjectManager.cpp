@@ -6,8 +6,11 @@
 
 #include "core/ObjectManager.h"
 
+#include "core/ImplAdapter.h"
 #include "support/Compiler.h"
+#include "support/Logging.h"
 #include "support/Metrics.h"
+#include "support/TelemetrySink.h"
 #include "support/Trace.h"
 #include "vm/Calibration.h"
 
@@ -88,13 +91,24 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
           .add(1);
     return Node;
   };
-  // Failure awareness: a node the health tracker marked down is skipped
-  // (our own node always counts as a candidate -- local degradation beats
-  // shipping work into a black hole).  In a healthy cluster the first
-  // candidate always passes, so the fault-free decisions -- including the
-  // rng draw sequence -- are exactly the legacy ones.
+  // Failure awareness: a node the health tracker marked down is skipped,
+  // and so is one the backpressure tracker marked saturated -- handing a
+  // new object to a node actively refusing work only deepens its backlog
+  // (our own node always counts as a candidate: local degradation beats
+  // shipping work into a black hole, and all-saturated clusters degrade
+  // fail-static to local placement the same way).  In a healthy cluster
+  // the first candidate always passes, so the fault-free decisions --
+  // including the rng draw sequence -- are exactly the legacy ones.
   auto Usable = [&](int Node) {
-    return Node == NodeId || Runtime.nodeHealthy(Node);
+    if (Node == NodeId)
+      return true;
+    if (!Runtime.nodeHealthy(Node))
+      return false;
+    if (Runtime.nodeSaturated(Node)) {
+      metrics::Registry::global().counter("om.creations_deferred").add(1);
+      return false;
+    }
+    return true;
   };
   auto degraded = [&] {
     metrics::Registry::global().counter("om.placements_degraded").add(1);
@@ -130,7 +144,7 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
     int Best = NodeId;
     int BestLoad = loadMetric();
     for (int Peer = 0; Peer < Nodes; ++Peer) {
-      if (Peer == NodeId || !Runtime.nodeHealthy(Peer))
+      if (Peer == NodeId || !Usable(Peer))
         continue;
       remoting::RemoteHandle Handle(Runtime.endpoint(NodeId), Peer,
                                     Runtime.config().Port,
@@ -181,6 +195,120 @@ sim::Task<int> ObjectManager::placeObject(std::string ClassName) {
   }
   }
   PARCS_UNREACHABLE("unhandled PlacementPolicy");
+}
+
+sim::Task<ErrorOr<ParallelRef>> ObjectManager::migrate(std::string Name,
+                                                       int DstNode) {
+  // Deliberately no cached endpoint/node references here: the protocol
+  // suspends many times, so every layer is re-acquired through Runtime
+  // after each resumption (the suspension-ref lint rule enforces this).
+  if (DstNode < 0 || DstNode >= Runtime.nodeCount() || DstNode == NodeId)
+    co_return Error(ErrorCode::InvalidArgument,
+                    "migrate: bad destination node " +
+                        std::to_string(DstNode));
+  std::shared_ptr<CallHandler> Target =
+      Runtime.endpoint(NodeId).findPublished(Name);
+  if (!Target)
+    co_return Error(ErrorCode::UnknownObject,
+                    "migrate: no object published as '" + Name + "'");
+  // Keeping the shared_ptr alive across the whole protocol matters: the
+  // cutover unpublishes the name, and the adapter must not die (releasing
+  // its OM accounting) until the state snapshot has safely left.
+  auto *Adapter = dynamic_cast<ImplAdapter *>(Target.get());
+  if (!Adapter)
+    co_return Error(ErrorCode::InvalidArgument,
+                    "migrate: '" + Name + "' is not a parallel object");
+  if (Runtime.endpoint(NodeId).isParked(Name))
+    co_return Error(ErrorCode::InvalidArgument,
+                    "migrate: '" + Name + "' is already migrating");
+
+  // The liveness epoch pins this migration to one incarnation of the
+  // source node: any crash/restart underneath us is detected at the next
+  // suspension point and aborts the move (the restart hook has already
+  // dropped the park and the parked calls; client retries re-execute them
+  // through the wiped dedup entries -- standard crash recovery).
+  uint64_t Epoch = Runtime.cluster().node(NodeId).epoch();
+  metrics::Registry::global().counter("om.migrations_started").add(1);
+  trace::instant(NodeId, 0, "om.migrate.begin",
+                 Runtime.sim().now().nanosecondsCount());
+
+  auto Died = [this, Epoch] {
+    vm::Node &Src = Runtime.cluster().node(NodeId);
+    return !Src.alive() || Src.epoch() != Epoch;
+  };
+  auto Abort = [&](Error E) {
+    metrics::Registry::global().counter("om.migrations_aborted").add(1);
+    trace::instant(NodeId, 0, "om.migrate.abort",
+                   Runtime.sim().now().nanosecondsCount());
+    if (!Died())
+      Runtime.endpoint(NodeId).cancelPark(Name);
+    return E;
+  };
+
+  // 1. Park the mailbox: from here, arriving calls queue behind the move
+  //    instead of executing.
+  Runtime.endpoint(NodeId).parkName(Name);
+
+  // 2. Drain calls already executing (the active-object lock means at most
+  //    one runs the user method, but the adapter may hold several in its
+  //    lock queue): deterministic fixed-step poll on virtual time.
+  while (Runtime.endpoint(NodeId).inFlight(Name) > 0) {
+    co_await Runtime.sim().delay(sim::SimTime::microseconds(10));
+    if (Died())
+      co_return Abort(Error(ErrorCode::ConnectionFailed,
+                            "migrate: source crashed during drain"));
+  }
+
+  // 3. Snapshot the object's state through the serial layer, paying a
+  //    size-proportional serialization cost.
+  serial::OutputArchive State;
+  Adapter->saveState(State);
+  Bytes StateBytes = State.take();
+  if (!co_await Runtime.cluster().node(NodeId).computeChecked(
+          sim::SimTime::microseconds(5) +
+          sim::SimTime::fromSecondsF(2e-9 *
+                                     static_cast<double>(StateBytes.size()))))
+    co_return Abort(Error(ErrorCode::ConnectionFailed,
+                          "migrate: source crashed during snapshot"));
+
+  // 4. Adopt at the destination: reliable call (retries ride the existing
+  //    machinery) to its factory, which instantiates the class and
+  //    hydrates it from the snapshot before replying with the new name.
+  ErrorOr<Bytes> Raw = co_await Runtime.endpoint(NodeId).callReliable(
+      DstNode, Runtime.config().Port, ScooppRuntime::FactoryName,
+      "create_migrated",
+      serial::encodeValues(Adapter->className(), StateBytes));
+  if (Died())
+    co_return Abort(Error(ErrorCode::ConnectionFailed,
+                          "migrate: source crashed during handoff"));
+  if (!Raw) {
+    if (ScooppRuntime::transportError(Raw.error().code()))
+      Runtime.noteCallOutcome(DstNode, false);
+    else if (Raw.error().code() == ErrorCode::Overloaded)
+      Runtime.noteOverloaded(DstNode);
+    co_return Abort(Raw.error());
+  }
+  Runtime.noteCallOutcome(DstNode, true);
+  std::string NewName;
+  if (!serial::decodeValues(*Raw, NewName))
+    co_return Abort(
+        Error(ErrorCode::MalformedMessage, "create_migrated reply"));
+
+  // 5. Atomic cutover (no suspension): tombstone + parked-call replay,
+  //    unpublish the source copy, bump the URI route.  Stragglers that
+  //    raced the cutover hit the tombstone and are forwarded; proxies
+  //    refresh their refs through the route table on their next call.
+  RpcEndpoint &Src = Runtime.endpoint(NodeId);
+  Src.completeMove(Name, RpcEndpoint::MovedRoute{
+                             DstNode, Runtime.config().Port, NewName});
+  Src.unpublish(Name);
+  Runtime.noteMigrated(ParallelRef{NodeId, Name},
+                       ParallelRef{DstNode, NewName});
+  int64_t DoneNs = Runtime.sim().now().nanosecondsCount();
+  metrics::Registry::global().counter("om.migrations").add(1);
+  trace::instant(NodeId, 0, "om.migrate.done", DoneNs);
+  telemetry::count(NodeId, "om.migrations", DoneNs);
+  co_return ParallelRef{DstNode, std::move(NewName)};
 }
 
 sim::Task<ErrorOr<Bytes>> ObjectManager::handleCall(std::string_view Method,

@@ -78,6 +78,18 @@ public:
   /// policy.  May RPC peer OMs (LeastLoaded, PowerOfTwoChoices).
   sim::Task<int> placeObject(std::string ClassName);
 
+  /// Live object migration: moves the implementation object published on
+  /// this node as \p Name to \p DstNode without its callers noticing.
+  /// Protocol: park the mailbox (new calls queue), drain executing calls,
+  /// snapshot state through the serial layer, adopt at the destination
+  /// (factory "create_migrated"), then cut over atomically -- moved
+  /// tombstone + route-table bump + exactly-once replay of the parked
+  /// calls through the destination's dedup window.  Returns the object's
+  /// new ref.  On failure the park is cancelled and the source copy stays
+  /// authoritative; a source crash mid-protocol aborts (the PR 5
+  /// crash/park/restart machinery then owns recovery).
+  sim::Task<ErrorOr<ParallelRef>> migrate(std::string Name, int DstNode);
+
   /// Queries \p Peer's load over RPC; falls back to \p Fallback (and feeds
   /// the health tracker) when the peer is unreachable.
   sim::Task<int> probeLoad(int Peer, int Fallback);

@@ -55,6 +55,13 @@ void ProxyBase::recordCreateDecision(bool Agglomerated) {
 }
 
 remoting::RemoteHandle ProxyBase::remoteHandle() {
+  // Live migration moves objects underneath their proxies; the runtime's
+  // route table records each move, and the proxy absorbs the relocation
+  // here so subsequent calls go straight to the new home (stragglers that
+  // raced a cutover are still forwarded by the source's tombstone).
+  ParallelRef Now = Runtime.resolveRoute(Ref);
+  if (!(Now == Ref))
+    Ref = std::move(Now);
   return remoting::RemoteHandle(Runtime.endpoint(Home), Ref.Node,
                                 Runtime.config().Port, Ref.Name);
 }
@@ -109,13 +116,18 @@ sim::Task<Error> ProxyBase::create(std::string ClassName) {
       Target, Runtime.config().Port, ScooppRuntime::FactoryName, "create",
       serial::encodeValues(Class), CreateCtx);
   if (!Raw) {
-    if (ScooppRuntime::transportError(Raw.error().code())) {
+    bool Transport = ScooppRuntime::transportError(Raw.error().code());
+    bool Overload = Raw.error().code() == ErrorCode::Overloaded;
+    if (Transport)
       Runtime.noteCallOutcome(Target, false);
+    else if (Overload)
+      Runtime.noteOverloaded(Target);
+    if (Transport || Overload) {
       if (Runtime.config().Retry.enabled()) {
-        // The target is unreachable even after retries: degrade to local
-        // agglomeration rather than fail the creation -- the paper's
-        // grain machinery makes a local IO semantically equivalent, just
-        // less parallel.
+        // The target is unreachable (or refusing admission) even after
+        // retries: degrade to local agglomeration rather than fail the
+        // creation -- the paper's grain machinery makes a local IO
+        // semantically equivalent, just less parallel.
         metrics::Registry::global()
             .counter("scoopp.creations_failover")
             .add(1);
@@ -234,6 +246,10 @@ sim::Task<ErrorOr<Bytes>> ProxyBase::invokeSync(std::string Method,
     Runtime.noteCallOutcome(Ref.Node, true);
   else if (ScooppRuntime::transportError(Result.error().code()))
     Runtime.noteCallOutcome(Ref.Node, false);
+  else if (Result.error().code() == ErrorCode::Overloaded)
+    // Admission refusals mark the node saturated so placement steers new
+    // objects away while the backlog drains.
+    Runtime.noteOverloaded(Ref.Node);
   co_return Result;
 }
 

@@ -50,6 +50,36 @@ public:
       }
       co_return serial::encodeValues(Made->first);
     }
+    if (Method == "create_migrated") {
+      // Adoption half of a live migration: instantiate the class here and
+      // hydrate it from the source's state snapshot before the first
+      // forwarded call can arrive (the source only cuts over after this
+      // reply, so ordering is safe by construction).
+      std::string ClassName;
+      Bytes State;
+      if (!serial::decodeValues(Args, ClassName, State))
+        co_return Error(ErrorCode::MalformedMessage, "create_migrated args");
+      sim::Simulator &Sim = Runtime.cluster().node(NodeId).sim();
+      int64_t StartNs = Sim.now().nanosecondsCount();
+      co_await Runtime.cluster().node(NodeId).computeWork(
+          vm::WorkKind::Allocation, sim::SimTime::microseconds(10));
+      auto Made = Runtime.instantiateImpl(NodeId, ClassName);
+      if (!Made)
+        co_return Made.error();
+      serial::InputArchive In(State);
+      if (!Made->second->restoreState(In)) {
+        Runtime.endpoint(NodeId).unpublish(Made->first);
+        co_return Error(ErrorCode::MalformedMessage,
+                        "create_migrated: state snapshot did not decode");
+      }
+      if (trace::enabled()) {
+        uint64_t AdoptCtx = trace::mintCausalId();
+        trace::completeCtx(NodeId, 0, "scoopp.factory_adopt", StartNs,
+                           Sim.now().nanosecondsCount() - StartNs, AdoptCtx,
+                           DispatchCtx);
+      }
+      co_return serial::encodeValues(Made->first);
+    }
     if (Method == "destroy") {
       std::string ObjectName;
       if (!serial::decodeValues(Args, ObjectName))
@@ -78,6 +108,7 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
   NextImplId.assign(static_cast<size_t>(Nodes), 0);
   FailStreak.assign(static_cast<size_t>(Nodes), 0);
   Down.assign(static_cast<size_t>(Nodes), 0);
+  SaturatedAtNs.assign(static_cast<size_t>(Nodes), -1);
   Endpoints.reserve(static_cast<size_t>(Nodes));
   Oms.reserve(static_cast<size_t>(Nodes));
   // Boot order matches the paper: "The application entry code creates one
@@ -89,6 +120,8 @@ ScooppRuntime::ScooppRuntime(vm::Cluster &Cluster, net::Network &Net,
         Config.Port, Config.DispatchWorkers));
     if (Config.Retry.enabled())
       Endpoints.back()->setRetryPolicy(Config.Retry);
+    if (Config.Admission.enabled())
+      Endpoints.back()->setAdmissionPolicy(Config.Admission);
     auto Om = std::make_shared<ObjectManager>(*this, I);
     Oms.push_back(Om);
     Endpoints.back()->publish(OmName, Om);
@@ -120,6 +153,9 @@ void ScooppRuntime::noteCallOutcome(int Node, bool Ok) {
   size_t Idx = static_cast<size_t>(Node);
   if (Ok) {
     FailStreak[Idx] = 0;
+    // A successful call is the freshest load signal there is: it clears
+    // any saturation mark early.
+    SaturatedAtNs[Idx] = -1;
     if (Down[Idx]) {
       Down[Idx] = 0;
       metrics::Registry::global().counter("om.node_up").add(1);
@@ -140,6 +176,47 @@ void ScooppRuntime::noteCallOutcome(int Node, bool Ok) {
                                     << FailStreak[Idx]
                                     << " transport failures");
   }
+}
+
+void ScooppRuntime::noteOverloaded(int Node) {
+  if (Node < 0 || Node >= static_cast<int>(SaturatedAtNs.size()))
+    return;
+  // The deterministic load-shed residue the experiments read.
+  metrics::Registry::global().counter("om.calls_shed").add(1);
+  int64_t NowNs = sim().now().nanosecondsCount();
+  if (!nodeSaturated(Node)) {
+    metrics::Registry::global().counter("om.node_saturated").add(1);
+    trace::instant(Node, 0, "om.node_saturated", NowNs);
+    PARCS_LOG(Info, "scoopp: node " << Node
+                                    << " saturated (admission refusals)");
+  }
+  SaturatedAtNs[static_cast<size_t>(Node)] = NowNs;
+}
+
+bool ScooppRuntime::nodeSaturated(int Node) const {
+  if (Node < 0 || Node >= static_cast<int>(SaturatedAtNs.size()))
+    return false;
+  int64_t At = SaturatedAtNs[static_cast<size_t>(Node)];
+  if (At < 0)
+    return false;
+  return Cluster.sim().now().nanosecondsCount() - At <=
+         Config.SaturationTtl.nanosecondsCount();
+}
+
+void ScooppRuntime::noteMigrated(const ParallelRef &From,
+                                 const ParallelRef &To) {
+  // Collapse chains: anything that already routed to From now routes
+  // straight to To, so resolveRoute stays a single lookup no matter how
+  // often an object moves.
+  for (auto &[Origin, Current] : Routes)
+    if (Current == From)
+      Current = To;
+  Routes[{From.Node, From.Name}] = To;
+}
+
+ParallelRef ScooppRuntime::resolveRoute(const ParallelRef &Ref) const {
+  auto It = Routes.find({Ref.Node, Ref.Name});
+  return It == Routes.end() ? Ref : It->second;
 }
 
 RpcEndpoint &ScooppRuntime::endpoint(int Node) {

@@ -135,6 +135,15 @@ struct ScooppConfig {
   /// Consecutive transport failures against one node before the runtime
   /// marks it down and steers placement away from it.
   int NodeFailureThreshold = 2;
+  /// Admission budget installed on every endpoint (disabled by default:
+  /// the fault-free wire bytes and event stream stay exactly legacy).
+  /// Enable it under open-loop load so saturated nodes refuse work with a
+  /// retry-after hint instead of queueing without bound.
+  remoting::AdmissionPolicy Admission;
+  /// How long one Overloaded refusal keeps a node marked saturated for
+  /// placement purposes (virtual time, so the mark ages deterministically).
+  /// A successful call clears it early.
+  sim::SimTime SaturationTtl = sim::SimTime::milliseconds(2);
 };
 
 //===----------------------------------------------------------------------===//
@@ -247,6 +256,37 @@ public:
   /// success clears the failure streak (and resurrects a down node).
   void noteCallOutcome(int Node, bool Ok);
 
+  //===--------------------------------------------------------------------===//
+  // Backpressure (overload-aware placement)
+  //===--------------------------------------------------------------------===//
+
+  /// Feeds an Overloaded refusal observed against \p Node into the
+  /// backpressure tracker: bumps the om.calls_shed counter and marks the
+  /// node saturated for SaturationTtl of virtual time, steering placement
+  /// away from it.  Distinct from noteCallOutcome -- an overloaded node is
+  /// alive (it answered), just refusing work.
+  void noteOverloaded(int Node);
+
+  /// True while \p Node is within SaturationTtl of its last Overloaded
+  /// refusal (and no success against it since).  Placement and failover
+  /// skip saturated nodes; when every candidate is saturated the runtime
+  /// degrades fail-static to local placement.
+  bool nodeSaturated(int Node) const;
+
+  //===--------------------------------------------------------------------===//
+  // URI routes (live migration's location service)
+  //===--------------------------------------------------------------------===//
+
+  /// Records that the object published as \p From now lives at \p To
+  /// (called at migration cutover).  Existing chains through \p From are
+  /// collapsed so every lookup stays one hop.
+  void noteMigrated(const ParallelRef &From, const ParallelRef &To);
+
+  /// Follows the route table: the current home of \p Ref (identity when
+  /// it never migrated).  Proxies refresh their cached refs through this,
+  /// which is how callers never observe a move.
+  ParallelRef resolveRoute(const ParallelRef &Ref) const;
+
   /// Name under which each node's factory is published ("factory.soap" in
   /// the paper's Fig. 5/6).
   static constexpr const char *FactoryName = "__scoopp_factory";
@@ -265,6 +305,11 @@ private:
   /// down flags derived from them.
   std::vector<int> FailStreak;
   std::vector<uint8_t> Down;
+  /// Backpressure: sim time of the last Overloaded refusal per node
+  /// (-1 = never / cleared by a success).
+  std::vector<int64_t> SaturatedAtNs;
+  /// Migration route table: origin (node, name) -> current home.
+  std::map<std::pair<int, std::string>, ParallelRef> Routes;
   ScooppStats Stats;
   Rng Random;
 };

@@ -41,6 +41,22 @@ public:
   /// via co_await inside.
   virtual sim::Task<ErrorOr<Bytes>> handleCall(std::string_view Method,
                                                const Bytes &Args) = 0;
+
+  /// Serializes the object's migratable state into \p Out (a serial
+  /// archive the peer's restoreState() will read).  The default is the
+  /// stateless contract: nothing written, nothing read.  Live migration
+  /// (ObjectManager::migrate) calls this only after the object's mailbox
+  /// is parked and its in-flight calls drained, so implementations never
+  /// observe a concurrent method execution.
+  virtual void saveState(serial::OutputArchive &Out) { (void)Out; }
+
+  /// Restores state captured by saveState() on the migration source.
+  /// Returns false when the bytes cannot be decoded (the migration is
+  /// then aborted and the source copy kept authoritative).
+  virtual bool restoreState(serial::InputArchive &In) {
+    (void)In;
+    return true;
+  }
 };
 
 /// How a well-known (factory-published) object is instantiated, mirroring

@@ -86,6 +86,21 @@ void appendHttpResponseHeader(Bytes &Out, size_t ContentLength) {
 /// SOAPAction stays comfortably under this).
 constexpr size_t MaxHttpHeaderBytes = 320;
 
+/// Extracts the server's retry-after hint from an ErrorCode::Overloaded
+/// message ("... retry-after=<N>ns"); 0 when absent or unparsable.
+int64_t parseRetryAfterNs(const std::string &Message) {
+  constexpr std::string_view Tag = "retry-after=";
+  size_t Pos = Message.find(Tag);
+  if (Pos == std::string::npos)
+    return 0;
+  int64_t Value = 0;
+  const char *First = Message.data() + Pos + Tag.size();
+  if (std::from_chars(First, Message.data() + Message.size(), Value).ec !=
+      std::errc())
+    return 0;
+  return Value;
+}
+
 } // namespace
 
 CallHandler::~CallHandler() = default;
@@ -115,6 +130,18 @@ RpcEndpoint::RpcEndpoint(vm::Node &Host, net::Network &Net,
         ++It;
       }
     }
+    // A crash also kills any in-progress migration on this node: parked
+    // calls die with the endpoint's volatile state (their callers' retries
+    // re-execute them through the wiped dedup entries above), the park
+    // itself lifts, and the executing-handler counts those dead coroutines
+    // held are settled.  Moved tombstones survive: they are routing
+    // knowledge, not in-flight state, and the destination copy is alive.
+    ParkedNames.clear();
+    ParkedByName.clear();
+    InFlightByName.clear();
+    // Queued pool items survived the crash and still decrement the
+    // backlog as they run; the executing handlers' decrements died.
+    AdmittedBacklog = Pool.queueDepth();
   });
   Net.bind(Host.id(), Port);
   Host.sim().spawn(dispatchLoop());
@@ -136,6 +163,13 @@ RpcEndpoint::~RpcEndpoint() {
       .add(Stats.RetriesExhausted);
   Reg.counter(MetricsPrefix + ".dedup_hits").add(Stats.DedupHits);
   Reg.counter(MetricsPrefix + ".dedup_suppressed").add(Stats.DedupSuppressed);
+  Reg.counter(MetricsPrefix + ".overload_rejected").add(Stats.OverloadRejected);
+  Reg.counter(MetricsPrefix + ".overload_shed").add(Stats.OverloadShed);
+  Reg.counter(MetricsPrefix + ".overload_deferred").add(Stats.OverloadDeferred);
+  Reg.counter(MetricsPrefix + ".overload_exhausted")
+      .add(Stats.OverloadExhausted);
+  Reg.counter(MetricsPrefix + ".calls_parked").add(Stats.CallsParked);
+  Reg.counter(MetricsPrefix + ".calls_forwarded").add(Stats.CallsForwarded);
 }
 
 void RpcEndpoint::publish(const std::string &Name,
@@ -378,38 +412,41 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::callReliable(int DstNode, int DstPort,
   uint64_t DedupId = NextDedupId++;
   sim::SimTime Backoff = Retry.BaseBackoff;
   sim::SimTime Deadline = Retry.AttemptTimeout;
-  for (int Attempt = 1;; ++Attempt) {
-    if (Attempt > 1) {
-      ++Stats.Retries;
-      trace::instant(Host.id(), 0, "rpc.retry",
-                     Host.sim().now().nanosecondsCount());
-      // PARCS_HOT_BEGIN(rpc-retry): the backoff/deadline schedule is
-      // integer arithmetic plus one seeded draw -- no allocation, no
-      // wall clock.
-      int64_t HalfNs = Backoff.nanosecondsCount() / 2;
-      sim::SimTime Jitter = sim::SimTime::nanoseconds(static_cast<int64_t>(
-          RetryRng.nextBelow(static_cast<uint64_t>(HalfNs) + 1)));
-      sim::SimTime Wait = Backoff + Jitter;
-      sim::SimTime Next = sim::SimTime::fromSecondsF(Backoff.toSecondsF() *
-                                                     Retry.BackoffFactor);
-      Backoff = Next < Retry.MaxBackoff ? Next : Retry.MaxBackoff;
-      if (Retry.TimeoutFactor > 1.0) {
-        sim::SimTime Grown = sim::SimTime::fromSecondsF(
-            Deadline.toSecondsF() * Retry.TimeoutFactor);
-        Deadline = (Retry.MaxAttemptTimeout > sim::SimTime() &&
-                    Retry.MaxAttemptTimeout < Grown)
-                       ? Retry.MaxAttemptTimeout
-                       : Grown;
-      }
-      // PARCS_HOT_END
-      co_await Host.sim().delay(Wait);
-    }
+  int Attempt = 1;
+  int OverloadWaits = 0;
+  for (;;) {
     ErrorOr<Bytes> Result =
         co_await call(DstNode, DstPort, ObjectName, Method, Args,
                       Deadline, ParentCtx, DedupId);
     if (Result)
       co_return Result;
     ErrorCode Code = Result.error().code();
+    if (Code == ErrorCode::Overloaded) {
+      // The server refused admission and said when to come back.  The
+      // reply proved the network and the server alive, so this does not
+      // burn a transport attempt: it waits out the server's deterministic
+      // retry-after hint (its own bounded budget) and tries again under
+      // the same dedup id.
+      if (OverloadWaits >= Retry.MaxOverloadWaits) {
+        ++Stats.OverloadExhausted;
+        // Distinct post-mortem reason: congestion collapse at the peer,
+        // not a dead network -- operators page differently on the two.
+        postmortem::fire("overloaded", Host.id(),
+                         Host.sim().now().nanosecondsCount());
+        co_return Error(ErrorCode::Overloaded,
+                        "server overloaded: '" + ObjectName + "." + Method +
+                            "' on node " + std::to_string(DstNode));
+      }
+      ++OverloadWaits;
+      ++Stats.OverloadDeferred;
+      trace::instant(Host.id(), 0, "rpc.overload_wait",
+                     Host.sim().now().nanosecondsCount());
+      int64_t HintNs = parseRetryAfterNs(Result.error().message());
+      sim::SimTime Wait =
+          HintNs > 0 ? sim::SimTime::nanoseconds(HintNs) : Backoff;
+      co_await Host.sim().delay(Wait);
+      continue;
+    }
     if (Code != ErrorCode::TimedOut && Code != ErrorCode::ChecksumMismatch)
       // Unknown object, remote fault, malformed reply...: retrying won't
       // change the answer.
@@ -422,6 +459,30 @@ sim::Task<ErrorOr<Bytes>> RpcEndpoint::callReliable(int DstNode, int DstPort,
                       "retries exhausted: '" + ObjectName + "." + Method +
                           "' on node " + std::to_string(DstNode));
     }
+    ++Attempt;
+    ++Stats.Retries;
+    trace::instant(Host.id(), 0, "rpc.retry",
+                   Host.sim().now().nanosecondsCount());
+    // PARCS_HOT_BEGIN(rpc-retry): the backoff/deadline schedule is
+    // integer arithmetic plus one seeded draw -- no allocation, no
+    // wall clock.
+    int64_t HalfNs = Backoff.nanosecondsCount() / 2;
+    sim::SimTime Jitter = sim::SimTime::nanoseconds(static_cast<int64_t>(
+        RetryRng.nextBelow(static_cast<uint64_t>(HalfNs) + 1)));
+    sim::SimTime Wait = Backoff + Jitter;
+    sim::SimTime Next = sim::SimTime::fromSecondsF(Backoff.toSecondsF() *
+                                                   Retry.BackoffFactor);
+    Backoff = Next < Retry.MaxBackoff ? Next : Retry.MaxBackoff;
+    if (Retry.TimeoutFactor > 1.0) {
+      sim::SimTime Grown = sim::SimTime::fromSecondsF(
+          Deadline.toSecondsF() * Retry.TimeoutFactor);
+      Deadline = (Retry.MaxAttemptTimeout > sim::SimTime() &&
+                  Retry.MaxAttemptTimeout < Grown)
+                     ? Retry.MaxAttemptTimeout
+                     : Grown;
+    }
+    // PARCS_HOT_END
+    co_await Host.sim().delay(Wait);
   }
 }
 
@@ -504,9 +565,22 @@ sim::Task<void> RpcEndpoint::dispatchLoop() {
       continue;
     }
     if (Kind == KindCall) {
+      // PARCS_HOT_BEGIN(rpc-admission): the admission decision is one
+      // integer compare against live backlog -- no allocation; only the
+      // (rare) rejection path builds a reply.
+      if (Admission.enabled() && AdmittedBacklog >= Admission.MaxPending) {
+        // Budget exhausted: refuse before the call touches the pool, so
+        // rejected work costs a fixed-size reply rather than an unbounded
+        // queue wait.  Handled inline on the dispatch path -- rejection
+        // must not itself queue behind the congestion it polices.
+        co_await rejectOverloaded(std::move(Msg));
+        continue;
+      }
+      // PARCS_HOT_END
       // Calls are dispatched through the node's (bounded) thread pool;
       // this is where Mono's small pool throttles overlap.
       ++Stats.CallsHandled;
+      ++AdmittedBacklog;
       auto Self = this;
       if (!trace::enabled()) {
         // Untraced shape: [this + Message] fits the pool's inline work
@@ -582,6 +656,16 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content,
     Reply.set(std::move(Result));
     return;
   }
+  if (Status == StatusOverloaded) {
+    // Admission refusal: surface the server's retry-after hint in the
+    // message so callReliable() can honour it (and callers can log it).
+    uint64_t RetryAfterNs = 0;
+    Body.read(RetryAfterNs);
+    Reply.set(Error(ErrorCode::Overloaded,
+                    "server overloaded; retry-after=" +
+                        std::to_string(RetryAfterNs) + "ns"));
+    return;
+  }
   uint8_t Code = 0;
   std::string Message;
   if (!Body.read(Code) || !Body.read(Message)) {
@@ -591,7 +675,140 @@ void RpcEndpoint::handleReturn(std::span<const uint8_t> Content,
   Reply.set(Error(static_cast<ErrorCode>(Code), Message));
 }
 
+sim::Task<void> RpcEndpoint::rejectOverloaded(net::Message Msg) {
+  // Re-parse the minimal body prefix: just enough to know who to answer.
+  ErrorOr<std::span<const uint8_t>> Content = unframe(Msg.Payload);
+  assert(Content && !Content->empty() && "checked in dispatchLoop");
+  ErrorOr<serial::Envelope> Env = serial::decodeEnvelope(
+      Profile.Format, Content->data() + 1, Content->size() - 1);
+  if (!Env) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+  serial::InputArchive Body(Env->Payload);
+  uint64_t CallId = 0;
+  uint8_t Flags = 0;
+  uint64_t WireCtx = 0, WireParent = 0;
+  uint64_t DedupId = 0;
+  int32_t ReplyNode = 0, ReplyPort = 0;
+  if (!Body.read(CallId) || !Body.read(Flags) ||
+      ((Flags & FlagHasContext) &&
+       !serial::decodeCausalContext(Body, WireCtx, WireParent)) ||
+      ((Flags & FlagHasDedup) && !Body.read(DedupId)) ||
+      !Body.read(ReplyNode) || !Body.read(ReplyPort)) {
+    ++Stats.MalformedDropped;
+    co_return;
+  }
+  int64_t NowNs = Host.sim().now().nanosecondsCount();
+  if (Flags & FlagOneWay) {
+    // No caller is waiting for a reply, so there is nobody to hint: the
+    // call is shed and the counter is its only residue.
+    ++Stats.OverloadShed;
+    telemetry::count(Host.id(), "rpc.overload_shed", NowNs);
+    trace::instant(Host.id(), 0, "rpc.overload_shed", NowNs);
+    co_return;
+  }
+  ++Stats.OverloadRejected;
+  telemetry::count(Host.id(), "rpc.overload_rejected", NowNs);
+  trace::instant(Host.id(), 0, "rpc.overload_reject", NowNs);
+  // Deterministic retry-after: linear in how deep past budget the backlog
+  // sits, clamped to the policy's band.  Depth-proportional hints spread
+  // a burst of rejected callers over time instead of re-synchronising
+  // them onto one future instant.
+  size_t Overflow = AdmittedBacklog - Admission.MaxPending + 1;
+  int64_t BaseNs = Admission.RetryAfterBase.nanosecondsCount();
+  int64_t MaxNs = Admission.RetryAfterMax.nanosecondsCount();
+  int64_t HintNs = BaseNs * static_cast<int64_t>(Overflow);
+  if (HintNs < BaseNs)
+    HintNs = BaseNs;
+  if (MaxNs > 0 && HintNs > MaxNs)
+    HintNs = MaxNs;
+  serial::OutputArchive Out;
+  Out.write(CallId);
+  Out.write(static_cast<uint8_t>(StatusOverloaded));
+  Out.write(static_cast<uint64_t>(HintNs));
+  Bytes Wire = frame(KindReturn, "ret", Out.bytes(), /*Response=*/true);
+  Stats.WireBytesSent += Wire.size();
+  // computeChecked: a crash mid-rejection must not park the dispatch loop.
+  if (!co_await Host.computeChecked(sideCost(Wire.size())))
+    co_return;
+  Net.send(Host.id(), ReplyNode, ReplyPort, std::move(Wire), 0);
+}
+
+// PARCS_HOT_BEGIN(migrate-replay): forwarding rebuilds one frame from
+// already-parsed fields into a reserved buffer and hands it to the NIC --
+// no re-parse, no suspension; cutover itself is plain map surgery.
+
+void RpcEndpoint::forwardCall(const ParkedCall &P, const MovedRoute &Route) {
+  serial::OutputArchive Body;
+  Body.write(P.CallId);
+  Body.write(P.Flags);
+  if (P.Flags & FlagHasContext)
+    serial::encodeCausalContext(Body, P.WireCtx, P.WireParent);
+  if (P.Flags & FlagHasDedup)
+    Body.write(P.DedupId);
+  Body.write(P.ReplyNode);
+  Body.write(P.ReplyPort);
+  Body.write(Route.Name);
+  Body.write(P.Method);
+  Body.write(static_cast<uint32_t>(P.Args.size()));
+  Body.writeRaw(P.Args);
+  Bytes Wire = frame(KindCall, P.Method, Body.bytes(), /*Response=*/false);
+  ++Stats.CallsForwarded;
+  Stats.WireBytesSent += Wire.size();
+  trace::instant(Host.id(), 0, "om.migrate.forward",
+                 Host.sim().now().nanosecondsCount());
+  Net.send(Host.id(), Route.Node, Route.Port, std::move(Wire), 0);
+}
+
+void RpcEndpoint::completeMove(const std::string &Name,
+                               const MovedRoute &Dst) {
+  // Atomic cutover (no suspension between these lines): from here on no
+  // call can slip between "parked" and "forwarded".
+  ParkedNames.erase(Name);
+  Moved[Name] = Dst;
+  auto It = ParkedByName.find(Name);
+  if (It == ParkedByName.end())
+    return;
+  std::vector<ParkedCall> Replay = std::move(It->second);
+  ParkedByName.erase(It);
+  // Replay in arrival order; the original CallId / reply coordinates /
+  // dedup id ride along, so replies go straight to the callers and the
+  // destination's dedup window absorbs any retransmitted twins.
+  for (const ParkedCall &P : Replay)
+    forwardCall(P, Dst);
+}
+
+void RpcEndpoint::cancelPark(const std::string &Name) {
+  ParkedNames.erase(Name);
+  auto It = ParkedByName.find(Name);
+  if (It == ParkedByName.end())
+    return;
+  std::vector<ParkedCall> Replay = std::move(It->second);
+  ParkedByName.erase(It);
+  // Aborted migration: the source copy is still published, so re-deliver
+  // the parked calls to ourselves over the loopback -- they re-enter the
+  // normal dispatch path (admission included) as if the park never
+  // happened, in arrival order.
+  MovedRoute Self{Host.id(), Port, Name};
+  for (const ParkedCall &P : Replay)
+    forwardCall(P, Self);
+}
+
+// PARCS_HOT_END
+
 sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
+  // Thin wrapper settling the admission backlog on normal completion.  A
+  // handler that crash-parks never resumes this frame either, so the
+  // decrement is simply lost with it -- the restart hook re-bases the
+  // count from the surviving pool queue.
+  co_await handleCallInner(std::move(Msg), RecvNs);
+  if (AdmittedBacklog > 0)
+    --AdmittedBacklog;
+}
+
+sim::Task<void> RpcEndpoint::handleCallInner(net::Message Msg,
+                                             int64_t RecvNs) {
   // Server-side handling as one complete span on the serving node, and as
   // the server leg of the call's async pair (same id the client opened --
   // Perfetto links the legs across node lanes).
@@ -683,6 +900,35 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
       Net.send(Host.id(), ReplyNode, ReplyPort, std::move(CachedWire), 0);
       co_return;
     }
+  }
+
+  // Migration interception -- strictly between the dedup *lookup* (a call
+  // this node already answered keeps being answered from the cached reply,
+  // never re-executed at the destination) and the in-progress *insert* (a
+  // parked call must not squat an entry its own forwarded replay would
+  // then trip over).
+  if (const MovedRoute *Route = movedRoute(ObjectName)) {
+    // Straggler for a name that migrated away: forward it under the new
+    // name; the destination replies straight to the original caller.
+    forwardCall(ParkedCall{CallId, Flags, WireCtx, WireParent, DedupId,
+                           ReplyNode, ReplyPort, std::move(Method),
+                           std::move(Args)},
+                *Route);
+    co_return;
+  }
+  if (ParkedNames.count(ObjectName) != 0) {
+    // The object's mailbox is frozen mid-migration: hold the parsed call
+    // for replay at cutover (or local re-delivery on abort).
+    ++Stats.CallsParked;
+    trace::instant(Host.id(), 0, "om.migrate.parked",
+                   Host.sim().now().nanosecondsCount());
+    ParkedByName[ObjectName].push_back(
+        ParkedCall{CallId, Flags, WireCtx, WireParent, DedupId, ReplyNode,
+                   ReplyPort, std::move(Method), std::move(Args)});
+    co_return;
+  }
+
+  if (TwoWay && DedupId != 0) {
     if (DedupOrder.size() >= DedupWindowCap) {
       DedupWindow.erase(DedupOrder.front());
       DedupOrder.pop_front();
@@ -702,7 +948,13 @@ sim::Task<void> RpcEndpoint::handleCall(net::Message Msg, int64_t RecvNs) {
     // Cleared afterwards in case the target does not claim it.
     if (ServeCtx)
       trace::handoff(ServeCtx);
+    // Executing-call count per name: migration drains this to zero after
+    // parking, so state capture never races a running method.
+    ++InFlightByName[ObjectName];
     Result = co_await (*Target)->handleCall(Method, Args);
+    auto InF = InFlightByName.find(ObjectName);
+    if (InF != InFlightByName.end() && --InF->second == 0)
+      InFlightByName.erase(InF);
     if (ServeCtx)
       trace::handoff(0);
   }

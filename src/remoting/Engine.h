@@ -44,6 +44,7 @@
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace parcs::remoting {
 
@@ -69,6 +70,20 @@ struct EndpointStats {
   uint64_t DedupHits = 0;
   /// Duplicate calls dropped because the first attempt was still running.
   uint64_t DedupSuppressed = 0;
+  /// Two-way calls refused at admission (StatusOverloaded replies sent).
+  uint64_t OverloadRejected = 0;
+  /// One-way calls shed at admission (no caller to tell; just dropped).
+  uint64_t OverloadShed = 0;
+  /// callReliable() waits taken on a server's retry-after hint (these do
+  /// not burn retry attempts; see RetryPolicy::MaxOverloadWaits).
+  uint64_t OverloadDeferred = 0;
+  /// callReliable() invocations that gave up on persistent Overloaded.
+  uint64_t OverloadExhausted = 0;
+  /// Calls queued against a parked (migrating) name.
+  uint64_t CallsParked = 0;
+  /// Calls forwarded to a migrated object's new home (parked replays plus
+  /// stragglers hitting the moved tombstone).
+  uint64_t CallsForwarded = 0;
 };
 
 /// Client-side retry configuration for callReliable(): per-attempt
@@ -96,10 +111,37 @@ struct RetryPolicy {
   /// Seed for the jitter stream; mixed with the endpoint's (node, port)
   /// so endpoints don't retry in lockstep.
   uint64_t JitterSeed = 0x7e57ab1eULL;
+  /// How many StatusOverloaded rejections one logical call absorbs before
+  /// callReliable() gives up with ErrorCode::Overloaded.  Rejections wait
+  /// out the server's retry-after hint instead of burning MaxAttempts:
+  /// the reply proved the network and the server alive, so the transport
+  /// budget is the wrong thing to spend.
+  int MaxOverloadWaits = 8;
 
   bool enabled() const {
     return MaxAttempts > 1 && AttemptTimeout > sim::SimTime();
   }
+};
+
+/// Server-side admission budget: once the endpoint's dispatch backlog
+/// (pool queue + executing handlers) reaches MaxPending, new two-way calls
+/// are refused with StatusOverloaded carrying a deterministic retry-after
+/// hint, and one-way calls are shed.  Bounding the queue is what keeps an
+/// open-loop overload from growing latency without bound -- rejected work
+/// costs the server a fixed-size reply instead of an unbounded wait.
+/// Disabled by default (MaxPending == 0), so fault-free wire bytes and
+/// event streams are exactly the legacy ones.
+struct AdmissionPolicy {
+  /// Calls admitted concurrently (queued + executing).  0 disables.
+  size_t MaxPending = 0;
+  /// Retry-after hint = clamp(RetryAfterBase * overflow, RetryAfterBase,
+  /// RetryAfterMax), where overflow = backlog - MaxPending + 1: the deeper
+  /// past budget the arrival, the further out it is pushed.  Integer
+  /// arithmetic on simulation state only -- the hint replays exactly.
+  sim::SimTime RetryAfterBase = sim::SimTime::milliseconds(1);
+  sim::SimTime RetryAfterMax = sim::SimTime::milliseconds(50);
+
+  bool enabled() const { return MaxPending > 0; }
 };
 
 /// A combined client/server RPC endpoint on one node.
@@ -147,6 +189,17 @@ public:
     return Published.count(Name) != 0;
   }
 
+  /// Every published name, in sorted order (the registry is an ordered
+  /// map).  Deterministic iteration for rebalancing policies that pick
+  /// migration victims.
+  std::vector<std::string> publishedNames() const {
+    std::vector<std::string> Names;
+    Names.reserve(Published.size());
+    for (const auto &[Name, Reg] : Published)
+      Names.push_back(Name);
+    return Names;
+  }
+
   /// Two-way call: returns the result bytes produced by the remote
   /// handler, or the transported error.  A positive \p Timeout bounds the
   /// wait: if no reply arrives in time the call completes with
@@ -190,6 +243,62 @@ public:
   }
   const RetryPolicy &retryPolicy() const { return Retry; }
 
+  /// Installs the admission budget consulted by the dispatch loop.  The
+  /// default policy admits everything (legacy behaviour).
+  void setAdmissionPolicy(const AdmissionPolicy &Policy) {
+    Admission = Policy;
+  }
+  const AdmissionPolicy &admissionPolicy() const { return Admission; }
+  /// Current dispatch backlog (queued + executing calls): the quantity the
+  /// admission budget bounds.
+  size_t backlog() const { return AdmittedBacklog; }
+
+  /// Where a migrated name now lives (see completeMove).
+  struct MovedRoute {
+    int Node = -1;
+    int Port = 0;
+    std::string Name;
+  };
+
+  /// Parks \p Name: calls arriving for it are queued (not executed, not
+  /// entered into the dedup window) until completeMove or cancelPark.
+  /// First step of a live migration -- the mailbox freezes while the
+  /// object's state is captured.
+  void parkName(const std::string &Name) { ParkedNames.insert(Name); }
+  bool isParked(const std::string &Name) const {
+    return ParkedNames.count(Name) != 0;
+  }
+  /// Calls currently executing against \p Name (migration drains this to
+  /// zero before touching state).
+  size_t inFlight(const std::string &Name) const {
+    auto It = InFlightByName.find(Name);
+    return It == InFlightByName.end() ? 0 : It->second;
+  }
+  /// Calls parked against \p Name so far.
+  size_t parkedCalls(const std::string &Name) const {
+    auto It = ParkedByName.find(Name);
+    return It == ParkedByName.end() ? 0 : It->second.size();
+  }
+
+  /// Atomically (no suspension) finishes a migration: drops the park,
+  /// installs the moved tombstone and forwards every parked call -- and,
+  /// from now on, every straggler -- to \p Dst under its new name.
+  /// Forwarded frames keep the original CallId, reply coordinates and
+  /// dedup id, so the destination replies straight to the caller and its
+  /// dedup window absorbs retransmissions: exactly-once survives the move.
+  void completeMove(const std::string &Name, const MovedRoute &Dst);
+
+  /// Abandons a park (migration aborted): parked calls are re-delivered
+  /// locally over the loopback so the still-published source copy serves
+  /// them as if the park never happened.
+  void cancelPark(const std::string &Name);
+
+  /// The moved tombstone for \p Name (null when it never migrated away).
+  const MovedRoute *movedRoute(const std::string &Name) const {
+    auto It = Moved.find(Name);
+    return It == Moved.end() ? nullptr : &It->second;
+  }
+
   /// One-way (asynchronous, no result) call: returns once the message has
   /// been handed to the NIC; remote faults are dropped, as with .Net
   /// one-way delegate invocations.
@@ -210,7 +319,13 @@ private:
     FlagHasContext = 0x02,
     FlagHasDedup = 0x04,
   };
-  enum ReturnStatus : uint8_t { StatusOk = 0, StatusFault = 1 };
+  enum ReturnStatus : uint8_t {
+    StatusOk = 0,
+    StatusFault = 1,
+    /// Admission refused the call; the reply tail is a uint64 retry-after
+    /// hint in nanoseconds.
+    StatusOverloaded = 2,
+  };
 
   struct Registration {
     WellKnownObjectMode Mode = WellKnownObjectMode::Singleton;
@@ -253,8 +368,30 @@ private:
   /// \p RecvNs is when the dispatch loop pulled the message off the wire
   /// (the rpc.dispatch_queue span start; 0 on untraced runs).
   sim::Task<void> handleCall(net::Message Msg, int64_t RecvNs);
+  sim::Task<void> handleCallInner(net::Message Msg, int64_t RecvNs);
   void handleReturn(std::span<const uint8_t> Content, int64_t RecvNs,
                     uint64_t WireCtx);
+
+  /// A call held back by a park (or replayed to a moved object): the
+  /// parsed body fields needed to rebuild an equivalent frame.
+  struct ParkedCall {
+    uint64_t CallId = 0;
+    uint8_t Flags = 0;
+    uint64_t WireCtx = 0, WireParent = 0;
+    uint64_t DedupId = 0;
+    int32_t ReplyNode = 0, ReplyPort = 0;
+    std::string Method;
+    Bytes Args;
+  };
+
+  /// Rebuilds \p P's frame under \p Route's object name and hands it to
+  /// the NIC towards Route.Node (the loopback when that is this node).
+  void forwardCall(const ParkedCall &P, const MovedRoute &Route);
+
+  /// Runs on the dispatch path for an overload rejection: re-parses the
+  /// minimal body prefix and answers StatusOverloaded (or sheds a
+  /// one-way call).  Deterministic: the hint is pure backlog arithmetic.
+  sim::Task<void> rejectOverloaded(net::Message Msg);
 
   ErrorOr<std::shared_ptr<CallHandler>> resolveTarget(const std::string &Name);
 
@@ -273,6 +410,20 @@ private:
   /// CallId.
   uint64_t NextDedupId = 1;
   RetryPolicy Retry;
+  AdmissionPolicy Admission;
+  /// Calls admitted but not yet finished (pool queue + executing): the
+  /// backlog the admission budget bounds.  Maintained even with admission
+  /// disabled (one integer) so the policy can be enabled mid-run.
+  size_t AdmittedBacklog = 0;
+  /// Names frozen by an in-progress migration.
+  std::set<std::string> ParkedNames;
+  /// FIFO of calls held per parked name, replayed at completeMove /
+  /// cancelPark.
+  std::map<std::string, std::vector<ParkedCall>> ParkedByName;
+  /// Tombstones for names that migrated away: stragglers are forwarded.
+  std::map<std::string, MovedRoute> Moved;
+  /// Calls currently executing, per target name (migration drains these).
+  std::map<std::string, size_t> InFlightByName;
   /// Jitter stream for retry backoff (seeded; see setRetryPolicy).
   Rng RetryRng;
   /// Recently timed-out call ids, bounded FIFO: distinguishes a late

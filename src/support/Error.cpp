@@ -34,6 +34,8 @@ const char *parcs::errorCodeName(ErrorCode Code) {
     return "timed out";
   case ErrorCode::ChecksumMismatch:
     return "checksum mismatch";
+  case ErrorCode::Overloaded:
+    return "overloaded";
   }
   PARCS_UNREACHABLE("unhandled ErrorCode");
 }

@@ -43,6 +43,7 @@ enum class ErrorCode {
   ParseError,        ///< parcgen source file failed to parse.
   TimedOut,          ///< A call's deadline elapsed before the reply.
   ChecksumMismatch,  ///< Wire frame failed its integrity check (corruption).
+  Overloaded,        ///< Server refused admission (queue budget exhausted).
 };
 
 /// Returns a stable human-readable name for \p Code.

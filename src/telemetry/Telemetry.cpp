@@ -424,6 +424,10 @@ void Plane::evaluateSlos(int64_t Window) {
       trace::instant(Spec.CollectorNode, 0,
                      SlowViolated ? "slo.breach" : "slo.recover", EndNs);
       S.Edges.push_back({Window, EndNs, SlowViolated});
+      // Control-plane hook: live edges only.  Edges discovered by the
+      // teardown finish() pass are history -- nothing can act on them.
+      if (EdgeCallback && !Finished)
+        EdgeCallback(S.Spec, SlowViolated, EndNs);
     }
   }
 }

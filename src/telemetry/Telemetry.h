@@ -62,6 +62,7 @@
 #include "telemetry/Slo.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -128,6 +129,17 @@ public:
   /// computed from the merged buckets.  Written to spec().ModelPath at
   /// teardown when the model= option names a file.  Deterministic.
   std::string modelPointsJson();
+
+  /// Installs \p Cb to be invoked at every SLO state-machine edge (breach
+  /// and recover) during the live run, on the collector node's partition,
+  /// at the deterministic window-finalization time.  Edges found by the
+  /// teardown finish() pass do NOT fire the callback -- the run is over,
+  /// nothing can act on them.  This is the control-plane hook the SCOOPP
+  /// rebalancer consumes to trigger live object migration.  Pass nullptr
+  /// to uninstall.
+  using SloEdgeCallback =
+      std::function<void(const SloSpec &Spec, bool Breach, int64_t AtNs)>;
+  void onSloEdge(SloEdgeCallback Cb) { EdgeCallback = std::move(Cb); }
 
   // Collector health, for tests and reports.
   uint64_t snapshotsReceived() const { return SnapshotsReceived; }
@@ -197,6 +209,7 @@ private:
   std::vector<int64_t> LastHeartbeatNs; ///< Per node; -1 = never heard.
   int64_t FirstOpenWindow = 0;          ///< Windows below this are final.
   std::vector<SloState> Slos;
+  SloEdgeCallback EdgeCallback;
   uint64_t SnapshotsReceived = 0;
   uint64_t LateWindows = 0;
   uint64_t CorruptSnapshots = 0;

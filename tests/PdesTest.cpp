@@ -241,6 +241,127 @@ PdesResult runFarm(int Threads, const fault::FaultPlan *Plan) {
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Scenario 4: overload farm with admission shedding and a mid-run
+// "migration"
+//
+// The overload runtime's observable artifacts -- shed counters and
+// migration-shaped routing changes -- must be thread-count invariant like
+// everything else.  Workers run a bounded admission budget (backlog past
+// the budget is refused with a marked reply instead of queued), and the
+// master redirects one worker's share to another at a fixed task index,
+// the message-level shape of a live migration cutover.
+//===----------------------------------------------------------------------===//
+
+PdesResult runOverloadFarm(int Threads, uint64_t *TotalShed = nullptr) {
+  constexpr int Nodes = 8;
+  constexpr int Tasks = 70; // 10 per worker before the redirect
+  constexpr int Budget = 2; // admitted backlog per worker
+  constexpr int MoveAt = 35; // worker 1's share goes to worker 7 from here
+  constexpr int TaskPort = 7200;
+  constexpr int ResultPort = 7201;
+  net::NetConfig Cfg;
+
+  sim::PdesConfig PC;
+  PC.Partitions = 4;
+  PC.Threads = Threads;
+  PC.LookaheadNs = net::PdesFabric::lookaheadNs(Cfg);
+  sim::ParallelExecutor Exec(PC);
+  net::PdesFabric Fab(Exec, Nodes, Cfg);
+
+  std::vector<sim::Channel<net::Message> *> WorkerIn(Nodes);
+  for (int W = 1; W < Nodes; ++W)
+    WorkerIn[W] = &Fab.bind(W, TaskPort);
+  sim::Channel<net::Message> &Results = Fab.bind(0, ResultPort);
+
+  uint64_t Checksum = 0;
+  uint64_t Served = 0;
+  uint64_t ShedSeen = 0;
+  uint64_t Redirected = 0;
+  std::vector<uint64_t> Shed(size_t(Nodes), 0);
+
+  struct Drivers {
+    static sim::Task<void> master(net::PdesFabric &Fab, int TaskPort,
+                                  uint64_t &Redirected) {
+      int Workers = Fab.nodeCount() - 1;
+      for (int T = 0; T < Tasks; ++T) {
+        int Dst = 1 + T % Workers;
+        // The "migration": from task MoveAt on, worker 1's share lands on
+        // worker 7 -- the route bump a real cutover performs.
+        if (T >= MoveAt && Dst == 1) {
+          Dst = 7;
+          ++Redirected;
+        }
+        Fab.send(0, Dst, TaskPort, encode32(uint32_t(T)));
+        co_await Fab.simOf(0).delay(sim::SimTime::microseconds(1));
+      }
+    }
+    static sim::Task<void> worker(net::PdesFabric &Fab, int W,
+                                  sim::Channel<net::Message> &In,
+                                  int ResultPort, uint64_t &MyShed) {
+      while (true) {
+        net::Message Msg = co_await In.recv();
+        uint32_t T = decode32(Msg.Payload);
+        if (In.size() >= Budget) {
+          // Admission: backlog past the budget is refused immediately --
+          // the marked reply is the PDES shape of an Overloaded status.
+          ++MyShed;
+          Fab.send(W, 0, ResultPort, encode32(0x80000000u | T));
+          continue;
+        }
+        // Service deliberately outruns the per-worker arrival rate (the
+        // master's 100 Mbit/s sender link spaces arrivals ~46us apart per
+        // worker), so queues build and the budget actually bites.
+        co_await Fab.simOf(W).delay(
+            sim::SimTime::microseconds(int64_t(80 + T % 7)));
+        Fab.send(W, 0, ResultPort, encode32(T * T + uint32_t(W)));
+      }
+    }
+    static sim::Task<void> collect(sim::Channel<net::Message> &Results,
+                                   uint64_t &Checksum, uint64_t &Served,
+                                   uint64_t &ShedSeen) {
+      while (true) {
+        net::Message Msg = co_await Results.recv();
+        uint32_t V = decode32(Msg.Payload);
+        Checksum = Checksum * 1099511628211ULL + V;
+        if (V & 0x80000000u)
+          ++ShedSeen;
+        else
+          ++Served;
+      }
+    }
+  };
+
+  Fab.simOf(0).spawn(Drivers::master(Fab, TaskPort, Redirected));
+  for (int W = 1; W < Nodes; ++W)
+    Fab.simOf(W).spawn(Drivers::worker(Fab, W, *WorkerIn[size_t(W)],
+                                       ResultPort, Shed[size_t(W)]));
+  Fab.simOf(0).spawn(Drivers::collect(Results, Checksum, Served, ShedSeen));
+
+  Exec.run();
+
+  PdesResult R;
+  R.Digest = Exec.digest();
+  R.Events = Exec.totalEvents();
+  R.Windows = Exec.windowCount();
+  R.MailMerged = Exec.mailMerged();
+  R.Delivered = Fab.messagesDelivered();
+  R.Dropped = Fab.messagesDropped();
+  R.PayloadBytes = Fab.payloadBytesDelivered();
+  // Fold the overload artifacts -- per-worker shed counts, the collector's
+  // served/shed split, and the redirect count -- into the app checksum so
+  // a thread-count dependence in any of them fails the sweep.
+  R.AppChecksum = Checksum;
+  for (int W = 0; W < Nodes; ++W)
+    R.AppChecksum = R.AppChecksum * 31 + Shed[size_t(W)];
+  R.AppChecksum = R.AppChecksum * 31 + Served;
+  R.AppChecksum = R.AppChecksum * 31 + ShedSeen;
+  R.AppChecksum = R.AppChecksum * 31 + Redirected;
+  if (TotalShed)
+    *TotalShed = ShedSeen;
+  return R;
+}
+
 fault::FaultPlan chaosPlan() {
   fault::FaultPlan Plan;
   Plan.Seed = 20260808;
@@ -298,6 +419,24 @@ TEST(PdesTest, RayFarmIdenticalAcrossThreadCounts) {
          "PARCS_PRINT_TRACE=1";
   EXPECT_EQ(Base.Delivered, 84u); // 42 tasks out + 42 results back
   EXPECT_EQ(Base.Dropped, 0u);
+}
+
+TEST(PdesTest, OverloadFarmShedsAndMigratesIdenticallyAcrossThreadCounts) {
+  uint64_t TotalShed = 0;
+  PdesResult Base = runOverloadFarm(1, &TotalShed);
+  printGoldens("overload", Base);
+  for (int Threads : ThreadSweep)
+    EXPECT_TRUE(runOverloadFarm(Threads) == Base)
+        << "overload farm diverged at Threads=" << Threads;
+
+  // The budget must actually bite: every task is answered (served or
+  // refused), and some were refused.
+  EXPECT_GT(TotalShed, 0u) << "no task was refused; the budget never bit";
+  EXPECT_EQ(Base.Delivered, 140u); // 70 tasks out + 70 answers back
+  EXPECT_EQ(Base.Dropped, 0u);
+  EXPECT_EQ(Base.Digest, 0x1649fec72f4fe691ULL)
+      << "PDES canonical order changed; if intentional, re-record with "
+         "PARCS_PRINT_TRACE=1";
 }
 
 TEST(PdesTest, ChaosFarmFaultPlanReplaysExactly) {
